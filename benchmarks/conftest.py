@@ -1,0 +1,81 @@
+"""Shared fixtures and cached metric computations for the benchmark
+suite.
+
+Each bench regenerates one of the paper's tables or figures.  Series are
+cached at module level so that, e.g., the signature bench can reuse the
+curves computed by the Figure 2 benches instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.harness import topology
+from repro.hierarchy import link_values, normalized_rank_distribution
+from repro.metrics import distortion, expansion, resilience
+
+# Center counts trade bench runtime against smoothness; these defaults
+# keep the full suite in the tens of minutes on a laptop while leaving
+# the qualitative shapes unmistakable.
+EXPANSION_CENTERS = 32
+BALL_CENTERS = 6
+MAX_BALL = 900
+
+# Topology groups as plotted in Figure 2's rows.
+CANONICAL = ("Tree", "Mesh", "Random")
+MEASURED = ("RL", "AS")
+GENERATED = ("TS", "Tiers", "Waxman", "PLRG")
+DEGREE_BASED = ("B-A", "Brite", "BT", "Inet", "PLRG")
+
+
+def entry(name, scale="default"):
+    return topology(name, scale=scale)
+
+
+@functools.lru_cache(maxsize=None)
+def expansion_series(name, policy=False, scale="default"):
+    top = entry(name, scale)
+    rels = top.relationships if policy else None
+    return expansion(top.graph, num_centers=EXPANSION_CENTERS, rels=rels, seed=1)
+
+
+@functools.lru_cache(maxsize=None)
+def resilience_series(name, policy=False, scale="default"):
+    top = entry(name, scale)
+    rels = top.relationships if policy else None
+    return resilience(
+        top.graph,
+        num_centers=BALL_CENTERS,
+        max_ball_size=MAX_BALL,
+        rels=rels,
+        seed=1,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def distortion_series(name, policy=False, scale="default"):
+    top = entry(name, scale)
+    rels = top.relationships if policy else None
+    return distortion(
+        top.graph,
+        num_centers=BALL_CENTERS,
+        max_ball_size=MAX_BALL,
+        rels=rels,
+        seed=1,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def link_value_distribution(name, policy=False):
+    """Normalised link-value rank distribution at the small scale."""
+    top = entry(name, scale="small")
+    rels = top.relationships if policy else None
+    values = link_values(top.graph, rels=rels, seed=1)
+    return values, normalized_rank_distribution(
+        values, top.graph.number_of_nodes()
+    )
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Ablation: the distortion heuristics (footnotes 14–15).
+
+The paper used its own center-rooted BFS-tree heuristic and "a simple
+divide and conquer algorithm suggested by Bartal", noting: "for all the
+topologies except mesh our own heuristics resulted in smaller distortion
+values than that obtained using this heuristic."  This bench compares
+the two heuristic families on the calibration graphs.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.generators import erdos_renyi_gnm, kary_tree, mesh, plrg
+from repro.harness import format_table
+from repro.metrics import bartal_distortion_of, distortion_of
+
+CASES = {
+    "Tree": lambda: kary_tree(3, 5),
+    "Mesh": lambda: mesh(16),
+    "Random": lambda: erdos_renyi_gnm(300, 650, seed=3),
+    "PLRG": lambda: plrg(400, 2.246, seed=3),
+}
+
+
+def compute():
+    rows = {}
+    for name, make in CASES.items():
+        graph = make()
+        own = distortion_of(graph, rng=random.Random(1))
+        bartal = bartal_distortion_of(graph, rng=random.Random(1))
+        rows[name] = (graph.number_of_nodes(), own, bartal)
+    return rows
+
+
+def test_ablation_distortion_heuristics(benchmark):
+    rows = run_once(benchmark, compute)
+    print()
+    print(
+        format_table(
+            ["graph", "nodes", "center-BFS (min of own)", "Bartal D&C"],
+            [
+                [name, n, f"{own:.2f}", f"{bartal:.2f}"]
+                for name, (n, own, bartal) in rows.items()
+            ],
+        )
+    )
+
+    # The combined own-heuristics value is never worse than Bartal's
+    # (it takes a min over candidate trees).
+    for name, (_n, own, bartal) in rows.items():
+        assert own <= bartal + 1e-9, name
+
+    # On non-mesh graphs the gap is material (the paper's footnote 15).
+    for name in ("Tree", "PLRG"):
+        _n, own, bartal = rows[name]
+        assert bartal >= own, name
+
+    # Both heuristics agree on the qualitative ordering tree < PLRG < mesh.
+    assert rows["Tree"][1] < rows["PLRG"][1] < rows["Mesh"][1]

@@ -1,0 +1,52 @@
+"""Ablation: multilevel/FM bipartition vs a plain BFS-grown split.
+
+DESIGN.md choice: the resilience solver is a from-scratch multilevel
+partitioner with FM refinement (standing in for the paper's
+Karypis–Kumar heuristics).  This bench shows the refinement is
+load-bearing: without it, cut sizes inflate enough to blur the paper's
+R-growth-law separation between tree, mesh and random graphs.
+"""
+
+from conftest import run_once
+
+from repro.generators import erdos_renyi_gnm, kary_tree, mesh
+from repro.graph.partition import bisection_cut_size, greedy_bisection_cut_size
+from repro.harness import format_table
+
+CASES = {
+    "Tree": lambda: kary_tree(3, 6),
+    "Mesh": lambda: mesh(25),
+    "Random": lambda: erdos_renyi_gnm(700, 1400, seed=2),
+}
+
+
+def compute():
+    rows = {}
+    for name, make in CASES.items():
+        graph = make()
+        refined = bisection_cut_size(graph)
+        greedy = greedy_bisection_cut_size(graph)
+        rows[name] = (graph.number_of_nodes(), refined, greedy)
+    return rows
+
+
+def test_ablation_partition_refinement(benchmark):
+    rows = run_once(benchmark, compute)
+    print()
+    print(
+        format_table(
+            ["graph", "nodes", "multilevel+FM cut", "greedy cut"],
+            [[name, n, refined, greedy] for name, (n, refined, greedy) in rows.items()],
+        )
+    )
+
+    for name, (_n, refined, greedy) in rows.items():
+        assert refined <= greedy, name
+
+    # The refined solver keeps the paper's qualitative gaps.
+    assert rows["Tree"][1] < 8
+    assert rows["Mesh"][1] < 40
+    assert rows["Random"][1] > 3 * rows["Mesh"][1]
+    # The greedy baseline destroys the Tree's R=O(1) law (it typically
+    # cuts an order of magnitude more edges on trees and meshes).
+    assert rows["Tree"][2] > rows["Tree"][1]

@@ -1,0 +1,57 @@
+"""Extension: the Chuang–Sirbu multicast scaling law (Phillips, Shenker
+& Tangmunarunkit — the expansion metric's source [35]).
+
+"graphs with exponentially increasing neighborhood sizes ...
+approximately obey the Chuang-Sirbu multicast scaling law" (tree cost
+∝ m^0.8).  This bench ties the reproduction back to the protocol
+performance question that motivates the whole paper: topologies with
+High expansion obey the law with exponents near 0.8; the Low-expansion
+mesh deviates downward (more path sharing).
+"""
+
+from conftest import entry, run_once
+
+from repro.harness import format_series, format_table
+from repro.metrics import chuang_sirbu_exponent, multicast_scaling_series
+
+HIGH_EXPANSION = ("Tree", "Random", "AS", "PLRG", "TS", "Waxman")
+LOW_EXPANSION = ("Mesh", "Tiers")
+
+
+def compute_all():
+    data = {}
+    for name in HIGH_EXPANSION + LOW_EXPANSION:
+        graph = entry(name).graph
+        series = multicast_scaling_series(graph, trials=6, seed=1)
+        data[name] = (series, chuang_sirbu_exponent(series))
+    return data
+
+
+def test_extension_multicast_scaling(benchmark):
+    data = run_once(benchmark, compute_all)
+    print()
+    for name, (series, _k) in data.items():
+        print(format_series(f"L(m) {name}", series, "m", "links"))
+    print()
+    print(
+        format_table(
+            ["topology", "Chuang-Sirbu exponent"],
+            [[name, f"{k:.2f}"] for name, (_s, k) in data.items()],
+        )
+    )
+
+    # Exponential-neighborhood graphs: exponent in the law's band.
+    for name in HIGH_EXPANSION:
+        _series, k = data[name]
+        assert 0.55 < k < 1.0, (name, k)
+
+    # The mesh shares paths more aggressively: lowest exponent of all.
+    mesh_k = data["Mesh"][1]
+    assert mesh_k == min(k for _s, k in data.values())
+
+    # The Internet substitute and PLRG sit close together, near the
+    # canonical ~0.8 value.
+    as_k = data["AS"][1]
+    plrg_k = data["PLRG"][1]
+    assert abs(as_k - plrg_k) < 0.15
+    assert 0.6 < as_k < 0.95

@@ -1,0 +1,184 @@
+"""Figure 11 (Appendix C): the parameter-space exploration.
+
+For each generator we sweep parameter vectors spanning the paper's
+table (scaled down) and report node count plus average degree, with the
+L/H signature attached to a subset — reproducing Section 4.4's
+robustness claim ("While for most parameter values the results are in
+agreement with what we have presented here, it is possible to drive
+these generators to different operating regimes using extreme choices").
+The extreme regimes are exercised too: a geographically over-biased
+Waxman degenerates toward an MST-like graph, and a redundancy-free
+Tiers "starts to resemble a minimum spanning tree".
+"""
+
+from conftest import run_once
+
+from repro.generators import (
+    TiersParams,
+    TransitStubParams,
+    plrg,
+    tiers,
+    transit_stub,
+    waxman,
+)
+from repro.harness import format_table, sweep
+
+
+def run_sweeps():
+    plrg_rows = sweep(
+        "PLRG",
+        lambda seed, exponent: plrg(1500, exponent, seed=seed),
+        [{"exponent": e} for e in (2.246, 2.35, 2.55)],
+        classify=True,
+    )
+    ts_rows = sweep(
+        "TS",
+        lambda seed, **kw: transit_stub(TransitStubParams(**kw), seed=seed),
+        [
+            {},
+            {"extra_transit_stub": 5, "extra_stub_stub": 10},
+            {"extra_transit_stub": 40, "extra_stub_stub": 80},
+            {"transit_domains": 3, "nodes_per_transit": 10},
+        ],
+        classify=True,
+    )
+    tiers_rows = sweep(
+        "Tiers",
+        lambda seed, **kw: tiers(TiersParams(**kw), seed=seed),
+        [
+            {"mans_per_wan": 20, "lans_per_man": 5, "wan_nodes": 200},
+            {"mans_per_wan": 20, "lans_per_man": 5, "wan_nodes": 200,
+             "redundancy_wan": 1, "redundancy_man": 1, "man_wan_links": 1},
+        ],
+        classify=True,
+    )
+    waxman_rows = sweep(
+        "Waxman",
+        lambda seed, alpha, beta: waxman(1200, alpha, beta, seed=seed),
+        [
+            {"alpha": 0.02, "beta": 0.30},
+            {"alpha": 0.05, "beta": 0.10},
+            {"alpha": 0.6, "beta": 0.01},  # extreme geographic bias
+        ],
+        classify=True,
+    )
+    return plrg_rows + ts_rows + tiers_rows + waxman_rows
+
+
+def test_fig11_parameter_sweep(benchmark):
+    rows = run_once(benchmark, run_sweeps)
+    print()
+    print(
+        format_table(
+            ["generator", "params", "nodes", "avg deg", "signature"],
+            [
+                [r.generator, r.params, r.nodes, r.average_degree, r.signature]
+                for r in rows
+            ],
+        )
+    )
+
+    by_gen = {}
+    for r in rows:
+        by_gen.setdefault(r.generator, []).append(r)
+
+    # PLRG keeps the measured graphs' HHL signature across exponents.
+    assert all(r.signature == "HHL" for r in by_gen["PLRG"])
+    # TS keeps low resilience at its baseline parameterisations; adding
+    # many random transit-stub/stub-stub edges drives it into a different
+    # regime (footnote 17: "We tried varying this parameter ... in an
+    # attempt to increase the resilience of TS"), which the sweep shows.
+    baseline_ts = [r for r in by_gen["TS"] if "extra" not in r.params]
+    redundant_ts = [r for r in by_gen["TS"] if "extra_stub_stub=80" in r.params]
+    assert all(r.signature[1] == "L" for r in baseline_ts)
+    assert all(r.signature[1] == "H" for r in redundant_ts)
+    # Normal Tiers is LH-; the redundancy-free extreme degenerates to a
+    # tree-like LLL ("starts to resemble a minimum spanning tree").
+    assert by_gen["Tiers"][0].signature[0] == "L"
+    assert by_gen["Tiers"][1].signature[1] == "L"
+    # Waxman is random-like at normal parameters; the extreme-bias
+    # instance loses its high resilience (MST-like regime).
+    assert by_gen["Waxman"][0].signature == "HHH"
+    extreme = by_gen["Waxman"][-1]
+    assert extreme.signature != "HHH"
+    assert extreme.average_degree < by_gen["Waxman"][0].average_degree + 2
+
+
+def run_inventory():
+    """The wide Appendix C inventory: node count and average degree per
+    parameter vector (no classification — this mirrors the Figure 11
+    table itself, scaled down)."""
+    rows = []
+    rows += sweep(
+        "PLRG",
+        lambda seed, exponent: plrg(1500, exponent, seed=seed),
+        [{"exponent": e} for e in (2.1, 2.246, 2.35, 2.45, 2.55)],
+    )
+    rows += sweep(
+        "TS",
+        lambda seed, **kw: transit_stub(TransitStubParams(**kw), seed=seed),
+        [
+            {},
+            {"stub_edge_prob": 0.45},
+            {"extra_transit_stub": 5, "extra_stub_stub": 10},
+            {"extra_transit_stub": 10, "extra_stub_stub": 20},
+            {"extra_transit_stub": 20, "extra_stub_stub": 40},
+            {"extra_transit_stub": 40, "extra_stub_stub": 80},
+            {"transit_domains": 3, "nodes_per_transit": 10},
+            {"stubs_per_transit_node": 2, "nodes_per_stub": 14},
+        ],
+    )
+    rows += sweep(
+        "Tiers",
+        lambda seed, **kw: tiers(TiersParams(**kw), seed=seed),
+        [
+            {"mans_per_wan": 20, "lans_per_man": 5, "wan_nodes": 200},
+            {"mans_per_wan": 20, "lans_per_man": 5, "wan_nodes": 200,
+             "redundancy_wan": 1, "redundancy_man": 1, "man_wan_links": 1},
+            {"mans_per_wan": 10, "lans_per_man": 10, "wan_nodes": 100,
+             "man_nodes": 20, "lan_nodes": 4},
+            {"mans_per_wan": 20, "lans_per_man": 5, "wan_nodes": 200,
+             "redundancy_wan": 6, "redundancy_man": 4},
+        ],
+    )
+    rows += sweep(
+        "Waxman",
+        lambda seed, alpha, beta: waxman(1200, alpha, beta, seed=seed),
+        [
+            {"alpha": 0.01, "beta": 0.05},
+            {"alpha": 0.01, "beta": 0.10},
+            {"alpha": 0.02, "beta": 0.30},
+            {"alpha": 0.02, "beta": 0.50},
+            {"alpha": 0.04, "beta": 0.10},
+            {"alpha": 0.04, "beta": 0.30},
+        ],
+    )
+    return rows
+
+
+def test_appendix_c_inventory(benchmark):
+    rows = run_once(benchmark, run_inventory)
+    print()
+    print(
+        format_table(
+            ["generator", "params", "nodes", "avg deg"],
+            [[r.generator, r.params, r.nodes, r.average_degree] for r in rows],
+        )
+    )
+
+    # Structural invariants of the inventory (Appendix C's trends):
+    by_gen = {}
+    for r in rows:
+        by_gen.setdefault(r.generator, []).append(r)
+    # PLRG: smaller exponent -> denser giant component.
+    plrg_rows = by_gen["PLRG"]
+    assert plrg_rows[0].average_degree > plrg_rows[-1].average_degree
+    # TS: adding extra random edges monotonically raises density.
+    ts_extra = [
+        r.average_degree for r in by_gen["TS"] if "extra_stub_stub" in r.params
+    ]
+    assert ts_extra == sorted(ts_extra)
+    # Waxman: density rises with alpha and with beta.
+    wax = {r.params: r.average_degree for r in by_gen["Waxman"]}
+    assert wax["alpha=0.01, beta=0.1"] < wax["alpha=0.04, beta=0.1"]
+    assert wax["alpha=0.02, beta=0.3"] < wax["alpha=0.02, beta=0.5"]

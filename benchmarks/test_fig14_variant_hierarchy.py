@@ -1,0 +1,53 @@
+"""Figure 14 (Appendix D.2): link value distributions of the PLRG
+variants versus the measured networks.
+
+"Similar to the measured networks, the distributions of the
+PLRG-variants networks falls off quickly and the highest value links are
+approximately in the same range as those of measured networks.
+Therefore, as the AS and RL networks, the PLRG-variant networks can be
+described as having a moderate hierarchy."
+"""
+
+from conftest import link_value_distribution, run_once
+
+from repro.harness import format_series, format_table
+from repro.hierarchy import classify_hierarchy
+
+VARIANTS = ("B-A", "Brite", "BT", "Inet", "PLRG")
+MEASURED = ("AS", "RL")
+
+
+def compute_all():
+    dists = {}
+    for name in VARIANTS + MEASURED:
+        _values, dist = link_value_distribution(name)
+        dists[name] = dist
+    return dists
+
+
+def test_fig14_variant_link_values(benchmark):
+    dists = run_once(benchmark, compute_all)
+    print()
+    for name, dist in dists.items():
+        print(format_series(f"link values {name}", dist, "rank", "value"))
+    classes = {name: classify_hierarchy(dist) for name, dist in dists.items()}
+    print()
+    print(
+        format_table(
+            ["topology", "top value", "class"],
+            [
+                [name, f"{dists[name][0][1]:.3f}", classes[name]]
+                for name in dists
+            ],
+        )
+    )
+
+    # Every degree-based variant has moderate hierarchy, like AS and RL.
+    for name in VARIANTS + MEASURED:
+        assert classes[name] == "moderate", name
+
+    # Top values in the same range as the measured networks (within ~4x).
+    measured_top = max(dists[name][0][1] for name in MEASURED)
+    for name in VARIANTS:
+        top = dists[name][0][1]
+        assert measured_top / 4 < top < measured_top * 4, name

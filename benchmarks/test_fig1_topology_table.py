@@ -1,0 +1,71 @@
+"""Figure 1: the table of network topologies used.
+
+Regenerates the paper's Figure 1 rows (type, topology, node count,
+average degree) at reproduction scale and checks the headline
+relationships: the RL graph is an order of magnitude larger than the AS
+graph with a lower average degree; every instance is within its
+documented size band.
+"""
+
+from conftest import entry, run_once
+
+from repro.harness import FIGURE1_ROWS, format_table
+
+# (name, paper nodes, paper avg degree) for orientation in the output.
+PAPER_VALUES = {
+    "RL": (170589, 2.53),
+    "AS": (10941, 4.13),
+    "PLRG": (9230, 4.46),
+    "TS": (1008, 2.78),
+    "Tiers": (5000, 2.83),
+    "Waxman": (5000, 7.22),
+    "Mesh": (900, 3.87),
+    "Random": (5018, 4.18),
+    "Tree": (1093, 2.00),
+}
+
+
+def build_table():
+    rows = []
+    for name, category in FIGURE1_ROWS:
+        graph = entry(name).graph
+        paper_n, paper_deg = PAPER_VALUES[name]
+        rows.append(
+            [
+                category,
+                name,
+                graph.number_of_nodes(),
+                f"{graph.average_degree():.2f}",
+                paper_n,
+                f"{paper_deg:.2f}",
+            ]
+        )
+    return rows
+
+
+def test_fig1_topology_table(benchmark):
+    rows = run_once(benchmark, build_table)
+    print()
+    print(
+        format_table(
+            ["type", "topology", "nodes", "avg deg", "paper nodes", "paper deg"],
+            rows,
+        )
+    )
+
+    stats = {row[1]: (row[2], float(row[3])) for row in rows}
+    # RL is much larger than AS and sparser, as in the paper (17x / 8x+).
+    assert stats["RL"][0] > 5 * stats["AS"][0]
+    assert stats["RL"][1] < stats["AS"][1]
+    # Exact-construction instances match Figure 1 exactly.
+    assert stats["Tree"][0] == 1093
+    assert stats["Mesh"][0] == 900
+    assert stats["TS"][0] == 1008
+    assert stats["Tiers"][0] == 5000
+    # Average degrees land in the paper's neighbourhood.
+    assert abs(stats["Tree"][1] - 2.00) < 0.05
+    assert abs(stats["Mesh"][1] - 3.87) < 0.05
+    assert abs(stats["TS"][1] - 2.78) < 0.5
+    assert abs(stats["Tiers"][1] - 2.83) < 0.4
+    assert abs(stats["RL"][1] - 2.53) < 0.5
+    assert abs(stats["AS"][1] - 4.13) < 0.8

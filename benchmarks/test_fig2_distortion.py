@@ -1,0 +1,82 @@
+"""Figure 2(c, f, i, l): the distortion metric D(n).
+
+Reproduced shapes:
+* canonical — Tree distortion 1; Mesh and Random high (2c);
+* measured — AS/RL low, lower still under policy (2f);
+* generated — Waxman high like Random; TS, Tiers, PLRG low (2i);
+* degree-based — all variants low like PLRG (2l).
+"""
+
+from conftest import (
+    CANONICAL,
+    DEGREE_BASED,
+    GENERATED,
+    MEASURED,
+    distortion_series,
+    run_once,
+)
+
+from repro.analysis import HIGH, LOW, classify_distortion
+from repro.harness import format_series
+
+
+def compute_all():
+    series = {}
+    for name in CANONICAL + MEASURED + GENERATED + DEGREE_BASED:
+        series[name] = distortion_series(name)
+    for name in MEASURED:
+        series[name + "(Policy)"] = distortion_series(name, policy=True)
+    return series
+
+
+def tail_mean(points, min_n=150):
+    eligible = [v for n, v in points if n >= min_n]
+    if not eligible:
+        eligible = [v for _n, v in points[-3:]]
+    return sum(eligible) / len(eligible)
+
+
+def test_fig2_distortion(benchmark):
+    series = run_once(benchmark, compute_all)
+    print()
+    for name, points in series.items():
+        print(format_series(f"D(n) {name}", points, "n", "D"))
+    from repro.harness import ascii_plot
+
+    print()
+    print(
+        ascii_plot(
+            {name: series[name] for name in ("Tree", "Mesh", "Random", "PLRG")},
+            log_x=True,
+            log_y=True,
+            x_label="ball size n",
+            y_label="D(n)",
+        )
+    )
+
+    cls = {name: classify_distortion(points) for name, points in series.items()}
+
+    # Canonical row (2c).
+    assert cls["Tree"] == LOW
+    assert cls["Mesh"] == HIGH
+    assert cls["Random"] == HIGH
+    assert all(abs(v - 1.0) < 1e-9 for _n, v in series["Tree"])
+
+    # Measured row (2f): low distortion; policy only lowers it further
+    # ("more so when policy routing is taken into account").
+    for name in ("AS", "RL"):
+        assert cls[name] == LOW
+        assert cls[name + "(Policy)"] == LOW
+        assert tail_mean(series[name + "(Policy)"]) <= tail_mean(series[name]) + 0.15
+
+    # Generated row (2i): "the sole exception of Waxman".
+    assert cls["Waxman"] == HIGH
+    for name in ("TS", "Tiers", "PLRG"):
+        assert cls[name] == LOW
+
+    # Degree-based row (2l): all low like PLRG.
+    for name in DEGREE_BASED:
+        assert cls[name] == LOW
+
+    # Mesh clearly exceeds everything else in magnitude.
+    assert tail_mean(series["Mesh"]) > 2 * tail_mean(series["PLRG"])

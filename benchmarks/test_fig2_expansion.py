@@ -1,0 +1,84 @@
+"""Figure 2(a, d, g, j): the expansion metric E(h).
+
+Reproduced shapes:
+* canonical — Tree and Random expand exponentially, Mesh qualitatively
+  slower (2a);
+* measured — AS and RL expand exponentially, with and without policy
+  (2d);
+* generated — TS, PLRG, Waxman exponential; Tiers markedly slower,
+  similar to Mesh (2g);
+* degree-based — B-A, Brite, BT, Inet all match PLRG (2j).
+"""
+
+import math
+
+from conftest import (
+    CANONICAL,
+    DEGREE_BASED,
+    GENERATED,
+    MEASURED,
+    entry,
+    expansion_series,
+    run_once,
+)
+
+from repro.analysis import HIGH, LOW, classify_expansion
+from repro.harness import format_series
+from repro.metrics import radius_to_reach
+
+
+def compute_all():
+    series = {}
+    for name in CANONICAL + MEASURED + GENERATED + DEGREE_BASED:
+        series[name] = expansion_series(name)
+    for name in MEASURED:
+        series[name + "(Policy)"] = expansion_series(name, policy=True)
+    return series
+
+
+def test_fig2_expansion(benchmark):
+    series = run_once(benchmark, compute_all)
+    print()
+    for name, points in series.items():
+        print(format_series(f"E(h) {name}", points, "h", "E"))
+    # Figure 2(a)-style plot: log-y straight line = exponential expansion.
+    from repro.harness import ascii_plot
+
+    print()
+    print(
+        ascii_plot(
+            {name: series[name] for name in ("Tree", "Mesh", "Random", "Tiers")},
+            log_y=True,
+            x_label="ball radius h",
+            y_label="expansion E(h)",
+        )
+    )
+
+    def cls(name):
+        base = name.replace("(Policy)", "")
+        return classify_expansion(series[name], entry(base).graph.number_of_nodes())
+
+    # Canonical row (2a): Tree/Random High, Mesh Low.
+    assert cls("Tree") == HIGH
+    assert cls("Random") == HIGH
+    assert cls("Mesh") == LOW
+    # Measured row (2d): exponential, policy does not change the class.
+    for name in ("AS", "RL", "AS(Policy)", "RL(Policy)"):
+        assert cls(name) == HIGH
+    # Generated row (2g): only Tiers is slow.
+    assert cls("Tiers") == LOW
+    for name in ("TS", "Waxman", "PLRG"):
+        assert cls(name) == HIGH
+    # Degree-based row (2j): all match PLRG.
+    for name in DEGREE_BASED:
+        assert cls(name) == HIGH
+
+    # The mesh-vs-tree gap is quantitatively wide, not a threshold fluke:
+    # at comparable sizes the mesh needs ~2x the radius of the tree.
+    tree_h = radius_to_reach(series["Tree"], 0.5)
+    mesh_h = radius_to_reach(series["Mesh"], 0.5)
+    assert mesh_h > 1.5 * tree_h
+
+    # Tiers' half-reach radius is far beyond its log2(N) scale.
+    tiers_h = radius_to_reach(series["Tiers"], 0.5)
+    assert tiers_h > 1.4 * math.log2(entry("Tiers").graph.number_of_nodes())

@@ -1,0 +1,82 @@
+"""Figure 2(b, e, h, k): the resilience metric R(n).
+
+Reproduced shapes:
+* canonical — Tree lowest; Mesh grows slower than Random (2b);
+* measured — AS/RL high like Random; policy lowers resilience but not
+  the qualitative class (2e);
+* generated — Waxman ~ Random, Tiers ~ Mesh, TS low like Tree, PLRG
+  high (2h);
+* degree-based — all variants high like PLRG (2k).
+"""
+
+from conftest import (
+    CANONICAL,
+    DEGREE_BASED,
+    GENERATED,
+    MEASURED,
+    resilience_series,
+    run_once,
+)
+
+from repro.analysis import HIGH, LOW, classify_resilience
+from repro.harness import format_series
+
+
+def compute_all():
+    series = {}
+    for name in CANONICAL + MEASURED + GENERATED + DEGREE_BASED:
+        series[name] = resilience_series(name)
+    for name in MEASURED:
+        series[name + "(Policy)"] = resilience_series(name, policy=True)
+    return series
+
+
+def tail_value(points, min_n=150):
+    eligible = [v for n, v in points if n >= min_n]
+    return max(eligible) if eligible else max(v for _n, v in points)
+
+
+def test_fig2_resilience(benchmark):
+    series = run_once(benchmark, compute_all)
+    print()
+    for name, points in series.items():
+        print(format_series(f"R(n) {name}", points, "n", "R"))
+    from repro.harness import ascii_plot
+
+    print()
+    print(
+        ascii_plot(
+            {name: series[name] for name in ("Tree", "Mesh", "Random", "PLRG")},
+            log_x=True,
+            log_y=True,
+            x_label="ball size n",
+            y_label="R(n)",
+        )
+    )
+
+    cls = {name: classify_resilience(points) for name, points in series.items()}
+
+    # Canonical row (2b).
+    assert cls["Tree"] == LOW
+    assert cls["Mesh"] == HIGH
+    assert cls["Random"] == HIGH
+    assert tail_value(series["Random"]) > tail_value(series["Mesh"])
+
+    # Measured row (2e): high, and policy reduces magnitude only.
+    for name in ("AS", "RL"):
+        assert cls[name] == HIGH
+        assert cls[name + "(Policy)"] == HIGH
+        assert tail_value(series[name + "(Policy)"]) <= tail_value(series[name])
+
+    # Generated row (2h).
+    assert cls["TS"] == LOW  # "TS has low R(n), similar to Tree"
+    assert cls["Tiers"] == HIGH  # "Tiers closely resembles Mesh"
+    assert cls["Waxman"] == HIGH  # "Waxman closely resembles Random"
+    assert cls["PLRG"] == HIGH
+
+    # Degree-based row (2k): every variant is high like PLRG.
+    for name in DEGREE_BASED:
+        assert cls[name] == HIGH
+
+    # Magnitude ordering within the canonical row: tree << mesh << random.
+    assert tail_value(series["Tree"]) < tail_value(series["Mesh"])

@@ -1,0 +1,79 @@
+"""Figures 3 and 4: the link value rank distributions.
+
+Figure 3 plots normalised link value against log-scaled normalised rank
+(emphasising the top links); Figure 4 plots the same data on a linear
+rank axis (emphasising the body).  Both are regenerated here from the
+same link-value computation, for the canonical, measured (with and
+without policy), and generated groups, at the small scale the
+quadratic-cost analysis requires (the paper used the RL core for the
+same reason).
+
+Reproduced shape: Tree/TS/Tiers top values far above everyone (strict);
+AS/RL/PLRG moderate; Mesh/Random/Waxman flat (loose).
+"""
+
+from conftest import link_value_distribution, run_once
+
+from repro.harness import format_series, format_table
+
+GROUPS = {
+    "canonical": ("Tree", "Mesh", "Random"),
+    "measured": ("AS", "RL"),
+    "generated": ("TS", "Tiers", "Waxman", "PLRG"),
+}
+
+
+def compute_all():
+    dists = {}
+    for names in GROUPS.values():
+        for name in names:
+            _values, dist = link_value_distribution(name)
+            dists[name] = dist
+    for name in GROUPS["measured"]:
+        _values, dist = link_value_distribution(name, policy=True)
+        dists[name + "(Policy)"] = dist
+    return dists
+
+
+def test_fig3_fig4_link_value_distributions(benchmark):
+    dists = run_once(benchmark, compute_all)
+    print()
+    for name, dist in dists.items():
+        print(format_series(f"link values {name}", dist, "rank", "value"))
+    top = {name: dist[0][1] for name, dist in dists.items()}
+    frac_above = {
+        name: sum(1 for _r, v in dist if v > 0.005) / len(dist)
+        for name, dist in dists.items()
+    }
+    rows = [
+        [name, f"{top[name]:.3f}", f"{100 * frac_above[name]:.0f}%"]
+        for name in dists
+    ]
+    print()
+    print(format_table(["topology", "top value", "links > 0.005"], rows))
+
+    # Strict graphs' top links dwarf everyone else's (Figure 3): the
+    # paper reports >= 0.3 for Tree/TS and 0.25 for Tiers.
+    for strict_name in ("Tree", "TS", "Tiers"):
+        assert top[strict_name] > 0.25
+        for other in ("AS", "RL", "PLRG", "Mesh", "Random", "Waxman"):
+            assert top[strict_name] > 1.5 * top[other], (strict_name, other)
+
+    # Measured and PLRG tops are comparable (moderate band).
+    assert 0.2 < top["PLRG"] / top["AS"] < 5.0
+
+    # Loose graphs have a flat body: most links near the top value
+    # (Figure 4), unlike the fast falloff of the moderate graphs.
+    def body_fraction(name):
+        dist = dists[name]
+        t = dist[0][1]
+        return sum(1 for _r, v in dist if v >= 0.1 * t) / len(dist)
+
+    for loose_name in ("Mesh", "Random", "Waxman"):
+        assert body_fraction(loose_name) > 0.55, loose_name
+    for moderate_name in ("AS", "RL", "PLRG"):
+        assert body_fraction(moderate_name) < 0.55, moderate_name
+
+    # Policy concentrates paths: the top link value does not drop.
+    for name in ("AS", "RL"):
+        assert top[name + "(Policy)"] >= 0.8 * top[name]

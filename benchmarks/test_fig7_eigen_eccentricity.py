@@ -1,0 +1,67 @@
+"""Figure 7 (Appendix B): eigenvalue rank spectra (a–c) and node
+diameter (eccentricity) distributions (d–f).
+
+Reproduced observations: "the PLRG is the only generator with a
+power-law distribution of the rank of positive eigenvalues, a signature
+of the AS topology"; "the diameter distributions have a similar
+bell-curve shape (with the Tree as the sole exception)".
+"""
+
+from conftest import entry, run_once
+
+from repro.harness import format_series, format_table
+from repro.metrics import (
+    eccentricity_distribution,
+    eigenvalue_spectrum,
+    spectrum_power_law_exponent,
+)
+
+SPECTRUM_TOPOLOGIES = ("Tree", "Mesh", "Random", "AS", "PLRG", "TS", "Tiers", "Waxman")
+ECC_TOPOLOGIES = ("Tree", "Mesh", "Random", "RL", "AS", "PLRG", "TS", "Tiers", "Waxman")
+
+
+def compute_all():
+    spectra = {
+        name: eigenvalue_spectrum(entry(name).graph, k=40)
+        for name in SPECTRUM_TOPOLOGIES
+    }
+    eccs = {
+        name: eccentricity_distribution(entry(name).graph, num_samples=150, seed=1)
+        for name in ECC_TOPOLOGIES
+    }
+    return spectra, eccs
+
+
+def test_fig7_eigen_and_eccentricity(benchmark):
+    spectra, eccs = run_once(benchmark, compute_all)
+    slopes = {
+        name: spectrum_power_law_exponent(spectrum)
+        for name, spectrum in spectra.items()
+    }
+    print()
+    print(
+        format_table(
+            ["topology", "eigen log-log slope"],
+            [[name, f"{slope:.3f}"] for name, slope in slopes.items()],
+        )
+    )
+    for name in ("AS", "PLRG", "Mesh"):
+        print(format_series(f"spectrum {name}", spectra[name], "rank", "eig"))
+    print()
+    for name, dist in eccs.items():
+        print(format_series(f"eccentricity {name}", dist, "ecc/mean", "frac"))
+
+    # AS and PLRG share the steep power-law spectrum; the canonical and
+    # structural graphs are much flatter.
+    assert slopes["AS"] < -0.2
+    assert slopes["PLRG"] < -0.2
+    for flat in ("Mesh", "Random", "Tiers"):
+        assert slopes[flat] > max(slopes["AS"], slopes["PLRG"]) + 0.05, flat
+
+    # Eccentricity distributions are bell-ish: mass concentrated within
+    # +/-40% of the mean, and every distribution sums to 1.
+    for name, dist in eccs.items():
+        total = sum(f for _x, f in dist)
+        assert abs(total - 1.0) < 1e-9
+        central = sum(f for x, f in dist if 0.6 <= x <= 1.4)
+        assert central > 0.9, name

@@ -1,0 +1,73 @@
+"""Figure 8 (Appendix B): vertex cover (a–c) and number of biconnected
+components (d–f) versus ball size.
+
+Reproduced observations: "The vertex cover metric of all graphs are
+quite similar to each other, and the biconnectivity metric of all graphs
+has a similar behavior with the exception of Mesh, Random, and Waxman"
+(whose cyclic balls collapse into few biconnected components).
+"""
+
+from conftest import entry, run_once
+
+from repro.harness import format_series
+from repro.metrics import biconnectivity_series, vertex_cover_series
+
+TOPOLOGIES = ("Tree", "Mesh", "Random", "RL", "AS", "PLRG", "TS", "Tiers", "Waxman")
+CYCLIC = ("Mesh", "Random", "Waxman")
+TREELIKE = ("Tree", "RL", "AS", "PLRG", "TS", "Tiers")
+
+
+def compute_all():
+    covers = {}
+    bicons = {}
+    for name in TOPOLOGIES:
+        graph = entry(name).graph
+        covers[name] = vertex_cover_series(
+            graph, num_centers=5, max_ball_size=1200, seed=1
+        )
+        bicons[name] = biconnectivity_series(
+            graph, num_centers=5, max_ball_size=1200, seed=1
+        )
+    return covers, bicons
+
+
+def cover_slope(points):
+    """Cover size as a fraction of ball size, averaged over large balls."""
+    eligible = [(n, v) for n, v in points if n >= 80]
+    if not eligible:
+        eligible = points
+    return sum(v / n for n, v in eligible) / len(eligible)
+
+
+def bicon_slope(points):
+    """Components per node at the largest measured ball.
+
+    Evaluated at the tail because sparse random graphs are locally
+    tree-like: their small balls still have many biconnected components,
+    but the count saturates as cycles close at larger radii.
+    """
+    n, v = max(points, key=lambda p: p[0])
+    return v / n
+
+
+def test_fig8_cover_and_biconnectivity(benchmark):
+    covers, bicons = run_once(benchmark, compute_all)
+    print()
+    for name in TOPOLOGIES:
+        print(format_series(f"vertex cover {name}", covers[name], "n", "VC"))
+    print()
+    for name in TOPOLOGIES:
+        print(format_series(f"biconn comps {name}", bicons[name], "n", "#BC"))
+
+    # Vertex cover: all graphs look alike — cover grows linearly with
+    # ball size, with slope in a narrow band (within ~4x) for every
+    # topology, reproducing "quite similar to each other".
+    slopes = {name: cover_slope(covers[name]) for name in TOPOLOGIES}
+    assert max(slopes.values()) < 4.0 * min(slopes.values()), slopes
+
+    # Biconnectivity: tree-like graphs keep ~one component per edge,
+    # cyclic graphs collapse into far fewer components per node.
+    for name in TREELIKE:
+        assert bicon_slope(bicons[name]) > 0.3, name
+    for name in CYCLIC:
+        assert bicon_slope(bicons[name]) < 0.3, name

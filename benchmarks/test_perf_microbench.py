@@ -1,0 +1,81 @@
+"""Performance micro-benchmarks for the core algorithms.
+
+Unlike the figure benches (one-shot experiment regeneration), these use
+pytest-benchmark's normal multi-round timing so performance regressions
+in the substrate show up: BFS, the multilevel bipartition, the policy
+product-graph BFS, pair-fraction accumulation, biconnectivity, and the
+exact bipartite cover.
+"""
+
+import pytest
+
+from conftest import entry
+
+from repro.graph.components import count_biconnected_components
+from repro.graph.flow import bipartite_vertex_cover_weight
+from repro.graph.partition import bisection_cut_size
+from repro.graph.traversal import bfs_distances
+from repro.hierarchy import link_value_from_entries, link_traversal_sets
+from repro.routing.policy import policy_dag
+from repro.routing.shortest import pair_edge_fractions, shortest_path_dag
+
+
+@pytest.fixture(scope="module")
+def plrg_graph():
+    return entry("PLRG").graph
+
+
+@pytest.fixture(scope="module")
+def as_entry():
+    return entry("AS")
+
+
+def test_perf_bfs(benchmark, plrg_graph):
+    source = plrg_graph.nodes()[0]
+    result = benchmark(bfs_distances, plrg_graph, source)
+    assert len(result) == plrg_graph.number_of_nodes()
+
+
+def test_perf_shortest_path_dag(benchmark, plrg_graph):
+    source = plrg_graph.nodes()[0]
+    dag = benchmark(shortest_path_dag, plrg_graph, source)
+    assert dag.sigma[source] == 1
+
+
+def test_perf_pair_fractions(benchmark, plrg_graph):
+    source = plrg_graph.nodes()[0]
+    dag = shortest_path_dag(plrg_graph, source)
+    # The farthest node exercises the deepest backward accumulation.
+    target = max(dag.dist, key=dag.dist.get)
+
+    fractions = benchmark(pair_edge_fractions, dag, target)
+    assert fractions
+
+
+def test_perf_policy_dag(benchmark, as_entry):
+    source = as_entry.graph.nodes()[0]
+    dag = benchmark(policy_dag, as_entry.graph, as_entry.relationships, source)
+    assert dag.distance(source) == 0
+
+
+def test_perf_bisection(benchmark, plrg_graph):
+    ball_nodes = list(bfs_distances(plrg_graph, plrg_graph.nodes()[0], 2))
+    ball = plrg_graph.subgraph(ball_nodes)
+
+    cut = benchmark(bisection_cut_size, ball)
+    assert cut >= 0
+
+
+def test_perf_biconnectivity(benchmark, plrg_graph):
+    count = benchmark(count_biconnected_components, plrg_graph)
+    assert count > 0
+
+
+def test_perf_link_value_exact(benchmark):
+    graph = entry("PLRG", "small").graph
+    sets = link_traversal_sets(graph, seed=1)
+    # The busiest link has the largest bipartite instance.
+    busiest = max(sets.values(), key=len)
+
+    value = benchmark(link_value_from_entries, busiest, exact=True)
+    assert value > 0

@@ -1,0 +1,89 @@
+"""Related-work reproduction: the van Mieghem hop-count law (Section 2).
+
+"van Mieghem et al. [44] have shown that the Internet's hop count
+distribution (the distribution of path lengths in hops) is well modeled
+by that of a random graph with uniformly or exponentially assigned link
+weights."
+
+[44] models end-to-end (router-level) paths, so the target here is the
+synthetic RL graph's hop-count distribution.  The theory predicts the
+weighted-shortest-path hop count concentrates around ln N; we compare
+the RL distribution against weighted Erdős–Rényi models (exponential and
+uniform weights) by total-variation distance, with the *unweighted*
+random graph and the mesh as control models.
+"""
+
+import math
+
+from conftest import entry, run_once
+
+from repro.generators import erdos_renyi
+from repro.graph.weighted import (
+    random_edge_weights,
+    total_variation_distance,
+    weighted_hop_count_distribution,
+)
+from repro.harness import format_series, format_table
+from repro.metrics import hop_count_distribution
+
+
+def compute():
+    rl_graph = entry("RL").graph
+    target = hop_count_distribution(rl_graph, num_sources=20, seed=1)
+
+    n = rl_graph.number_of_nodes()
+    random_graph = erdos_renyi(n, 8.0 / (n - 1), seed=2)
+
+    models = {}
+    for dist_name in ("exponential", "uniform"):
+        weight = random_edge_weights(random_graph, dist_name, seed=3)
+        models[f"weighted random ({dist_name})"] = (
+            weighted_hop_count_distribution(
+                random_graph, weight, num_sources=12, seed=3
+            )
+        )
+    models["unweighted random"] = hop_count_distribution(
+        random_graph, num_sources=12, seed=3
+    )
+    models["mesh"] = hop_count_distribution(
+        entry("Mesh").graph, num_sources=24, seed=3
+    )
+    distances = {
+        name: total_variation_distance(target, dist)
+        for name, dist in models.items()
+    }
+    rl_mean = sum(h * f for h, f in target)
+    return target, models, distances, rl_mean, n
+
+
+def test_related_vanmieghem_hopcount(benchmark):
+    target, models, distances, rl_mean, n = run_once(benchmark, compute)
+    print()
+    print(format_series("RL hop counts", target, "h", "P(h)"))
+    for name, dist in models.items():
+        print(format_series(f"model: {name}", dist, "h", "P(h)"))
+    print()
+    print(
+        format_table(
+            ["model", "TV distance to RL hop counts"],
+            [
+                [name, f"{d:.3f}"]
+                for name, d in sorted(distances.items(), key=lambda kv: kv[1])
+            ],
+        )
+    )
+    print(f"RL mean hop count {rl_mean:.2f} vs ln(N) = {math.log(n):.2f}")
+
+    # The scaling law: mean hop count concentrates near ln N.
+    assert abs(rl_mean - math.log(n)) < 2.0
+
+    # Both weighted random models fit the RL hop counts closely...
+    for dist_name in ("exponential", "uniform"):
+        assert distances[f"weighted random ({dist_name})"] < 0.30
+    # ...and beat both control models decisively.
+    best_weighted = min(
+        distances["weighted random (exponential)"],
+        distances["weighted random (uniform)"],
+    )
+    assert distances["unweighted random"] > 1.5 * best_weighted
+    assert distances["mesh"] > 2 * best_weighted

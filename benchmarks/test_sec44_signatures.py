@@ -1,0 +1,79 @@
+"""Section 4.4's summary table: the Low/High signature of every
+topology.
+
+    Topology        Expansion  Resilience  Distortion
+    Mesh            L          H           H
+    Random          H          H           H
+    Tree            H          L           L
+    Complete        H          H           L
+    Linear          L          L           L
+    AS, RL, PLRG    H          H           L   <- "Like complete graph!"
+    Tiers           L          H           L   <- "No counterpart"
+    TS              H          L           L   <- "Like Tree"
+    Waxman          H          H           H   <- "Like Random"
+
+This is the paper's central finding: only PLRG matches the measured
+graphs in all three metrics; each structural generator misses exactly
+one ("Tiers has low expansion, TS has low resilience, and Waxman has
+high distortion").
+"""
+
+from conftest import (
+    distortion_series,
+    entry,
+    expansion_series,
+    resilience_series,
+    run_once,
+)
+
+from repro.analysis import PAPER_SIGNATURES, signature
+from repro.harness import format_table
+
+TOPOLOGIES = (
+    "Mesh",
+    "Random",
+    "Tree",
+    "AS",
+    "RL",
+    "PLRG",
+    "Tiers",
+    "TS",
+    "Waxman",
+)
+
+
+def compute_signatures():
+    result = {}
+    for name in TOPOLOGIES:
+        n = entry(name).graph.number_of_nodes()
+        result[name] = signature(
+            expansion_series(name),
+            resilience_series(name),
+            distortion_series(name),
+            n,
+        )
+    return result
+
+
+def test_sec44_signature_table(benchmark):
+    sigs = run_once(benchmark, compute_signatures)
+    rows = [
+        [name, sigs[name][0], sigs[name][1], sigs[name][2], PAPER_SIGNATURES[name]]
+        for name in TOPOLOGIES
+    ]
+    print()
+    print(
+        format_table(
+            ["topology", "expansion", "resilience", "distortion", "paper"], rows
+        )
+    )
+
+    for name in TOPOLOGIES:
+        assert sigs[name] == PAPER_SIGNATURES[name], name
+
+    # The punchline: PLRG shares the measured graphs' signature...
+    assert sigs["PLRG"] == sigs["AS"] == sigs["RL"] == "HHL"
+    # ...and each structural/random generator misses in exactly one metric.
+    assert sigs["Tiers"] == "LHL"   # low expansion
+    assert sigs["TS"] == "HLL"      # low resilience
+    assert sigs["Waxman"] == "HHH"  # high distortion

@@ -1,0 +1,59 @@
+"""Section 5.1's classification table:
+
+    Topology      Strict  Moderate  Loose
+    Mesh                            x
+    Random                          x
+    Tree          x
+    AS, RL, PLRG          x
+    Tiers         x
+    TS            x
+    Waxman                          x
+
+"accounting for policy in computing the link values does not
+qualitatively alter our groupings."
+"""
+
+from conftest import link_value_distribution, run_once
+
+from repro.harness import format_table
+from repro.hierarchy import classify_hierarchy
+
+EXPECTED = {
+    "Mesh": "loose",
+    "Random": "loose",
+    "Tree": "strict",
+    "AS": "moderate",
+    "RL": "moderate",
+    "PLRG": "moderate",
+    "Tiers": "strict",
+    "TS": "strict",
+    "Waxman": "loose",
+}
+
+
+def compute_classes():
+    classes = {}
+    for name in EXPECTED:
+        _values, dist = link_value_distribution(name)
+        classes[name] = classify_hierarchy(dist)
+    for name in ("AS", "RL"):
+        _values, dist = link_value_distribution(name, policy=True)
+        classes[name + "(Policy)"] = classify_hierarchy(dist)
+    return classes
+
+
+def test_sec51_hierarchy_classes(benchmark):
+    classes = run_once(benchmark, compute_classes)
+    rows = [
+        [name, cls, EXPECTED.get(name.replace("(Policy)", ""), "?")]
+        for name, cls in classes.items()
+    ]
+    print()
+    print(format_table(["topology", "class", "paper"], rows))
+
+    for name, expected in EXPECTED.items():
+        assert classes[name] == expected, name
+
+    # Policy does not change the measured graphs' grouping.
+    assert classes["AS(Policy)"] == "moderate"
+    assert classes["RL(Policy)"] == "moderate"

@@ -1,0 +1,69 @@
+"""Robustness across snapshots (Section 3.1.1, footnotes 5 and 19).
+
+"we computed these metrics for at least two other instances, generated
+more than six months apart ... Despite the differences in size and time
+of generation, these other measured graphs did not change our
+conclusions."  We grow three synthetic AS+RL snapshot pairs of
+increasing size and check the HHL signature holds for every one.
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    classify_distortion,
+    classify_expansion,
+    classify_resilience,
+)
+from repro.harness import format_table
+from repro.internet import snapshot_series
+from repro.metrics import distortion, expansion, resilience
+
+
+def signature_of(graph, rels, seed=1):
+    e = expansion(graph, num_centers=16, seed=seed)
+    r = resilience(graph, num_centers=6, max_ball_size=800, seed=seed)
+    d = distortion(graph, num_centers=6, max_ball_size=800, seed=seed)
+    return (
+        classify_expansion(e, graph.number_of_nodes())
+        + classify_resilience(r)
+        + classify_distortion(d)
+    )
+
+
+def compute():
+    snaps = snapshot_series(sizes=(700, 1100, 1600), seed=9)
+    rows = []
+    for snap in snaps:
+        as_sig = signature_of(snap.as_graph.graph, snap.as_graph.relationships)
+        rl_sig = signature_of(
+            snap.router_graph.graph, snap.router_graph.relationships
+        )
+        rows.append(
+            [
+                snap.label,
+                snap.as_graph.graph.number_of_nodes(),
+                as_sig,
+                snap.router_graph.graph.number_of_nodes(),
+                rl_sig,
+            ]
+        )
+    return rows
+
+
+def test_snapshot_stability(benchmark):
+    rows = run_once(benchmark, compute)
+    print()
+    print(
+        format_table(
+            ["snapshot", "AS nodes", "AS signature", "RL nodes", "RL signature"],
+            rows,
+        )
+    )
+
+    # Snapshots grow over time...
+    sizes = [row[1] for row in rows]
+    assert sizes == sorted(sizes)
+    # ...and the qualitative conclusions hold across every snapshot.
+    for row in rows:
+        assert row[2] == "HHL", row[0]
+        assert row[4] == "HHL", row[0]

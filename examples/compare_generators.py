@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare structural vs degree-based generators against a synthetic
+Internet — the paper's Question #1 end to end.
+
+Builds the measured-graph substitutes (AS + router-level), the
+structural generators (Transit-Stub, Tiers), the Waxman random graph and
+the PLRG, computes the three basic metrics on each, and prints the
+Section 4.4 signature table.
+
+Run:  python examples/compare_generators.py
+"""
+
+from repro.analysis import PAPER_SIGNATURES, signature
+from repro.generators import plrg, tiers, transit_stub, waxman
+from repro.harness import format_table
+from repro.internet import synthetic_as_graph, synthetic_router_graph
+from repro.internet.asgraph import ASGraphParams
+from repro.metrics import distortion, expansion, resilience
+
+
+def measure(name, graph):
+    e = expansion(graph, num_centers=24, seed=1)
+    r = resilience(graph, num_centers=5, max_ball_size=700, seed=1)
+    d = distortion(graph, num_centers=5, max_ball_size=700, seed=1)
+    sig = signature(e, r, d, graph.number_of_nodes())
+    return [name, graph.number_of_nodes(), f"{graph.average_degree():.2f}", sig,
+            PAPER_SIGNATURES.get(name, "-")]
+
+
+def main():
+    print("Building the synthetic Internet (measured-graph substitute)...")
+    as_graph = synthetic_as_graph(ASGraphParams(n=1500), seed=7)
+    rl = synthetic_router_graph(as_graph, seed=11)
+
+    print("Building the generators under test...")
+    candidates = {
+        "TS": transit_stub(seed=3),
+        "Tiers": tiers(seed=3),
+        "Waxman": waxman(1500, alpha=0.015, beta=0.3, seed=3),
+        "PLRG": plrg(1800, 2.246, seed=3),
+    }
+
+    rows = [
+        measure("AS", as_graph.graph),
+        measure("RL", rl.graph),
+    ]
+    for name, graph in candidates.items():
+        rows.append(measure(name, graph))
+
+    print()
+    print(
+        format_table(
+            ["topology", "nodes", "avg deg", "signature (E/R/D)", "paper"], rows
+        )
+    )
+    print()
+    winners = [row[0] for row in rows[2:] if row[3] == rows[0][3]]
+    print(f"Generators matching the Internet's signature: {winners}")
+    print(
+        "The paper's finding: only the degree-based PLRG matches; Tiers "
+        "misses expansion, TS misses resilience, Waxman misses distortion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Measure hierarchy with link values — the paper's Question #2.
+
+Computes link traversal sets and weighted-vertex-cover link values on a
+tree, a random graph, and a PLRG, classifies each as strict / moderate /
+loose, and shows the link-value/degree correlation that explains *where*
+each graph's hierarchy comes from.
+
+Run:  python examples/hierarchy_analysis.py
+"""
+
+from repro.generators import erdos_renyi_gnm, kary_tree, plrg
+from repro.harness import format_series, format_table
+from repro.hierarchy import (
+    classify_hierarchy,
+    link_value_degree_correlation,
+    link_values,
+    normalized_rank_distribution,
+)
+
+
+def analyse(name, graph):
+    values = link_values(graph)
+    dist = normalized_rank_distribution(values, graph.number_of_nodes())
+    cls = classify_hierarchy(dist)
+    corr = link_value_degree_correlation(graph, values)
+    print()
+    print(format_series(f"link values {name}", dist, "rank", "value"))
+    # Show the top backbone link.
+    top_link = max(values, key=values.get)
+    print(
+        f"  top link {top_link}: value {values[top_link]:.1f} "
+        f"(degrees {graph.degree(top_link[0])}, {graph.degree(top_link[1])})"
+    )
+    return [name, f"{dist[0][1]:.3f}", cls, f"{corr:+.2f}"]
+
+
+def main():
+    graphs = {
+        "Tree": kary_tree(3, 4),
+        "Random": erdos_renyi_gnm(300, 620, seed=2),
+        "PLRG": plrg(420, 2.246, seed=2),
+    }
+    rows = [analyse(name, g) for name, g in graphs.items()]
+    print()
+    print(
+        format_table(
+            ["topology", "top value", "hierarchy class", "value/degree corr"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Tree: strict hierarchy from *structure* (low correlation).\n"
+        "Random: loose hierarchy, usage spread evenly.\n"
+        "PLRG: moderate hierarchy that arises purely from its power-law\n"
+        "degree distribution (extremely high correlation) — the paper's\n"
+        "resolution of the hierarchy paradox."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why large-scale structure matters to protocols: multicast scaling.
+
+The paper's motivation is that "topology sometimes has a major impact on
+the performance of network protocols".  This example makes that concrete
+with the Chuang–Sirbu multicast scaling law: the cost of a multicast
+tree to m receivers grows like m^k, and the exponent k depends on the
+topology's *large-scale* structure (its expansion), not on its degree
+distribution.
+
+Run:  python examples/multicast_scaling.py
+"""
+
+from repro.generators import kary_tree, mesh, plrg
+from repro.harness import format_series, format_table
+from repro.internet import synthetic_as_graph
+from repro.internet.asgraph import ASGraphParams
+from repro.metrics import (
+    chuang_sirbu_exponent,
+    multicast_scaling_series,
+    normalized_multicast_efficiency,
+)
+
+
+def main():
+    graphs = {
+        "Internet (synthetic AS)": synthetic_as_graph(
+            ASGraphParams(n=1200), seed=3
+        ).graph,
+        "PLRG": plrg(1500, 2.246, seed=3),
+        "Tree": kary_tree(3, 6),
+        "Mesh": mesh(30),
+    }
+
+    rows = []
+    for name, graph in graphs.items():
+        series = multicast_scaling_series(graph, trials=6, seed=1)
+        k = chuang_sirbu_exponent(series)
+        efficiency = normalized_multicast_efficiency(graph, 64, trials=6, seed=1)
+        print()
+        print(format_series(f"multicast tree size {name}", series, "m", "links"))
+        rows.append([name, f"{k:.2f}", f"{efficiency:.2f}"])
+
+    print()
+    print(
+        format_table(
+            ["topology", "Chuang-Sirbu exponent k", "tree/unicast cost @ m=64"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Internet-like topologies (and PLRG, which shares their large-scale\n"
+        "structure) obey the ~m^0.8 law; the mesh's slow expansion makes\n"
+        "multicast far more efficient there.  A simulation calibrated on the\n"
+        "wrong generator family would mis-estimate multicast savings — the\n"
+        "kind of error the paper's comparison exists to prevent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 2 end to end and export the series for plotting.
+
+Computes expansion, resilience and distortion for the canonical row of
+Figure 2 (Tree / Mesh / Random) plus PLRG, prints the curves as ASCII
+plots, and writes one CSV per panel (long format: series, x, y) ready
+for any plotting tool.
+
+Run:  python examples/reproduce_figure2.py [output_dir]
+"""
+
+import pathlib
+import sys
+
+from repro.generators import erdos_renyi, kary_tree, mesh, plrg
+from repro.harness import ascii_plot, write_series_csv
+from repro.metrics import distortion, expansion, resilience
+
+
+def main():
+    out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "figure2_out")
+    out_dir.mkdir(exist_ok=True)
+
+    graphs = {
+        "Tree": kary_tree(3, 6),
+        "Mesh": mesh(30),
+        "Random": erdos_renyi(2000, 0.002, seed=1),
+        "PLRG": plrg(2400, 2.246, seed=1),
+    }
+
+    panels = {
+        "expansion": (
+            lambda g: expansion(g, num_centers=24, seed=1),
+            dict(log_y=True, x_label="ball radius h", y_label="E(h)"),
+        ),
+        "resilience": (
+            lambda g: resilience(g, num_centers=5, max_ball_size=800, seed=1),
+            dict(log_x=True, log_y=True, x_label="ball size n", y_label="R(n)"),
+        ),
+        "distortion": (
+            lambda g: distortion(g, num_centers=5, max_ball_size=800, seed=1),
+            dict(log_x=True, x_label="ball size n", y_label="D(n)"),
+        ),
+    }
+
+    for panel_name, (compute, plot_kwargs) in panels.items():
+        print(f"\n=== Figure 2: {panel_name} ===")
+        series = {name: compute(graph) for name, graph in graphs.items()}
+        print(ascii_plot(series, **plot_kwargs))
+        csv_path = out_dir / f"fig2_{panel_name}.csv"
+        write_series_csv(
+            series,
+            csv_path,
+            x_name=plot_kwargs["x_label"].split()[-1],
+            y_name=plot_kwargs["y_label"],
+        )
+        print(f"(series written to {csv_path})")
+
+    print(
+        "\nExpected shapes, per the paper: Tree and Random expand "
+        "exponentially while Mesh crawls; Tree's resilience stays flat "
+        "while Mesh grows like sqrt(n) and Random like n; Tree's "
+        "distortion is exactly 1 while Mesh and Random climb.  PLRG "
+        "tracks the exponential/resilient/low-distortion corner — the "
+        "Internet's signature."
+    )
+
+
+if __name__ == "__main__":
+    main()

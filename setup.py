@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works in environments where pip's PEP 660
+editable installs are unavailable (e.g. no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

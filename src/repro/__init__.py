@@ -1,0 +1,48 @@
+"""repro — reproduction of *Network Topology Generators: Degree-Based vs.
+Structural* (Tangmunarunkit, Govindan, Jamin, Shenker, Willinger; SIGCOMM
+2002 / USC TR-760).
+
+The package is organised bottom-up:
+
+``repro.graph``
+    A from-scratch undirected graph substrate: traversal, components,
+    biconnectivity, balanced bipartition (multilevel + Fiduccia–Mattheyses),
+    max-flow / min-cut, vertex covers, spectra and I/O.
+
+``repro.generators``
+    Every topology generator the paper evaluates — canonical graphs,
+    Waxman, the structural generators (Transit-Stub, Tiers) and the
+    degree-based generators (PLRG, B-A, BRITE, GLP/BT, Inet) plus the
+    degree-sequence wiring variants from Appendix D.1.
+
+``repro.internet``
+    Synthetic substitutes for the paper's measured AS and router-level
+    graphs, with provider–customer relationship annotation and Gao-style
+    inference.
+
+``repro.routing``
+    Shortest-path DAGs with path counting and valley-free policy routing.
+
+``repro.metrics``
+    The paper's topology metrics, all built on the ball-growing technique:
+    expansion, resilience, distortion, and the secondary metrics of
+    Appendix B.
+
+``repro.hierarchy``
+    Section 5's hierarchy measure: link traversal sets, link values by
+    weighted vertex cover, the strict/moderate/loose classification, and
+    the link-value/degree correlation.
+
+``repro.analysis``
+    The automatic Low/High classifiers and signature tables of Section 4.
+
+``repro.harness``
+    The Figure-1 topology registry, parameter sweeps, and table/series
+    formatting used by the benchmark suite.
+"""
+
+from repro.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = ["Graph", "__version__"]

@@ -1,0 +1,24 @@
+"""Automatic reproductions of the paper's qualitative judgements: the
+Low/High metric classifiers and the Section 4.4 signature table."""
+
+from repro.analysis.classify import (
+    HIGH,
+    LOW,
+    PAPER_SIGNATURES,
+    ClassifierThresholds,
+    classify_distortion,
+    classify_expansion,
+    classify_resilience,
+    signature,
+)
+
+__all__ = [
+    "HIGH",
+    "LOW",
+    "PAPER_SIGNATURES",
+    "ClassifierThresholds",
+    "classify_distortion",
+    "classify_expansion",
+    "classify_resilience",
+    "signature",
+]

@@ -1,0 +1,121 @@
+"""Automatic Low/High classification of the three basic metrics
+(Section 4's qualitative judgements, made reproducible).
+
+The paper classifies by eye: "we have made qualitative (and therefore
+somewhat subjective) comparisons".  To make the reproduction testable we
+encode each judgement as a calibrated rule, documented with the paper's
+own calibration anchors:
+
+* **Expansion** — exponential vs slower-than-exponential growth.  For a
+  graph that expands exponentially the radius needed to reach half the
+  nodes is O(log N) (tree, random: E(h) ∝ k^h/N); for a mesh it is
+  O(sqrt N) (E(h) ∝ h²/N).  We classify High when the half-reach radius
+  is below ``expansion_ratio`` × log2(N).
+* **Resilience** — R(n) bounded by a constant (tree: R = 1; TS "has low
+  R(n), similar to Tree") versus growing with n (mesh ∝ sqrt n, random
+  ∝ kn).  We classify Low when R stays below ``resilience_ceiling`` on
+  all balls with at least ``resilience_min_n`` nodes.
+* **Distortion** — tree-like (D ≈ 1–2, flat) versus mesh/random-like
+  (D ∝ log n, exceeding 2.5 by n ≈ 500).  We classify High when the
+  average D over the larger balls exceeds ``distortion_threshold``.
+
+Each rule is exercised against all five canonical anchor networks in the
+test suite (the paper's own sanity check: the canonical graphs "help
+calibrate, and explain, our results").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence, Tuple
+
+from repro.metrics.expansion import ExpansionPoint, radius_to_reach
+
+SeriesPoint = Tuple[float, float]
+
+LOW = "L"
+HIGH = "H"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassifierThresholds:
+    """Calibration constants for the L/H classifiers."""
+
+    expansion_ratio: float = 1.6
+    resilience_ceiling: float = 9.0
+    resilience_min_n: int = 80
+    distortion_threshold: float = 2.45
+    distortion_min_n: int = 150
+
+
+def classify_expansion(
+    series: Sequence[ExpansionPoint],
+    num_nodes: int,
+    thresholds: ClassifierThresholds = ClassifierThresholds(),
+) -> str:
+    """High for exponential expansion, Low for mesh-like (or slower)."""
+    if not series or num_nodes < 4:
+        return LOW
+    half_reach = radius_to_reach(series, 0.5)
+    budget = thresholds.expansion_ratio * math.log2(num_nodes)
+    return HIGH if half_reach <= budget else LOW
+
+
+def classify_resilience(
+    series: Sequence[SeriesPoint],
+    thresholds: ClassifierThresholds = ClassifierThresholds(),
+) -> str:
+    """Low when R(n) stays flat near the tree's R = 1, else High."""
+    eligible = [v for n, v in series if n >= thresholds.resilience_min_n]
+    if not eligible:
+        # Only tiny balls available; fall back to the full series.
+        eligible = [v for _n, v in series]
+    if not eligible:
+        return LOW
+    return LOW if max(eligible) < thresholds.resilience_ceiling else HIGH
+
+
+def classify_distortion(
+    series: Sequence[SeriesPoint],
+    thresholds: ClassifierThresholds = ClassifierThresholds(),
+) -> str:
+    """High for mesh/random-like distortion growth, Low for tree-like."""
+    eligible = [v for n, v in series if n >= thresholds.distortion_min_n]
+    if not eligible:
+        eligible = [v for _n, v in series[-3:]]
+    if not eligible:
+        return LOW
+    average = sum(eligible) / len(eligible)
+    return HIGH if average >= thresholds.distortion_threshold else LOW
+
+
+def signature(
+    expansion_series: Sequence[ExpansionPoint],
+    resilience_series: Sequence[SeriesPoint],
+    distortion_series: Sequence[SeriesPoint],
+    num_nodes: int,
+    thresholds: ClassifierThresholds = ClassifierThresholds(),
+) -> str:
+    """The three-letter Low/High signature, e.g. "HHL" for AS/RL/PLRG."""
+    return (
+        classify_expansion(expansion_series, num_nodes, thresholds)
+        + classify_resilience(resilience_series, thresholds)
+        + classify_distortion(distortion_series, thresholds)
+    )
+
+
+# The Section 4.4 expectations, used by tests and the signature bench.
+PAPER_SIGNATURES = {
+    "Mesh": "LHH",
+    "Random": "HHH",
+    "Tree": "HLL",
+    "Complete": "HHL",
+    "Linear": "LLL",
+    "AS": "HHL",
+    "RL": "HHL",
+    "PLRG": "HHL",
+    "Tiers": "LHL",
+    "TS": "HLL",
+    "Waxman": "HHH",
+}

@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+Lets downstream users generate topologies, compute the paper's metrics
+on their own edge lists, and classify graphs — without writing Python:
+
+    python -m repro generate plrg --n 2000 --out plrg.edges
+    python -m repro info plrg.edges
+    python -m repro metric plrg.edges expansion
+    python -m repro signature plrg.edges
+    python -m repro hierarchy plrg.edges
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import signature as metric_signature
+from repro.generators import (
+    TiersParams,
+    TransitStubParams,
+    barabasi_albert,
+    brite,
+    erdos_renyi,
+    glp,
+    inet,
+    kary_tree,
+    linear_chain,
+    mesh,
+    plrg,
+    tiers,
+    transit_stub,
+    waxman,
+)
+from repro.graph.core import Graph
+from repro.graph.io import read_edgelist, write_edgelist
+from repro.harness import format_series, format_table
+from repro.hierarchy import (
+    classify_hierarchy,
+    link_value_degree_correlation,
+    link_values,
+    normalized_rank_distribution,
+)
+from repro.metrics import (
+    degree_ccdf,
+    distortion,
+    expansion,
+    resilience,
+)
+
+GENERATORS: Dict[str, Callable[[argparse.Namespace], Graph]] = {
+    "tree": lambda a: kary_tree(a.k, a.depth),
+    "mesh": lambda a: mesh(a.rows),
+    "linear": lambda a: linear_chain(a.n),
+    "random": lambda a: erdos_renyi(a.n, a.p, seed=a.seed),
+    "waxman": lambda a: waxman(a.n, a.alpha, a.beta, seed=a.seed),
+    "transit-stub": lambda a: transit_stub(TransitStubParams(), seed=a.seed),
+    "tiers": lambda a: tiers(TiersParams(), seed=a.seed),
+    "plrg": lambda a: plrg(a.n, a.exponent, seed=a.seed),
+    "ba": lambda a: barabasi_albert(a.n, a.m, seed=a.seed),
+    "brite": lambda a: brite(a.n, a.m, seed=a.seed),
+    "glp": lambda a: glp(a.n, seed=a.seed),
+    "inet": lambda a: inet(a.n, seed=a.seed),
+}
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="generate a topology edge list")
+    p.add_argument("generator", choices=sorted(GENERATORS))
+    p.add_argument("--n", type=int, default=2000, help="node count")
+    p.add_argument("--k", type=int, default=3, help="tree branching factor")
+    p.add_argument("--depth", type=int, default=6, help="tree depth")
+    p.add_argument("--rows", type=int, default=30, help="mesh side")
+    p.add_argument("--p", type=float, default=0.002, help="G(n,p) edge prob")
+    p.add_argument("--alpha", type=float, default=0.01, help="Waxman alpha")
+    p.add_argument("--beta", type=float, default=0.30, help="Waxman beta")
+    p.add_argument("--exponent", type=float, default=2.246, help="PLRG beta")
+    p.add_argument("--m", type=int, default=2, help="links per node (BA/Brite)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output edge-list path")
+
+
+def _add_graph_command(sub, name: str, help_text: str, extra=None) -> None:
+    p = sub.add_parser(name, help=help_text)
+    p.add_argument("edgelist", help="edge-list file (see `generate`)")
+    if extra:
+        extra(p)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Network Topology Generators: "
+            "Degree-Based vs. Structural' (SIGCOMM 2002)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_graph_command(sub, "info", "node/edge/degree summary")
+    _add_graph_command(
+        sub,
+        "metric",
+        "compute one metric series",
+        extra=lambda p: (
+            p.add_argument(
+                "metric_name",
+                choices=("expansion", "resilience", "distortion", "degree-ccdf"),
+            ),
+            p.add_argument("--centers", type=int, default=12),
+            p.add_argument("--max-ball", type=int, default=900),
+            p.add_argument("--seed", type=int, default=1),
+        ),
+    )
+    _add_graph_command(
+        sub,
+        "signature",
+        "classify the graph's L/H signature (Section 4.4)",
+        extra=lambda p: (
+            p.add_argument("--centers", type=int, default=12),
+            p.add_argument("--max-ball", type=int, default=900),
+            p.add_argument("--seed", type=int, default=1),
+        ),
+    )
+    _add_graph_command(
+        sub,
+        "hierarchy",
+        "link values + strict/moderate/loose class (Section 5)",
+        extra=lambda p: p.add_argument("--seed", type=int, default=1),
+    )
+    compare = sub.add_parser(
+        "compare", help="side-by-side metric report for several edge lists"
+    )
+    compare.add_argument("edgelists", nargs="+", help="edge-list files")
+    compare.add_argument("--centers", type=int, default=6)
+    compare.add_argument("--max-ball", type=int, default=500)
+    compare.add_argument("--out", help="also write the markdown report here")
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: write a generated topology as an edge list."""
+    graph = GENERATORS[args.generator](args)
+    write_edgelist(graph, args.out, header=f"generated by repro: {graph.name}")
+    print(
+        f"wrote {graph.name}: {graph.number_of_nodes()} nodes, "
+        f"{graph.number_of_edges()} edges -> {args.out}"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``info``: node/edge/degree summary of an edge list."""
+    graph = read_edgelist(args.edgelist)
+    degrees = sorted(graph.degrees().values())
+    rows = [
+        ["nodes", graph.number_of_nodes()],
+        ["edges", graph.number_of_edges()],
+        ["avg degree", f"{graph.average_degree():.2f}"],
+        ["max degree", graph.max_degree()],
+        ["median degree", degrees[len(degrees) // 2] if degrees else 0],
+    ]
+    print(format_table(["property", "value"], rows))
+    return 0
+
+
+def cmd_metric(args: argparse.Namespace) -> int:
+    """``metric``: one metric series for an edge list."""
+    graph = read_edgelist(args.edgelist)
+    if args.metric_name == "expansion":
+        series = expansion(graph, num_centers=args.centers, seed=args.seed)
+        print(format_series("E(h)", series, "h", "E"))
+    elif args.metric_name == "resilience":
+        series = resilience(
+            graph,
+            num_centers=args.centers,
+            max_ball_size=args.max_ball,
+            seed=args.seed,
+        )
+        print(format_series("R(n)", series, "n", "R"))
+    elif args.metric_name == "distortion":
+        series = distortion(
+            graph,
+            num_centers=args.centers,
+            max_ball_size=args.max_ball,
+            seed=args.seed,
+        )
+        print(format_series("D(n)", series, "n", "D"))
+    else:
+        print(format_series("degree CCDF", degree_ccdf(graph), "k", "P(>=k)"))
+    return 0
+
+
+def cmd_signature(args: argparse.Namespace) -> int:
+    """``signature``: the Section 4.4 L/H classification of a graph."""
+    graph = read_edgelist(args.edgelist)
+    e = expansion(graph, num_centers=max(args.centers, 16), seed=args.seed)
+    r = resilience(
+        graph, num_centers=args.centers, max_ball_size=args.max_ball, seed=args.seed
+    )
+    d = distortion(
+        graph, num_centers=args.centers, max_ball_size=args.max_ball, seed=args.seed
+    )
+    sig = metric_signature(e, r, d, graph.number_of_nodes())
+    print(f"signature (expansion/resilience/distortion): {sig}")
+    hints = {
+        "HHL": "Internet-like (matches AS/RL/PLRG in the paper)",
+        "HLL": "tree-like (matches Tree/Transit-Stub)",
+        "LHL": "Tiers-like",
+        "HHH": "random-like (matches Random/Waxman)",
+        "LHH": "mesh-like",
+        "LLL": "chain-like",
+    }
+    if sig in hints:
+        print(f"interpretation: {hints[sig]}")
+    return 0
+
+
+def cmd_hierarchy(args: argparse.Namespace) -> int:
+    """``hierarchy``: Section 5 link values and hierarchy class."""
+    graph = read_edgelist(args.edgelist)
+    if graph.number_of_nodes() > 900:
+        print(
+            "warning: link values are quadratic in nodes; this may take "
+            "a long time (the paper used graph cores for the same reason)",
+            file=sys.stderr,
+        )
+    values = link_values(graph, seed=args.seed)
+    dist = normalized_rank_distribution(values, graph.number_of_nodes())
+    print(format_series("link values", dist, "rank", "value"))
+    print(f"hierarchy class: {classify_hierarchy(dist)}")
+    corr = link_value_degree_correlation(graph, values)
+    print(f"link-value/min-degree correlation: {corr:+.2f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``compare``: side-by-side markdown report for edge lists."""
+    import os
+
+    from repro.harness import ReportInput, generate_report
+
+    items = []
+    for path in args.edgelists:
+        name = os.path.splitext(os.path.basename(path))[0]
+        items.append(ReportInput(name, read_edgelist(path)))
+    report = generate_report(
+        items, num_centers=args.centers, max_ball_size=args.max_ball
+    )
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "info": cmd_info,
+    "metric": cmd_metric,
+    "signature": cmd_signature,
+    "hierarchy": cmd_hierarchy,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

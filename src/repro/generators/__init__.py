@@ -1,0 +1,78 @@
+"""Topology generators: canonical networks, the structural generators
+(Transit-Stub, Tiers), the random/geographic Waxman model, and the
+degree-based family (PLRG, B-A, AB, BT/GLP, BRITE, Inet) with the
+Appendix D.1 wiring variants.
+"""
+
+from repro.generators.base import GenerationError, giant_component, make_rng
+from repro.generators.canonical import (
+    complete_graph,
+    erdos_renyi,
+    erdos_renyi_gnm,
+    kary_tree,
+    linear_chain,
+    mesh,
+    ring,
+)
+from repro.generators.waxman import waxman
+from repro.generators.transit_stub import TransitStubParams, transit_stub, transit_stub_with_roles
+from repro.generators.tiers import TiersParams, tiers, tiers_with_roles
+from repro.generators.plrg import plrg
+from repro.generators.barabasi_albert import albert_barabasi_extended, barabasi_albert
+from repro.generators.glp import glp
+from repro.generators.brite import brite
+from repro.generators.inet import inet
+from repro.generators.degree_sequence import (
+    WIRING_METHODS,
+    degree_ccdf,
+    expected_average_degree,
+    fit_power_law_exponent,
+    is_graphical,
+    power_law_degrees,
+    rewire_with_method,
+    wire_deterministic,
+    wire_highest_first,
+    wire_plrg,
+    wire_proportional,
+    wire_uniform,
+    wire_unsatisfied_proportional,
+)
+
+__all__ = [
+    "GenerationError",
+    "giant_component",
+    "make_rng",
+    "complete_graph",
+    "erdos_renyi",
+    "erdos_renyi_gnm",
+    "kary_tree",
+    "linear_chain",
+    "mesh",
+    "ring",
+    "waxman",
+    "TransitStubParams",
+    "transit_stub",
+    "transit_stub_with_roles",
+    "TiersParams",
+    "tiers",
+    "tiers_with_roles",
+    "plrg",
+    "barabasi_albert",
+    "albert_barabasi_extended",
+    "glp",
+    "brite",
+    "inet",
+    "WIRING_METHODS",
+    "degree_ccdf",
+    "expected_average_degree",
+    "fit_power_law_exponent",
+    "is_graphical",
+    "power_law_degrees",
+    "rewire_with_method",
+    "wire_deterministic",
+    "wire_highest_first",
+    "wire_plrg",
+    "wire_proportional",
+    "wire_uniform",
+    "wire_unsatisfied_proportional",
+]

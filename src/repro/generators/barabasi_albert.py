@@ -1,0 +1,113 @@
+"""Barabási–Albert preferential attachment and the Albert–Barabási
+extension (Appendix D.1's "B-A model" and its add/rewire variant).
+
+"The B-A model is an evolutionary process that generates graphs with
+power-law degree distributions.  The graph is grown incrementally, with
+newly appearing nodes randomly connecting to already existing nodes, but
+in proportion to their degrees."  The extended model [Albert & Barabási
+2000] adds, "with a small, but uniform probability", link addition
+between existing nodes and preferential re-wiring of existing links.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.generators.base import GenerationError, Seed, giant_component, make_rng
+from repro.graph.core import Graph
+
+
+def barabasi_albert(n: int = 2000, m: int = 2, seed: Seed = None) -> Graph:
+    """Classic B-A growth: each new node brings ``m`` preferential links.
+
+    Sampling in proportion to degree uses the repeated-endpoints trick:
+    every time an edge (u, v) is added, both u and v are appended to a
+    pool, so a uniform draw from the pool is a degree-proportional draw.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n <= m:
+        raise ValueError("n must exceed m")
+    rng = make_rng(seed)
+    graph = Graph(name=f"B-A(n={n},m={m})")
+
+    # Seed: a star over the first m+1 nodes (connected, nonzero degrees).
+    pool: List[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        pool.extend((0, v))
+
+    for new in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            targets.add(pool[rng.randrange(len(pool))])
+        for t in targets:
+            graph.add_edge(new, t)
+            pool.extend((new, t))
+    return graph
+
+
+def albert_barabasi_extended(
+    n: int = 2000,
+    m: int = 2,
+    p_add: float = 0.15,
+    p_rewire: float = 0.15,
+    seed: Seed = None,
+) -> Graph:
+    """The Albert–Barabási variant with link addition and re-wiring.
+
+    At each step, with probability ``p_add`` add ``m`` new links between
+    existing nodes (one endpoint uniform, the other preferential); with
+    probability ``p_rewire`` re-wire ``m`` existing links to a
+    preferentially chosen endpoint; otherwise grow a new node with ``m``
+    preferential links.  Steps continue until ``n`` nodes exist.
+    """
+    if p_add < 0 or p_rewire < 0 or p_add + p_rewire >= 1.0:
+        raise ValueError("need p_add, p_rewire >= 0 and p_add + p_rewire < 1")
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n <= m + 1:
+        raise ValueError("n must exceed m + 1")
+    rng = make_rng(seed)
+    graph = Graph(name=f"AB(n={n},m={m},p={p_add},q={p_rewire})")
+    pool: List[int] = []
+    for v in range(1, m + 1):
+        graph.add_edge(0, v)
+        pool.extend((0, v))
+
+    def preferential() -> int:
+        return pool[rng.randrange(len(pool))]
+
+    guard = 0
+    while graph.number_of_nodes() < n:
+        guard += 1
+        if guard > 100 * n:
+            raise GenerationError("AB model failed to converge")
+        r = rng.random()
+        existing = graph.nodes()
+        if r < p_add:
+            for _ in range(m):
+                u = existing[rng.randrange(len(existing))]
+                v = preferential()
+                if u != v and not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    pool.extend((u, v))
+        elif r < p_add + p_rewire:
+            edges = graph.edges()
+            for _ in range(m):
+                u, old = edges[rng.randrange(len(edges))]
+                new_v = preferential()
+                if new_v != u and not graph.has_edge(u, new_v):
+                    graph.remove_edge(u, old)
+                    graph.add_edge(u, new_v)
+                    # Update the pool: replace one occurrence of old with new_v.
+                    pool[pool.index(old)] = new_v
+        else:
+            new = graph.number_of_nodes()
+            targets = set()
+            while len(targets) < m:
+                targets.add(preferential())
+            for t in targets:
+                graph.add_edge(new, t)
+                pool.extend((new, t))
+    return giant_component(graph)

@@ -1,0 +1,41 @@
+"""Shared generator utilities: seeding, connectivity post-processing."""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.graph.core import Graph
+from repro.graph.traversal import is_connected, largest_connected_component
+
+Seed = Union[int, random.Random, None]
+
+
+class GenerationError(RuntimeError):
+    """Raised when a generator cannot realise the requested parameters."""
+
+
+def make_rng(seed: Seed) -> random.Random:
+    """Normalise a seed argument to a ``random.Random`` instance.
+
+    ``None`` maps to a fixed default seed so that every generator is
+    reproducible by default; pass an explicit integer (or your own
+    ``Random``) to vary instances.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(0 if seed is None else seed)
+
+
+def giant_component(graph: Graph) -> Graph:
+    """Return the largest connected component, preserving the name.
+
+    The paper's treatment for every generator that can emit a
+    disconnected graph ("we pick this connected component for our
+    analyses").
+    """
+    if is_connected(graph):
+        return graph
+    component = largest_connected_component(graph)
+    component.name = graph.name
+    return component

@@ -1,0 +1,122 @@
+"""The Inet generator (Jin, Chen & Jamin), as described in Appendix D.1.
+
+"after conducting a feasibility test on the generated degree distribution
+to see if the resulting graph would be connected, the Inet generator
+creates a spanning tree among nodes of degree larger than one, connects
+degree one nodes to this spanning tree with proportional connectivity,
+then satisfies the degrees of remaining nodes in decreasing degree
+order."
+
+Our reimplementation samples the degree sequence from a power law (the
+original derives it from measured AS growth curves; the paper's
+conclusions only require a heavy tail) and follows the three wiring
+phases exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.generators.base import GenerationError, Seed, giant_component, make_rng
+from repro.generators.degree_sequence import is_graphical, power_law_degrees
+from repro.graph.core import Graph
+
+
+def inet(
+    n: int = 2000,
+    exponent: float = 2.2,
+    seed: Seed = None,
+    max_degree: Optional[int] = None,
+    max_resample: int = 20,
+) -> Graph:
+    """Generate an Inet-style graph; returns the giant component.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    exponent:
+        Power-law exponent of the sampled degree sequence.
+    max_degree:
+        Optional degree cap (default ``n - 1``).
+    max_resample:
+        Feasibility retries before giving up.
+    """
+    rng = make_rng(seed)
+    degrees: Optional[List[int]] = None
+    for _ in range(max_resample):
+        candidate = power_law_degrees(
+            n, exponent, seed=rng, max_degree=max_degree
+        )
+        # Feasibility: graphical, and enough degree->1 nodes to hang off
+        # the spanning tree of the >1-degree core.
+        core = [d for d in candidate if d > 1]
+        if len(core) >= 2 and is_graphical(candidate):
+            degrees = candidate
+            break
+    if degrees is None:
+        raise GenerationError("could not sample a feasible Inet degree sequence")
+
+    order = sorted(range(n), key=lambda i: -degrees[i])
+    remaining = list(degrees)
+    graph = Graph(name=f"Inet(n={n},beta={exponent})")
+    graph.add_nodes_from(range(n))
+
+    core_nodes = [i for i in order if degrees[i] > 1]
+    leaf_nodes = [i for i in order if degrees[i] == 1]
+
+    # Phase 1: random spanning tree over the degree>1 core, attachment
+    # probability proportional to assigned degree.
+    in_tree = [core_nodes[0]]
+    tree_stubs = [core_nodes[0]] * degrees[core_nodes[0]]
+    for node in core_nodes[1:]:
+        target = tree_stubs[rng.randrange(len(tree_stubs))]
+        graph.add_edge(node, target)
+        remaining[node] -= 1
+        remaining[target] -= 1
+        in_tree.append(node)
+        tree_stubs.extend([node] * degrees[node])
+
+    # Phase 2: attach degree-1 nodes to the tree with proportional
+    # connectivity ("the likelihood of attaching to a node is
+    # proportional to its degree").
+    for leaf in leaf_nodes:
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 100000:
+                raise GenerationError("Inet leaf attachment stalled")
+            target = tree_stubs[rng.randrange(len(tree_stubs))]
+            if target != leaf and not graph.has_edge(leaf, target):
+                graph.add_edge(leaf, target)
+                remaining[leaf] -= 1
+                remaining[target] -= 1
+                break
+
+    # Phase 3: satisfy residual degrees in decreasing degree order, again
+    # with degree-proportional partner choice among unsatisfied nodes.
+    unsatisfied_stubs: List[int] = []
+    for node in order:
+        if remaining[node] > 0:
+            unsatisfied_stubs.extend([node] * remaining[node])
+    attempts = 0
+    limit = 50 * max(1, len(unsatisfied_stubs))
+    satisfied = {node for node in range(n) if remaining[node] <= 0}
+    for node in order:
+        if node in satisfied:
+            continue
+        while remaining[node] > 0 and attempts < limit:
+            attempts += 1
+            partner = unsatisfied_stubs[rng.randrange(len(unsatisfied_stubs))]
+            if (
+                partner == node
+                or remaining[partner] <= 0
+                or graph.has_edge(node, partner)
+            ):
+                continue
+            graph.add_edge(node, partner)
+            remaining[node] -= 1
+            remaining[partner] -= 1
+        if attempts >= limit:
+            break  # residual stubs unplaceable; acceptable, as in Inet
+    return giant_component(graph)

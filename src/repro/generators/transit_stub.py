@@ -1,0 +1,189 @@
+"""The Transit-Stub generator (GT-ITM; Calvert, Doar & Zegura),
+Section 3.1.2.
+
+"Transit-Stub creates a number of top-level transit domains within which
+nodes are connected randomly.  Attached to each transit domain are
+several similarly generated stub domains.  Additional stub-to-transit and
+stub-to-stub links are added randomly based upon a specified parameter."
+
+Parameters follow the paper's Appendix C ordering.  The paper's headline
+instance (Figure 1) is::
+
+    TransitStubParams(
+        stubs_per_transit_node=3, extra_transit_stub=0, extra_stub_stub=0,
+        transit_domains=6, transit_connect_prob=0.55,
+        nodes_per_transit=6, transit_edge_prob=0.32,
+        nodes_per_stub=9, stub_edge_prob=0.248)
+
+which yields 6*6 = 36 transit nodes and 36*3*9 = 972 stub nodes: 1008
+nodes, average degree ~2.78.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.generators.base import GenerationError, Seed, make_rng
+from repro.graph.core import Graph
+from repro.graph.traversal import is_connected
+
+
+@dataclasses.dataclass(frozen=True)
+class TransitStubParams:
+    """Appendix C parameter vector for Transit-Stub."""
+
+    stubs_per_transit_node: int = 3
+    extra_transit_stub: int = 0
+    extra_stub_stub: int = 0
+    transit_domains: int = 6
+    transit_connect_prob: float = 0.55
+    nodes_per_transit: int = 6
+    transit_edge_prob: float = 0.32
+    nodes_per_stub: int = 9
+    stub_edge_prob: float = 0.248
+
+    def total_nodes(self) -> int:
+        transit = self.transit_domains * self.nodes_per_transit
+        return transit * (1 + self.stubs_per_transit_node * self.nodes_per_stub)
+
+
+def _random_connected_domain(
+    node_ids: List[int], p: float, rng, max_attempts: int = 200
+) -> List[Tuple[int, int]]:
+    """Edges of a connected G(n, p) over ``node_ids``.
+
+    GT-ITM regenerates until connected; for tiny domains (<= tens of
+    nodes) this converges fast.  If p is too small to ever connect, a
+    random spanning tree is added on the final attempt, which GT-ITM's
+    "guarantee connected" mode also does.
+    """
+    n = len(node_ids)
+    if n == 1:
+        return []
+    for attempt in range(max_attempts):
+        edges = []
+        adjacency: Dict[int, List[int]] = {v: [] for v in node_ids}
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < p:
+                    edges.append((node_ids[i], node_ids[j]))
+                    adjacency[node_ids[i]].append(node_ids[j])
+                    adjacency[node_ids[j]].append(node_ids[i])
+        # Connectivity check via simple BFS on the local adjacency.
+        seen = {node_ids[0]}
+        frontier = [node_ids[0]]
+        while frontier:
+            u = frontier.pop()
+            for v in adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        if len(seen) == n:
+            return edges
+    # Fall back: keep last edge set, patch with a random spanning tree.
+    order = list(node_ids)
+    rng.shuffle(order)
+    patched = set(edges)
+    for i in range(1, n):
+        patched.add((order[i], order[rng.randrange(i)]))
+    return list(patched)
+
+
+def transit_stub(
+    params: TransitStubParams = TransitStubParams(), seed: Seed = None
+) -> Graph:
+    """Generate a Transit-Stub topology.
+
+    The result is connected by construction.  Node labels encode the role:
+    transit node ``("t", domain, index)`` and stub node
+    ``("s", domain, stub, index)`` are relabeled to consecutive integers,
+    with the role map retained in :func:`transit_stub_with_roles`.
+    """
+    graph, _ = transit_stub_with_roles(params, seed)
+    return graph
+
+
+def transit_stub_with_roles(
+    params: TransitStubParams = TransitStubParams(), seed: Seed = None
+) -> Tuple[Graph, Dict[int, str]]:
+    """Like :func:`transit_stub` but also returns node -> role ("transit"
+    or "stub"), used by the hierarchy sanity checks ("the highest valued
+    links in TS are in the transit cloud")."""
+    rng = make_rng(seed)
+    if params.transit_domains < 1 or params.nodes_per_transit < 1:
+        raise ValueError("need at least one transit domain and node")
+    if params.nodes_per_stub < 1 or params.stubs_per_transit_node < 0:
+        raise ValueError("invalid stub parameters")
+
+    graph = Graph(name="Transit-Stub")
+    roles: Dict[int, str] = {}
+    next_id = 0
+
+    # --- Transit domains -------------------------------------------------
+    transit_nodes_by_domain: List[List[int]] = []
+    for _ in range(params.transit_domains):
+        ids = list(range(next_id, next_id + params.nodes_per_transit))
+        next_id += params.nodes_per_transit
+        for node in ids:
+            graph.add_node(node)
+            roles[node] = "transit"
+        for u, v in _random_connected_domain(ids, params.transit_edge_prob, rng):
+            graph.add_edge(u, v)
+        transit_nodes_by_domain.append(ids)
+
+    # --- Inter-transit-domain links --------------------------------------
+    # A connected random graph at the domain level; each domain-level edge
+    # becomes a link between random nodes of the two domains.
+    domain_ids = list(range(params.transit_domains))
+    if params.transit_domains > 1:
+        domain_edges = _random_connected_domain(
+            domain_ids, params.transit_connect_prob, rng
+        )
+        for da, db in domain_edges:
+            u = transit_nodes_by_domain[da][rng.randrange(params.nodes_per_transit)]
+            v = transit_nodes_by_domain[db][rng.randrange(params.nodes_per_transit)]
+            graph.add_edge(u, v)
+
+    # --- Stub domains -----------------------------------------------------
+    stub_nodes: List[int] = []
+    for domain in transit_nodes_by_domain:
+        for transit_node in domain:
+            for _ in range(params.stubs_per_transit_node):
+                ids = list(range(next_id, next_id + params.nodes_per_stub))
+                next_id += params.nodes_per_stub
+                for node in ids:
+                    graph.add_node(node)
+                    roles[node] = "stub"
+                    stub_nodes.append(node)
+                for u, v in _random_connected_domain(
+                    ids, params.stub_edge_prob, rng
+                ):
+                    graph.add_edge(u, v)
+                # Attach the stub domain to its transit node.
+                graph.add_edge(transit_node, ids[rng.randrange(len(ids))])
+
+    # --- Extra transit-stub and stub-stub edges ---------------------------
+    all_transit = [n for ids in transit_nodes_by_domain for n in ids]
+    added = 0
+    guard = 0
+    while added < params.extra_transit_stub and guard < 10000:
+        guard += 1
+        u = all_transit[rng.randrange(len(all_transit))]
+        v = stub_nodes[rng.randrange(len(stub_nodes))]
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    added = 0
+    guard = 0
+    while added < params.extra_stub_stub and guard < 10000:
+        guard += 1
+        u = stub_nodes[rng.randrange(len(stub_nodes))]
+        v = stub_nodes[rng.randrange(len(stub_nodes))]
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+
+    if not is_connected(graph):
+        raise GenerationError("Transit-Stub construction produced a disconnected graph")
+    return graph, roles

@@ -1,0 +1,90 @@
+"""The Waxman generator (Waxman 1988), Section 3.1.2.
+
+Nodes are placed uniformly at random on the unit square; each pair is
+linked independently with probability
+
+    P(u, v) = alpha * exp(-d(u, v) / (beta * L))
+
+where ``d`` is the Euclidean distance and ``L`` the maximum possible
+distance (the square's diagonal).  Per the paper's Appendix C, ``alpha``
+"governs the link probability" and ``beta`` "the extent of geographic
+bias": small beta strongly penalises long links; the paper notes that in
+the extreme-bias regime the giant component "resembles a minimum spanning
+tree", which our parameter-sweep bench reproduces.
+
+The paper's headline instance is ``n=5000, alpha=0.005, beta=0.30``
+(avg degree 7.22).  All n² pairs are evaluated with numpy in row blocks,
+so the 5000-node instance is cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generators.base import Seed, giant_component, make_rng
+from repro.graph.core import Graph
+
+_BLOCK_ROWS = 256
+
+
+def waxman(
+    n: int = 5000,
+    alpha: float = 0.005,
+    beta: float = 0.30,
+    seed: Seed = None,
+    connected_only: bool = True,
+) -> Graph:
+    """Generate a Waxman graph.
+
+    Parameters
+    ----------
+    n:
+        Number of candidate nodes (the returned giant component may be
+        smaller, exactly as in the paper's Appendix C table).
+    alpha:
+        Link-probability scale, in (0, 1].
+    beta:
+        Geographic-bias scale, > 0; larger is less biased.
+    seed:
+        Reproducibility seed.
+    connected_only:
+        Return only the largest connected component (paper behaviour).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    if beta <= 0.0:
+        raise ValueError("beta must be > 0")
+    rng = make_rng(seed)
+    np_rng = np.random.default_rng(rng.getrandbits(64))
+
+    positions = np_rng.random((n, 2))
+    diagonal = float(np.sqrt(2.0))
+
+    graph = Graph(name=f"Waxman(n={n},a={alpha},b={beta})")
+    graph.add_nodes_from(range(n))
+
+    for start in range(0, n, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n)
+        block = positions[start:stop]  # (b, 2)
+        # Distances from each block row to every node with larger index.
+        diff = block[:, None, :] - positions[None, :, :]  # (b, n, 2)
+        dist = np.sqrt((diff * diff).sum(axis=2))  # (b, n)
+        prob = alpha * np.exp(-dist / (beta * diagonal))
+        # Evaluate each unordered pair exactly once: keep only columns
+        # strictly above the diagonal (v > u).
+        row_ids = start + np.arange(stop - start)
+        prob[np.arange(n)[None, :] <= row_ids[:, None]] = 0.0
+        draws = np_rng.random(prob.shape)
+        hit_rows, hit_cols = np.nonzero(draws < prob)
+        for i, j in zip(hit_rows, hit_cols):
+            graph.add_edge(start + int(i), int(j))
+    return giant_component(graph) if connected_only else graph
+
+
+def waxman_positions(n: int, seed: Seed = None) -> np.ndarray:
+    """Just the node placement step (used by tests and by BRITE)."""
+    rng = make_rng(seed)
+    np_rng = np.random.default_rng(rng.getrandbits(64))
+    return np_rng.random((n, 2))

@@ -1,0 +1,29 @@
+"""Optional networkx bridge.
+
+The reproduction itself never imports networkx at runtime; these helpers
+exist for users who want to analyse graphs they built elsewhere, and for
+the test suite, which cross-validates our from-scratch algorithms against
+networkx reference implementations.
+"""
+
+from __future__ import annotations
+
+from repro.graph.core import Graph
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` (requires networkx installed)."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes())
+    nx_graph.add_edges_from(graph.iter_edges())
+    return nx_graph
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert a ``networkx.Graph`` (self-loops dropped, multi-edges merged)."""
+    graph = Graph()
+    graph.add_nodes_from(nx_graph.nodes())
+    graph.add_edges_from(nx_graph.edges())
+    return graph

@@ -1,0 +1,216 @@
+"""The core undirected graph data structure.
+
+``Graph`` is a simple (no self-loops, no parallel edges) undirected graph
+over hashable node identifiers, stored as adjacency sets.  All topology
+generators in :mod:`repro.generators` produce ``Graph`` instances, and all
+metrics in :mod:`repro.metrics` consume them.
+
+The class deliberately mirrors a small subset of the networkx ``Graph``
+API (``add_edge``, ``neighbors``, ``degree`` ...) so that readers familiar
+with networkx can orient themselves quickly, but it is an independent
+implementation: the paper reproduction does not depend on networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """An undirected simple graph.
+
+    Nodes may be any hashable value; generators use contiguous integers.
+    Self-loops and parallel edges are silently ignored on insertion, which
+    matches the paper's treatment of the PLRG construction ("we ignore
+    these superfluous links in our graphs").
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.degree(1)
+    2
+    """
+
+    __slots__ = ("_adj", "_num_edges", "name")
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None, name: str = ""):
+        self._adj: Dict[Node, Set[Node]] = {}
+        self._num_edges = 0
+        self.name = name
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node (no-op if already present)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``.
+
+        Self-loops (``u == v``) and duplicate edges are ignored.
+        """
+        if u == v:
+            return
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError:
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph") from None
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges; ``KeyError`` if absent."""
+        neighbors = self._adj.pop(node)
+        for other in neighbors:
+            self._adj[other].remove(node)
+        self._num_edges -= len(neighbors)
+
+    def remove_nodes_from(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.remove_node(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def number_of_nodes(self) -> int:
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        return self._num_edges
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        adj_u = self._adj.get(u)
+        return adj_u is not None and v in adj_u
+
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> List[Edge]:
+        """All edges, each reported once (in first-seen endpoint order)."""
+        return list(self.iter_edges())
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate edges, each reported once."""
+        seen: Set[Node] = set()
+        for u, adj_u in self._adj.items():
+            seen.add(u)
+            for v in adj_u:
+                if v not in seen:
+                    yield (u, v)
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        """The neighbor set of ``node`` (do not mutate)."""
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        return len(self._adj[node])
+
+    def degrees(self) -> Dict[Node, int]:
+        """Mapping of every node to its degree."""
+        return {node: len(adj) for node, adj in self._adj.items()}
+
+    def degree_sequence(self) -> List[int]:
+        """Degrees of all nodes, descending."""
+        return sorted((len(adj) for adj in self._adj.values()), reverse=True)
+
+    def average_degree(self) -> float:
+        """Mean node degree (0.0 for the empty graph)."""
+        n = len(self._adj)
+        if n == 0:
+            return 0.0
+        return 2.0 * self._num_edges / n
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(adj) for adj in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        g = Graph(name=self.name)
+        g._adj = {node: set(adj) for node, adj in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The subgraph induced by ``nodes`` (which must exist)."""
+        keep = set(nodes)
+        g = Graph(name=self.name)
+        for node in keep:
+            adj = self._adj[node] & keep
+            g._adj[node] = adj
+        g._num_edges = sum(len(adj) for adj in g._adj.values()) // 2
+        return g
+
+    def relabeled(self) -> Tuple["Graph", Dict[Node, int]]:
+        """A copy with nodes relabeled to ``0..n-1``.
+
+        Returns the new graph and the old-node -> new-index mapping.
+        """
+        index = {node: i for i, node in enumerate(self._adj)}
+        g = Graph(name=self.name)
+        g._adj = {
+            index[node]: {index[v] for v in adj} for node, adj in self._adj.items()
+        }
+        g._num_edges = self._num_edges
+        return g, index
+
+    def adjacency_lists(self) -> Tuple[List[List[int]], List[Node]]:
+        """Integer-indexed adjacency lists plus the index -> node mapping.
+
+        Useful for algorithms that want array-based access.
+        """
+        nodes = list(self._adj)
+        index = {node: i for i, node in enumerate(nodes)}
+        adj = [[index[v] for v in self._adj[node]] for node in nodes]
+        return adj, nodes
+
+    # ------------------------------------------------------------------
+    # Dunder & misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Graph{label} with {self.number_of_nodes()} nodes, "
+            f"{self.number_of_edges()} edges>"
+        )

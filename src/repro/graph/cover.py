@@ -1,0 +1,96 @@
+"""Vertex cover approximations.
+
+Two consumers in the paper:
+
+* Appendix B, Figure 8(a-c): "the size of a vertex cover" of the subgraph
+  inside each ball — an unweighted cover on a general graph, computed with
+  the classic maximal-matching / greedy heuristics.
+* Section 5 link values — a *weighted* cover on a bipartite graph.  The
+  exact min-cut solver lives in :mod:`repro.graph.flow`; this module adds
+  the local-ratio 2-approximation (Bar-Yehuda & Even) that the paper's
+  "well-known approximation algorithms [Motwani]" refers to, used as an
+  ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set, Tuple
+
+from repro.graph.core import Graph
+
+Node = Hashable
+
+
+def matching_vertex_cover(graph: Graph) -> Set[Node]:
+    """2-approximate unweighted vertex cover via a maximal matching.
+
+    Both endpoints of every matched edge enter the cover; the result is at
+    most twice the optimum.
+    """
+    cover: Set[Node] = set()
+    for u, v in graph.iter_edges():
+        if u not in cover and v not in cover:
+            cover.add(u)
+            cover.add(v)
+    return cover
+
+
+def greedy_vertex_cover(graph: Graph) -> Set[Node]:
+    """Greedy max-degree unweighted vertex cover.
+
+    Repeatedly takes the highest-degree node of the remaining graph.  Not
+    a constant-factor approximation in theory but usually smaller than the
+    matching cover in practice; the Figure 8 metric uses the smaller of
+    the two.
+    """
+    remaining = {node: set(graph.neighbors(node)) for node in graph}
+    uncovered = graph.number_of_edges()
+    cover: Set[Node] = set()
+    while uncovered > 0:
+        node = max(remaining, key=lambda n: len(remaining[n]))
+        neighbors = remaining.pop(node)
+        uncovered -= len(neighbors)
+        for v in neighbors:
+            remaining[v].discard(node)
+        cover.add(node)
+    return cover
+
+
+def vertex_cover_size(graph: Graph) -> int:
+    """The smaller of the matching-based and greedy covers (Figure 8 a–c)."""
+    if graph.number_of_edges() == 0:
+        return 0
+    return min(len(matching_vertex_cover(graph)), len(greedy_vertex_cover(graph)))
+
+
+def local_ratio_vertex_cover(
+    weights: Dict[Node, float], edges: Iterable[Tuple[Node, Node]]
+) -> Tuple[float, Set[Node]]:
+    """Bar-Yehuda–Even local-ratio 2-approximation for *weighted* cover.
+
+    Works on any graph (bipartite or not).  For each uncovered edge the
+    smaller residual endpoint weight is subtracted from both endpoints;
+    vertices whose residual hits zero join the cover.
+
+    Returns ``(cover_weight, cover)`` where ``cover_weight`` is the sum of
+    the *original* weights of the chosen vertices.
+    """
+    residual = dict(weights)
+    cover: Set[Node] = set()
+    for u, v in edges:
+        if u in cover or v in cover:
+            continue
+        delta = min(residual[u], residual[v])
+        residual[u] -= delta
+        residual[v] -= delta
+        if residual[u] <= 0:
+            cover.add(u)
+        if residual[v] <= 0:
+            cover.add(v)
+    weight = sum(weights[node] for node in cover)
+    return weight, cover
+
+
+def cover_is_valid(cover: Set[Node], edges: Iterable[Tuple[Node, Node]]) -> bool:
+    """True iff every edge has at least one endpoint in ``cover``."""
+    return all(u in cover or v in cover for u, v in edges)

@@ -1,0 +1,66 @@
+"""Edge-list I/O.
+
+The measured topologies of the paper were distributed as edge lists
+(BGP-derived AS adjacencies; SCAN router adjacencies).  These helpers
+read and write the same plain format so users can feed their own measured
+graphs into the metric suite:
+
+    # comment lines start with '#'
+    u v
+    u w
+    ...
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.graph.core import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edgelist(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    Node identifiers are written with ``str``; reading back with
+    :func:`read_edgelist` yields string node ids unless ``as_int`` is set.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes={graph.number_of_nodes()}")
+        handle.write(f" edges={graph.number_of_edges()}\n")
+        for u, v in graph.iter_edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_edgelist(path: PathLike, as_int: bool = True) -> Graph:
+    """Read an edge list written by :func:`write_edgelist` (or compatible).
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    as_int:
+        Parse node ids as integers (the common case for measured
+        topologies); set False to keep them as strings.
+    """
+    graph = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'u v', got {line!r}"
+                )
+            u, v = parts[0], parts[1]
+            if as_int:
+                u, v = int(u), int(v)  # type: ignore[assignment]
+            graph.add_edge(u, v)
+    return graph

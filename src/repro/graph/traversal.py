@@ -1,0 +1,177 @@
+"""Breadth-first traversal, shortest paths, and connectivity.
+
+These routines back the paper's *ball-growing* technique (Section 3.2.1):
+a ball of radius ``h`` around a node is exactly the set of nodes whose
+BFS distance from the center is at most ``h``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.graph.core import Graph
+
+Node = Hashable
+
+
+def bfs_distances(
+    graph: Graph, source: Node, max_depth: Optional[int] = None
+) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    source:
+        Start node; must be in the graph.
+    max_depth:
+        If given, stop expanding past this radius (nodes farther away are
+        omitted from the result).
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    dist: Dict[Node, int] = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        d = dist[u]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = d + 1
+                frontier.append(v)
+    return dist
+
+
+def bfs_layers(
+    graph: Graph, source: Node, max_depth: Optional[int] = None
+) -> List[List[Node]]:
+    """Nodes grouped by BFS distance: ``layers[h]`` is the set at distance h."""
+    dist = bfs_distances(graph, source, max_depth)
+    radius = max(dist.values()) if dist else 0
+    layers: List[List[Node]] = [[] for _ in range(radius + 1)]
+    for node, d in dist.items():
+        layers[d].append(node)
+    return layers
+
+
+def bfs_parents(graph: Graph, source: Node) -> Dict[Node, Optional[Node]]:
+    """BFS predecessor map; the source maps to ``None``."""
+    parent: Dict[Node, Optional[Node]] = {source: None}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in graph.neighbors(u):
+            if v not in parent:
+                parent[v] = u
+                frontier.append(v)
+    return parent
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[List[Node]]:
+    """One shortest path from ``source`` to ``target``; ``None`` if disconnected."""
+    if source == target:
+        return [source]
+    parent = {source: None}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in graph.neighbors(u):
+            if v not in parent:
+                parent[v] = u
+                if v == target:
+                    path = [v]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                frontier.append(v)
+    return None
+
+
+def shortest_path_length(graph: Graph, source: Node, target: Node) -> Optional[int]:
+    """Hop count of the shortest path, or ``None`` if disconnected."""
+    path = shortest_path(graph, source, target)
+    if path is None:
+        return None
+    return len(path) - 1
+
+
+def connected_components(graph: Graph) -> List[List[Node]]:
+    """All connected components, largest first."""
+    seen: Dict[Node, bool] = {}
+    components: List[List[Node]] = []
+    for start in graph:
+        if start in seen:
+            continue
+        comp = [start]
+        seen[start] = True
+        frontier = deque([start])
+        while frontier:
+            u = frontier.popleft()
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen[v] = True
+                    comp.append(v)
+                    frontier.append(v)
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True for the empty graph and any graph with a single component."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return True
+    start = next(iter(graph))
+    return len(bfs_distances(graph, start)) == n
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """The induced subgraph on the largest connected component.
+
+    The PLRG construction "is not guaranteed to give a connected graph ...
+    we pick this connected component for our analyses" — every generator
+    that can produce a disconnected graph calls this.
+    """
+    if graph.number_of_nodes() == 0:
+        return graph.copy()
+    components = connected_components(graph)
+    return graph.subgraph(components[0])
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Greatest hop distance from ``node`` to any reachable node."""
+    dist = bfs_distances(graph, node)
+    return max(dist.values())
+
+
+def graph_diameter(graph: Graph, sample_nodes: Optional[Sequence[Node]] = None) -> int:
+    """Maximum eccentricity over ``sample_nodes`` (default: all nodes)."""
+    nodes = sample_nodes if sample_nodes is not None else graph.nodes()
+    return max(eccentricity(graph, node) for node in nodes)
+
+
+def average_path_length(
+    graph: Graph, sources: Optional[Sequence[Node]] = None
+) -> float:
+    """Mean pairwise hop distance, restricted to reachable pairs.
+
+    When ``sources`` is given, only BFS trees rooted at those nodes are
+    used (the paper samples sources on large graphs "to keep computation
+    times reasonable").
+    """
+    nodes = sources if sources is not None else graph.nodes()
+    total = 0
+    count = 0
+    for src in nodes:
+        dist = bfs_distances(graph, src)
+        total += sum(dist.values())
+        count += len(dist) - 1
+    if count == 0:
+        return 0.0
+    return total / count

@@ -1,0 +1,197 @@
+"""Spanning trees and fast tree-distance queries.
+
+The distortion metric (Section 3.2.1) measures, for a spanning tree ``T``
+of graph ``G``, the average distance *on T* between the endpoints of each
+edge of ``G``.  Computing that needs many tree-distance queries, so
+``TreeIndex`` preprocesses a rooted tree for O(log n) lowest-common-
+ancestor queries via binary lifting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional
+
+from repro.graph.core import Graph
+
+Node = Hashable
+
+
+def bfs_tree(graph: Graph, root: Node) -> Dict[Node, Optional[Node]]:
+    """Parent map of the BFS tree rooted at ``root`` (root maps to None).
+
+    Only the connected component containing ``root`` is covered.
+    """
+    parent: Dict[Node, Optional[Node]] = {root: None}
+    frontier = deque([root])
+    while frontier:
+        u = frontier.popleft()
+        for v in graph.neighbors(u):
+            if v not in parent:
+                parent[v] = u
+                frontier.append(v)
+    return parent
+
+
+def tree_as_graph(parent: Dict[Node, Optional[Node]]) -> Graph:
+    """Materialize a parent map as an undirected ``Graph``."""
+    tree = Graph()
+    for node, par in parent.items():
+        tree.add_node(node)
+        if par is not None:
+            tree.add_edge(node, par)
+    return tree
+
+
+class TreeIndex:
+    """Preprocessed rooted tree supporting O(log n) distance queries.
+
+    Parameters
+    ----------
+    parent:
+        Parent map as produced by :func:`bfs_tree`; exactly one node (the
+        root) must map to ``None``.
+
+    Examples
+    --------
+    >>> g = Graph([(0, 1), (1, 2), (2, 3)])
+    >>> index = TreeIndex(bfs_tree(g, 0))
+    >>> index.distance(0, 3)
+    3
+    """
+
+    def __init__(self, parent: Dict[Node, Optional[Node]]):
+        self._index: Dict[Node, int] = {node: i for i, node in enumerate(parent)}
+        n = len(parent)
+        self._depth = [0] * n
+        parent_idx = [-1] * n
+        roots = []
+        for node, par in parent.items():
+            i = self._index[node]
+            if par is None:
+                roots.append(node)
+            else:
+                parent_idx[i] = self._index[par]
+        if len(roots) != 1:
+            raise ValueError(f"parent map must have exactly one root, got {len(roots)}")
+
+        # Compute depths with an explicit stack (parent maps can be deep).
+        children: List[List[int]] = [[] for _ in range(n)]
+        for i, p in enumerate(parent_idx):
+            if p >= 0:
+                children[p].append(i)
+        root_idx = self._index[roots[0]]
+        stack = [root_idx]
+        order: List[int] = []
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for c in children[u]:
+                self._depth[c] = self._depth[u] + 1
+                stack.append(c)
+
+        # Binary lifting table: up[k][i] = 2^k-th ancestor of i (or -1).
+        max_depth = max(self._depth) if n else 0
+        levels = max(1, max_depth.bit_length())
+        up = [parent_idx]
+        for _ in range(1, levels):
+            prev = up[-1]
+            up.append([prev[p] if p >= 0 else -1 for p in prev])
+        self._up = up
+
+    def depth(self, node: Node) -> int:
+        """Depth of ``node`` below the root."""
+        return self._depth[self._index[node]]
+
+    def _lift(self, i: int, steps: int) -> int:
+        k = 0
+        while steps and i >= 0:
+            if steps & 1:
+                i = self._up[k][i]
+            steps >>= 1
+            k += 1
+        return i
+
+    def lca(self, u: Node, v: Node) -> Node:
+        """Lowest common ancestor of ``u`` and ``v``."""
+        i, j = self._index[u], self._index[v]
+        di, dj = self._depth[i], self._depth[j]
+        if di < dj:
+            i, j = j, i
+            di, dj = dj, di
+        i = self._lift(i, di - dj)
+        if i == j:
+            return self._node_for(i)
+        for k in range(len(self._up) - 1, -1, -1):
+            if self._up[k][i] != self._up[k][j]:
+                i = self._up[k][i]
+                j = self._up[k][j]
+        return self._node_for(self._up[0][i])
+
+    def distance(self, u: Node, v: Node) -> int:
+        """Hop distance between ``u`` and ``v`` on the tree."""
+        i, j = self._index[u], self._index[v]
+        di, dj = self._depth[i], self._depth[j]
+        if di < dj:
+            i, j = j, i
+            di, dj = dj, di
+        orig_i, orig_j = i, j
+        i = self._lift(i, di - dj)
+        if i == j:
+            return di - dj
+        for k in range(len(self._up) - 1, -1, -1):
+            if self._up[k][i] != self._up[k][j]:
+                i = self._up[k][i]
+                j = self._up[k][j]
+        lca_depth = self._depth[self._up[0][i]]
+        return (di - lca_depth) + (dj - lca_depth)
+
+    def _node_for(self, idx: int) -> Node:
+        # Lazily build the reverse index on first use.
+        if not hasattr(self, "_nodes"):
+            nodes: List[Node] = [None] * len(self._index)  # type: ignore[list-item]
+            for node, i in self._index.items():
+                nodes[i] = node
+            self._nodes = nodes
+        return self._nodes[idx]
+
+
+def tree_distance(parent: Dict[Node, Optional[Node]], u: Node, v: Node) -> int:
+    """One-off tree distance between ``u`` and ``v`` (no preprocessing).
+
+    Walks both nodes up to their lowest common ancestor.  For repeated
+    queries build a :class:`TreeIndex` instead.
+    """
+    ancestors_u = {}
+    steps = 0
+    node: Optional[Node] = u
+    while node is not None:
+        ancestors_u[node] = steps
+        node = parent[node]
+        steps += 1
+    steps = 0
+    node = v
+    while node is not None:
+        if node in ancestors_u:
+            return ancestors_u[node] + steps
+        node = parent[node]
+        steps += 1
+    raise ValueError("nodes are not in the same tree")
+
+
+def spanning_tree_distortion(
+    graph: Graph, parent: Dict[Node, Optional[Node]]
+) -> float:
+    """Average tree distance between the endpoints of every graph edge.
+
+    This is exactly the paper's per-tree distortion: "compute the average
+    distance on T between any two vertices that share an edge in G".
+    The tree must span the graph's nodes.
+    """
+    if graph.number_of_edges() == 0:
+        return 0.0
+    index = TreeIndex(parent)
+    total = 0
+    for u, v in graph.iter_edges():
+        total += index.distance(u, v)
+    return total / graph.number_of_edges()

@@ -1,0 +1,52 @@
+"""Benchmark harness: the Figure-1 topology registry, parameter sweeps,
+and table/series formatting."""
+
+from repro.harness.registry import (
+    CATEGORY_CANONICAL,
+    CATEGORY_DEGREE_BASED,
+    CATEGORY_GENERATED,
+    CATEGORY_MEASURED,
+    FIGURE1_ROWS,
+    TopologyEntry,
+    topology,
+    topology_names,
+)
+from repro.harness.export import (
+    read_series_csv,
+    read_series_json,
+    write_series_csv,
+    write_series_json,
+)
+from repro.harness.plots import ascii_plot
+from repro.harness.tables import format_series, format_table
+from repro.harness.sweep import SweepRow, sweep
+from repro.harness.report import (
+    ReportInput,
+    TopologyReport,
+    analyse_topology,
+    generate_report,
+)
+
+__all__ = [
+    "CATEGORY_CANONICAL",
+    "CATEGORY_DEGREE_BASED",
+    "CATEGORY_GENERATED",
+    "CATEGORY_MEASURED",
+    "FIGURE1_ROWS",
+    "TopologyEntry",
+    "topology",
+    "topology_names",
+    "ascii_plot",
+    "read_series_csv",
+    "read_series_json",
+    "write_series_csv",
+    "write_series_json",
+    "format_series",
+    "format_table",
+    "SweepRow",
+    "sweep",
+    "ReportInput",
+    "TopologyReport",
+    "analyse_topology",
+    "generate_report",
+]

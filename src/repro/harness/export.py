@@ -1,0 +1,73 @@
+"""Exporting metric series for external plotting.
+
+The benches print ASCII tables and plots; users who want publication
+figures can dump any series produced by :mod:`repro.metrics` or
+:mod:`repro.hierarchy` to CSV or JSON with these helpers, one file per
+figure, in the exact shape the paper plots (x, y columns per series).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Sequence, Tuple, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+Series = Sequence[Tuple[float, float]]
+
+
+def write_series_csv(
+    series: Dict[str, Series],
+    path: PathLike,
+    x_name: str = "x",
+    y_name: str = "y",
+) -> None:
+    """Write named series to a long-format CSV: series, x, y."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", x_name, y_name])
+        for name, points in series.items():
+            for x, y in points:
+                writer.writerow([name, x, y])
+
+
+def read_series_csv(path: PathLike) -> Dict[str, list]:
+    """Read back a CSV written by :func:`write_series_csv`."""
+    result: Dict[str, list] = {}
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if len(header) != 3:
+            raise ValueError(f"{path}: expected 3 columns, got {len(header)}")
+        for row in reader:
+            name, x, y = row
+            result.setdefault(name, []).append((float(x), float(y)))
+    return result
+
+
+def write_series_json(
+    series: Dict[str, Series],
+    path: PathLike,
+    metadata: Dict[str, object] = None,
+) -> None:
+    """Write named series (plus optional metadata) as JSON."""
+    payload = {
+        "metadata": metadata or {},
+        "series": {
+            name: [[float(x), float(y)] for x, y in points]
+            for name, points in series.items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def read_series_json(path: PathLike) -> Dict[str, list]:
+    """Read back the series map from :func:`write_series_json` output."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {
+        name: [(x, y) for x, y in points]
+        for name, points in payload["series"].items()
+    }

@@ -1,0 +1,104 @@
+"""ASCII plotting for metric series.
+
+The paper's evidence is curve *shapes* (exponential vs polynomial
+expansion, flat vs growing resilience...), so the benches can render
+series as terminal scatter plots — log or linear axes per Figure 2's
+conventions — making the shapes visible directly in pytest output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series on a shared-axes ASCII canvas.
+
+    Each series gets its own mark character; the legend maps marks to
+    series names.  Nonpositive values are dropped on log axes.
+    """
+    if not series:
+        return "(no series)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    cleaned: Dict[str, List[Tuple[float, float]]] = {}
+    for name, points in series.items():
+        kept = [
+            (tx(x), ty(y))
+            for x, y in points
+            if (not log_x or x > 0) and (not log_y or y > 0)
+        ]
+        if kept:
+            cleaned[name] = kept
+    if not cleaned:
+        return "(no plottable points)"
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, points) in enumerate(cleaned.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in points:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            canvas[row][col] = mark
+
+    def fmt(value: float, logged: bool) -> str:
+        real = 10 ** value if logged else value
+        if real == 0:
+            return "0"
+        if abs(real) >= 1000 or abs(real) < 0.01:
+            return f"{real:.1e}"
+        return f"{real:.3g}"
+
+    lines = []
+    y_top = fmt(y_max, log_y)
+    y_bottom = fmt(y_min, log_y)
+    label_width = max(len(y_top), len(y_bottom))
+    for row_idx, row in enumerate(canvas):
+        if row_idx == 0:
+            prefix = y_top.rjust(label_width)
+        elif row_idx == height - 1:
+            prefix = y_bottom.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_left = fmt(x_min, log_x)
+    x_right = fmt(x_max, log_x)
+    axis_pad = " " * (label_width + 2)
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(f"{axis_pad}{x_left}{' ' * gap}{x_right}")
+    scale = []
+    if log_x:
+        scale.append("log x")
+    if log_y:
+        scale.append("log y")
+    scale_note = f" [{', '.join(scale)}]" if scale else ""
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(f"{axis_pad}{x_label} vs {y_label}{scale_note}:  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""The topology registry — Figure 1's table of instances, at
+reproduction scale.
+
+Two scales are provided:
+
+* ``default`` — the scale used by the expansion/resilience/distortion
+  benches (1–5k-node generated graphs matching Figure 1's own sizes
+  where feasible; the synthetic AS/RL pair stands in for the measured
+  graphs, see DESIGN.md);
+* ``small`` — few-hundred-node instances for the link-value analysis of
+  Section 5, which is quadratic in nodes (the paper itself had to fall
+  back to the RL *core* for the same reason).
+
+Instances are memoised per (scale, name) so that the benchmark suite can
+share graphs across benches without regenerating them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.generators import (
+    TiersParams,
+    TransitStubParams,
+    barabasi_albert,
+    brite,
+    complete_graph,
+    erdos_renyi,
+    glp,
+    inet,
+    kary_tree,
+    linear_chain,
+    mesh,
+    plrg,
+    tiers,
+    transit_stub,
+    waxman,
+)
+from repro.graph.core import Graph
+from repro.internet import (
+    ASGraphParams,
+    RouterExpansionParams,
+    rl_core,
+    synthetic_as_graph,
+    synthetic_router_graph,
+)
+from repro.routing.policy import Relationships
+
+CATEGORY_MEASURED = "measured"
+CATEGORY_GENERATED = "generated"
+CATEGORY_DEGREE_BASED = "degree-based"
+CATEGORY_CANONICAL = "canonical"
+
+
+@dataclasses.dataclass
+class TopologyEntry:
+    """One registry row: a graph, its category, and (for the measured
+    substitutes) its relationship annotation for policy routing."""
+
+    name: str
+    graph: Graph
+    category: str
+    relationships: Optional[Relationships] = None
+
+
+_CACHE: Dict[tuple, TopologyEntry] = {}
+
+
+def _measured_pair(scale: str) -> Dict[str, TopologyEntry]:
+    as_nodes = 2200 if scale == "default" else 160
+    as_graph = synthetic_as_graph(ASGraphParams(n=as_nodes), seed=7)
+    rl = synthetic_router_graph(
+        as_graph, RouterExpansionParams(), seed=11
+    )
+    entries = {
+        "AS": TopologyEntry(
+            name="AS",
+            graph=as_graph.graph,
+            category=CATEGORY_MEASURED,
+            relationships=as_graph.relationships,
+        ),
+    }
+    if scale == "default":
+        entries["RL"] = TopologyEntry(
+            name="RL",
+            graph=rl.graph,
+            category=CATEGORY_MEASURED,
+            relationships=rl.relationships,
+        )
+    else:
+        # Link values run on the RL core, per footnote 29.
+        core = rl_core(rl.graph)
+        entries["RL"] = TopologyEntry(
+            name="RL",
+            graph=core,
+            category=CATEGORY_MEASURED,
+            relationships=rl.relationships,
+        )
+    return entries
+
+
+_DEFAULT_BUILDERS: Dict[str, Callable[[], TopologyEntry]] = {}
+_SMALL_BUILDERS: Dict[str, Callable[[], TopologyEntry]] = {}
+
+
+def _register(scale_builders, name, category, make) -> None:
+    scale_builders[name] = lambda: TopologyEntry(
+        name=name, graph=make(), category=category
+    )
+
+
+# --- default scale (Figure 2 benches) ---------------------------------
+_register(_DEFAULT_BUILDERS, "Tree", CATEGORY_CANONICAL, lambda: kary_tree(3, 6))
+_register(_DEFAULT_BUILDERS, "Mesh", CATEGORY_CANONICAL, lambda: mesh(30))
+_register(
+    _DEFAULT_BUILDERS,
+    "Random",
+    CATEGORY_CANONICAL,
+    lambda: erdos_renyi(2200, 0.0019, seed=3),
+)
+_register(
+    _DEFAULT_BUILDERS, "Linear", CATEGORY_CANONICAL, lambda: linear_chain(600)
+)
+_register(
+    _DEFAULT_BUILDERS, "Complete", CATEGORY_CANONICAL, lambda: complete_graph(64)
+)
+_register(
+    _DEFAULT_BUILDERS,
+    "Waxman",
+    CATEGORY_GENERATED,
+    lambda: waxman(2200, alpha=0.01, beta=0.30, seed=3),
+)
+_register(
+    _DEFAULT_BUILDERS,
+    "TS",
+    CATEGORY_GENERATED,
+    lambda: transit_stub(TransitStubParams(), seed=3),
+)
+_register(
+    _DEFAULT_BUILDERS, "Tiers", CATEGORY_GENERATED, lambda: tiers(TiersParams(), seed=3)
+)
+_register(
+    _DEFAULT_BUILDERS, "PLRG", CATEGORY_DEGREE_BASED, lambda: plrg(2600, 2.246, seed=3)
+)
+_register(
+    _DEFAULT_BUILDERS,
+    "B-A",
+    CATEGORY_DEGREE_BASED,
+    lambda: barabasi_albert(2200, 2, seed=3),
+)
+_register(
+    _DEFAULT_BUILDERS, "Brite", CATEGORY_DEGREE_BASED, lambda: brite(2200, 2, seed=3)
+)
+_register(_DEFAULT_BUILDERS, "BT", CATEGORY_DEGREE_BASED, lambda: glp(2200, seed=3))
+_register(_DEFAULT_BUILDERS, "Inet", CATEGORY_DEGREE_BASED, lambda: inet(2200, seed=3))
+
+# --- small scale (Section 5 link-value benches) ------------------------
+_register(_SMALL_BUILDERS, "Tree", CATEGORY_CANONICAL, lambda: kary_tree(3, 4))
+_register(_SMALL_BUILDERS, "Mesh", CATEGORY_CANONICAL, lambda: mesh(15))
+_register(
+    _SMALL_BUILDERS,
+    "Random",
+    CATEGORY_CANONICAL,
+    lambda: erdos_renyi(330, 0.013, seed=3),
+)
+_register(
+    _SMALL_BUILDERS,
+    "Waxman",
+    CATEGORY_GENERATED,
+    lambda: waxman(330, alpha=0.065, beta=0.30, seed=3),
+)
+_register(
+    _SMALL_BUILDERS,
+    "TS",
+    CATEGORY_GENERATED,
+    lambda: transit_stub(
+        TransitStubParams(
+            stubs_per_transit_node=2,
+            transit_domains=4,
+            nodes_per_transit=4,
+            nodes_per_stub=6,
+        ),
+        seed=3,
+    ),
+)
+_register(
+    _SMALL_BUILDERS,
+    "Tiers",
+    CATEGORY_GENERATED,
+    lambda: tiers(
+        TiersParams(
+            mans_per_wan=8,
+            lans_per_man=4,
+            wan_nodes=60,
+            man_nodes=15,
+            lan_nodes=3,
+        ),
+        seed=3,
+    ),
+)
+_register(
+    _SMALL_BUILDERS, "PLRG", CATEGORY_DEGREE_BASED, lambda: plrg(450, 2.246, seed=3)
+)
+_register(
+    _SMALL_BUILDERS,
+    "B-A",
+    CATEGORY_DEGREE_BASED,
+    lambda: barabasi_albert(380, 2, seed=3),
+)
+_register(
+    _SMALL_BUILDERS, "Brite", CATEGORY_DEGREE_BASED, lambda: brite(380, 2, seed=3)
+)
+_register(_SMALL_BUILDERS, "BT", CATEGORY_DEGREE_BASED, lambda: glp(380, seed=3))
+_register(_SMALL_BUILDERS, "Inet", CATEGORY_DEGREE_BASED, lambda: inet(380, seed=3))
+
+
+def topology(name: str, scale: str = "default") -> TopologyEntry:
+    """Fetch (and cache) one registry instance.
+
+    ``name`` is a Figure-1 name ("AS", "RL", "PLRG", "TS", "Tiers",
+    "Waxman", "Mesh", "Random", "Tree", ...); ``scale`` is "default" or
+    "small".
+    """
+    key = (scale, name)
+    if key in _CACHE:
+        return _CACHE[key]
+    if name in ("AS", "RL"):
+        pair = _measured_pair(scale)
+        _CACHE[(scale, "AS")] = pair["AS"]
+        _CACHE[(scale, "RL")] = pair["RL"]
+        return _CACHE[key]
+    builders = _DEFAULT_BUILDERS if scale == "default" else _SMALL_BUILDERS
+    if name not in builders:
+        raise KeyError(f"unknown topology {name!r} at scale {scale!r}")
+    entry = builders[name]()
+    _CACHE[key] = entry
+    return entry
+
+
+def topology_names(scale: str = "default") -> List[str]:
+    """All registry names available at a scale (measured pair included)."""
+    builders = _DEFAULT_BUILDERS if scale == "default" else _SMALL_BUILDERS
+    return ["AS", "RL"] + list(builders)
+
+
+FIGURE1_ROWS = (
+    ("RL", "measured"),
+    ("AS", "measured"),
+    ("PLRG", "generated"),
+    ("TS", "generated"),
+    ("Tiers", "generated"),
+    ("Waxman", "generated"),
+    ("Mesh", "canonical"),
+    ("Random", "canonical"),
+    ("Tree", "canonical"),
+)

@@ -1,0 +1,58 @@
+"""ASCII table and series formatting for the benchmark harness.
+
+The benches print "the same rows/series the paper reports" — these
+helpers keep that output consistent and readable in pytest logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with column auto-widths."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str,
+    points: Sequence[Tuple[float, float]],
+    x_name: str = "x",
+    y_name: str = "y",
+    max_points: int = 14,
+) -> str:
+    """One metric series as a compact two-row block.
+
+    Long series are decimated evenly to ``max_points`` so bench output
+    stays scannable.
+    """
+    if len(points) > max_points:
+        step = (len(points) - 1) / (max_points - 1)
+        indices = sorted({round(i * step) for i in range(max_points)})
+        points = [points[i] for i in indices]
+    xs = "  ".join(_fmt(x) for x, _ in points)
+    ys = "  ".join(_fmt(y) for _, y in points)
+    return f"{label}\n  {x_name}: {xs}\n  {y_name}: {ys}"
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.3g}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    if abs(value) >= 0.01:
+        return f"{value:.3f}"
+    return f"{value:.2e}"

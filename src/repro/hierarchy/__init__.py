@@ -1,0 +1,44 @@
+"""Section 5's hierarchy measure: link traversal sets, link values by
+weighted vertex cover, the strict/moderate/loose classification, and the
+link-value/degree correlation.
+"""
+
+from repro.hierarchy.traversal_sets import (
+    gravity_demand,
+    link_traversal_sets,
+    traversal_set_size,
+)
+from repro.hierarchy.link_values import (
+    link_value_from_entries,
+    link_values,
+    normalized_rank_distribution,
+)
+from repro.hierarchy.classification import (
+    LOOSE,
+    MODERATE,
+    STRICT,
+    HierarchyThresholds,
+    classify_hierarchy,
+    hierarchy_table,
+)
+from repro.hierarchy.correlation import (
+    link_value_degree_correlation,
+    pearson,
+)
+
+__all__ = [
+    "gravity_demand",
+    "link_traversal_sets",
+    "traversal_set_size",
+    "link_value_from_entries",
+    "link_values",
+    "normalized_rank_distribution",
+    "STRICT",
+    "MODERATE",
+    "LOOSE",
+    "HierarchyThresholds",
+    "classify_hierarchy",
+    "hierarchy_table",
+    "link_value_degree_correlation",
+    "pearson",
+]

@@ -1,0 +1,74 @@
+"""Strict / moderate / loose hierarchy classification (Section 5.1).
+
+The paper's reading of Figures 3 and 4:
+
+* **strict** — Tree, TS, Tiers: "the highest link values ... are
+  significantly higher than all the other topologies" (Tree/TS above
+  0.3; Tiers' top value 0.25) "and their link value distributions fall
+  off rapidly";
+* **moderate** — RL, AS, PLRG (and the PLRG variants): "like the strict
+  hierarchy graphs, the distribution of link values falls off quickly
+  (less than 10% of the nodes have link values greater than 0.005) but
+  the highest value links are significantly lower";
+* **loose** — Mesh, Random, Waxman: "a significantly more well spread
+  link value distribution ... almost 70% of the links in these graphs
+  have link values about 0.05 and the distribution is very flat."
+
+The classifier below encodes those two thresholds: the magnitude of the
+top link value separates strict from the rest, and the flatness of the
+body (the fraction of links whose value stays within an order of
+magnitude of the top) separates loose from moderate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+STRICT = "strict"
+MODERATE = "moderate"
+LOOSE = "loose"
+
+
+@dataclasses.dataclass(frozen=True)
+class HierarchyThresholds:
+    """Calibration constants for the strict/moderate/loose classifier."""
+
+    strict_top_value: float = 0.25   # Tree/TS/Tiers tops sit at 0.25-0.40;
+                                     # moderate graphs stay below ~0.21
+                                     # even under policy concentration
+    flat_ratio: float = 0.10         # values >= flat_ratio * top count as "body"
+    flat_fraction: float = 0.55      # loose if > this fraction is body
+
+
+def classify_hierarchy(
+    rank_distribution: Sequence[Tuple[float, float]],
+    thresholds: HierarchyThresholds = HierarchyThresholds(),
+) -> str:
+    """Classify a normalised rank distribution (Figures 3/4 format).
+
+    Returns one of ``"strict"``, ``"moderate"``, ``"loose"``.
+    """
+    if not rank_distribution:
+        raise ValueError("empty rank distribution")
+    values = [value for _rank, value in rank_distribution]
+    top = values[0]
+    if top >= thresholds.strict_top_value:
+        return STRICT
+    if top <= 0:
+        return LOOSE
+    body = sum(1 for v in values if v >= thresholds.flat_ratio * top)
+    if body / len(values) > thresholds.flat_fraction:
+        return LOOSE
+    return MODERATE
+
+
+def hierarchy_table(
+    distributions: Dict[str, Sequence[Tuple[float, float]]],
+    thresholds: HierarchyThresholds = HierarchyThresholds(),
+) -> List[Tuple[str, str]]:
+    """(topology name, class) pairs — the Section 5.1 summary table."""
+    return [
+        (name, classify_hierarchy(dist, thresholds))
+        for name, dist in distributions.items()
+    ]

@@ -1,0 +1,38 @@
+"""Synthetic substitutes for the paper's measured Internet topologies:
+the AS-level graph (BGP-derived in the paper), its router-level expansion
+(SCAN-derived in the paper), relationship annotation/inference, and dated
+snapshot series.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.internet.asgraph import ASGraph, ASGraphParams, synthetic_as_graph
+from repro.internet.routerlevel import (
+    RouterExpansionParams,
+    RouterGraph,
+    rl_core,
+    synthetic_router_graph,
+)
+from repro.internet.relationships import (
+    agreement,
+    infer_by_degree,
+    infer_gao,
+    provider_hierarchy_is_acyclic,
+    sample_policy_paths,
+)
+from repro.internet.snapshots import Snapshot, snapshot_series
+
+__all__ = [
+    "ASGraph",
+    "ASGraphParams",
+    "synthetic_as_graph",
+    "RouterExpansionParams",
+    "RouterGraph",
+    "rl_core",
+    "synthetic_router_graph",
+    "agreement",
+    "infer_by_degree",
+    "infer_gao",
+    "provider_hierarchy_is_acyclic",
+    "sample_policy_paths",
+    "Snapshot",
+    "snapshot_series",
+]

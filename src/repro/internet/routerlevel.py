@@ -1,0 +1,189 @@
+"""Synthetic router-level (RL) Internet — the substitute for the paper's
+SCAN traceroute map.
+
+The measured RL graph "has roughly 17 times more nodes and links than the
+AS-level graph" and "each AS represents a grouping of several (sometimes
+hundreds) topologically contiguous routers".  We expand the synthetic AS
+graph accordingly:
+
+* every AS receives a router count that grows with its AS degree (the
+  Tangmunarunkit et al. 2001 observation that AS degree tracks AS size),
+  with multiplicative noise — so router counts are heavy-tailed;
+* intra-AS topologies depend on size: tiny ASes are stars, medium ones
+  are rings with chords, large ones get a densely meshed core with
+  attached access trees (a backbone/PoP shape);
+* each AS-level link is realised between *border routers* of the two
+  ASes, randomly chosen per link, so multi-homed ASes have multiple
+  borders.
+
+The expansion keeps a router→AS map and lifts each inter-AS link's
+relationship from the AS edge while marking intra-AS links as siblings,
+which makes valley-free policy routing run unchanged on the RL graph
+(see :mod:`repro.routing.policy`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List
+
+from repro.generators.base import Seed, make_rng
+from repro.graph.core import Graph
+from repro.internet.asgraph import ASGraph
+from repro.routing.policy import Relationships
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterExpansionParams:
+    """Knobs of the AS -> router expansion."""
+
+    routers_per_degree: float = 2.2
+    min_routers: int = 1
+    max_routers: int = 260
+    noise: float = 0.8  # multiplicative log-uniform noise span
+    core_mesh_prob: float = 0.35
+    # Probability that an access router in a large AS is dual-homed to a
+    # second aggregation router.  Redundant access uplinks are standard
+    # practice and are what keeps the measured RL graph's resilience
+    # "comparable with that of Random" (Section 4.2).
+    dual_home_prob: float = 0.35
+
+
+@dataclasses.dataclass
+class RouterGraph:
+    """Synthetic router-level topology with AS bookkeeping."""
+
+    graph: Graph
+    relationships: Relationships
+    router_as: Dict[int, int]  # router -> AS id
+    as_routers: Dict[int, List[int]]  # AS id -> its routers
+
+    def number_of_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+
+def _intra_as_topology(
+    router_ids: List[int],
+    rng,
+    core_mesh_prob: float,
+    graph: Graph,
+    dual_home_prob: float = 0.35,
+) -> None:
+    """Wire one AS's routers: star / ring-with-chords / core-and-trees."""
+    n = len(router_ids)
+    if n == 1:
+        graph.add_node(router_ids[0])
+        return
+    if n <= 4:
+        # Star around the first router.
+        for r in router_ids[1:]:
+            graph.add_edge(router_ids[0], r)
+        return
+    if n <= 12:
+        # Ring plus a few chords.
+        for i in range(n):
+            graph.add_edge(router_ids[i], router_ids[(i + 1) % n])
+        for _ in range(max(1, n // 4)):
+            u = router_ids[rng.randrange(n)]
+            v = router_ids[rng.randrange(n)]
+            if u != v:
+                graph.add_edge(u, v)
+        return
+    # Large AS: meshed core + access trees hanging off core routers.
+    # Access attachment is *preferential* (proportional to current core
+    # degree), which produces the aggregation-router hubs seen in real
+    # router-level maps — without them the RL link-value distribution
+    # flattens out and loses its moderate hierarchy.
+    core_size = max(3, int(math.sqrt(n)))
+    core = router_ids[:core_size]
+    attach_pool: List[int] = []
+    for i in range(core_size):
+        graph.add_edge(core[i], core[(i + 1) % core_size])  # core ring base
+        attach_pool.extend((core[i], core[(i + 1) % core_size]))
+        for j in range(i + 1, core_size):
+            if rng.random() < core_mesh_prob:
+                graph.add_edge(core[i], core[j])
+                attach_pool.extend((core[i], core[j]))
+    for r in router_ids[core_size:]:
+        attach = attach_pool[rng.randrange(len(attach_pool))]
+        graph.add_edge(r, attach)
+        attach_pool.append(attach)
+        if rng.random() < dual_home_prob:
+            backup = attach_pool[rng.randrange(len(attach_pool))]
+            if backup != r and backup != attach:
+                graph.add_edge(r, backup)
+
+
+def synthetic_router_graph(
+    as_graph: ASGraph,
+    params: RouterExpansionParams = RouterExpansionParams(),
+    seed: Seed = None,
+) -> RouterGraph:
+    """Expand an AS graph into a router-level graph (connected if the AS
+    graph is)."""
+    rng = make_rng(seed)
+    graph = Graph(name=f"RL(from {as_graph.graph.name})")
+    rels = Relationships(default_sibling=True)
+    router_as: Dict[int, int] = {}
+    as_routers: Dict[int, List[int]] = {}
+
+    next_router = 0
+    for asn in as_graph.graph.nodes():
+        degree = as_graph.graph.degree(asn)
+        # Heavy-tailed size: proportional to degree with log-uniform noise.
+        noise = math.exp((rng.random() - 0.5) * 2 * params.noise)
+        count = int(round(params.routers_per_degree * degree * noise))
+        count = max(params.min_routers, min(params.max_routers, count))
+        ids = list(range(next_router, next_router + count))
+        next_router += count
+        _intra_as_topology(
+            ids, rng, params.core_mesh_prob, graph, params.dual_home_prob
+        )
+        router_as.update({r: asn for r in ids})
+        as_routers[asn] = ids
+
+    def pick_border(asn: int) -> int:
+        # Degree-weighted border choice: big exchange-point routers
+        # aggregate many AS links, as in measured router maps.
+        routers = as_routers[asn]
+        if len(routers) == 1:
+            return routers[0]
+        candidates = [routers[rng.randrange(len(routers))] for _ in range(3)]
+        return max(candidates, key=graph.degree)
+
+    # Realise AS links between border routers, lifting the relationship.
+    for u_as, v_as in as_graph.graph.iter_edges():
+        border_u = pick_border(u_as)
+        border_v = pick_border(v_as)
+        graph.add_edge(border_u, border_v)
+        rel = as_graph.relationships.rel(u_as, v_as)
+        if rel == "customer":  # v_as is u_as's customer
+            rels.set_provider_customer(provider=border_u, customer=border_v)
+        elif rel == "provider":
+            rels.set_provider_customer(provider=border_v, customer=border_u)
+        else:
+            rels.set_peer(border_u, border_v)
+
+    return RouterGraph(
+        graph=graph,
+        relationships=rels,
+        router_as=router_as,
+        as_routers=as_routers,
+    )
+
+
+def rl_core(graph: Graph) -> Graph:
+    """The RL *core*: recursively strip degree-1 nodes.
+
+    Footnote 29: "the core topology is generated from the original RL
+    topology by recursively removing degree 1 nodes" — used because
+    computing link values on the full RL graph is too expensive.
+    """
+    core = graph.copy()
+    core.name = f"{graph.name}-core"
+    while True:
+        leaves = [node for node in core.nodes() if core.degree(node) <= 1]
+        if not leaves:
+            return core
+        core.remove_nodes_from(leaves)

@@ -1,0 +1,115 @@
+"""The paper's topology metrics.
+
+The three basic metrics of Section 3.2.1 — :func:`expansion`,
+:func:`resilience`, :func:`distortion` — plus the Appendix B secondary
+metrics, all built on the ball-growing technique in
+:mod:`repro.metrics.balls`.
+"""
+
+from repro.metrics.balls import (
+    ball_growing_series,
+    ball_nodes,
+    ball_subgraph,
+    policy_ball_subgraph,
+    sample_centers,
+)
+from repro.metrics.expansion import expansion, radius_to_reach
+from repro.metrics.resilience import resilience, resilience_of
+from repro.metrics.distortion import (
+    approximate_betweenness_center,
+    bartal_distortion_of,
+    distortion,
+    distortion_of,
+)
+from repro.metrics.eigen import eigenvalue_spectrum, spectrum_power_law_exponent
+from repro.metrics.eccentricity import eccentricities, eccentricity_distribution
+from repro.metrics.vertex_cover import vertex_cover_series
+from repro.metrics.biconnectivity import biconnectivity_series
+from repro.metrics.tolerance import (
+    attack_peak,
+    attack_tolerance,
+    error_tolerance,
+)
+from repro.metrics.clustering import (
+    clustering_coefficient,
+    clustering_series,
+    node_clustering,
+)
+from repro.metrics.degree import degree_ccdf, degree_tail_weight, fit_power_law_exponent
+from repro.metrics.local import (
+    coreness_distribution,
+    degree_assortativity,
+    max_coreness,
+    rich_club_coefficient,
+    rich_club_profile,
+)
+from repro.metrics.multicast import (
+    chuang_sirbu_exponent,
+    multicast_scaling_series,
+    multicast_tree_size,
+    normalized_multicast_efficiency,
+)
+from repro.metrics.powerlaws import (
+    degree_exponent,
+    hop_plot_exponent,
+    rank_exponent,
+    weibull_ccdf_fit,
+)
+from repro.metrics.pathlength import (
+    average_ball_path_length,
+    center_to_surface_flow,
+    hop_count_distribution,
+    path_length_series,
+    surface_flow_series,
+    unit_max_flow,
+)
+
+__all__ = [
+    "ball_growing_series",
+    "ball_nodes",
+    "ball_subgraph",
+    "policy_ball_subgraph",
+    "sample_centers",
+    "expansion",
+    "radius_to_reach",
+    "resilience",
+    "resilience_of",
+    "distortion",
+    "distortion_of",
+    "bartal_distortion_of",
+    "approximate_betweenness_center",
+    "eigenvalue_spectrum",
+    "spectrum_power_law_exponent",
+    "eccentricities",
+    "eccentricity_distribution",
+    "vertex_cover_series",
+    "biconnectivity_series",
+    "attack_peak",
+    "attack_tolerance",
+    "error_tolerance",
+    "clustering_coefficient",
+    "clustering_series",
+    "node_clustering",
+    "degree_ccdf",
+    "degree_tail_weight",
+    "fit_power_law_exponent",
+    "coreness_distribution",
+    "degree_assortativity",
+    "max_coreness",
+    "rich_club_coefficient",
+    "rich_club_profile",
+    "degree_exponent",
+    "hop_plot_exponent",
+    "rank_exponent",
+    "weibull_ccdf_fit",
+    "chuang_sirbu_exponent",
+    "multicast_scaling_series",
+    "multicast_tree_size",
+    "normalized_multicast_efficiency",
+    "average_ball_path_length",
+    "center_to_surface_flow",
+    "hop_count_distribution",
+    "path_length_series",
+    "surface_flow_series",
+    "unit_max_flow",
+]

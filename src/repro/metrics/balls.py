@@ -1,0 +1,153 @@
+"""Ball growing — the measurement technique behind every metric
+(Section 3.2.1).
+
+"We measure some quantity in a ball of radius h and then consider how
+that quantity grows as a function of h.  This allows us to compare graphs
+of different sizes because, for each h, we are measuring the same sized
+balls in both networks."
+
+Plain balls contain every node within BFS distance h of the center and
+the full induced subgraph.  *Policy-induced* balls (Appendix E) contain
+every node within policy distance h and **only the links lying on
+shortest policy-compliant paths** from the center — reproduced exactly,
+including the paper's Figure 15 worked example (see
+``tests/test_policy_balls.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.generators.base import Seed, make_rng
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.routing.policy import (
+    PolicyDAG,
+    Relationships,
+    policy_dag,
+    policy_path_edges,
+)
+
+Node = Hashable
+SeriesPoint = Tuple[float, float]  # (average ball size n, average value)
+
+
+def ball_nodes(graph: Graph, center: Node, radius: int) -> List[Node]:
+    """Nodes within ``radius`` hops of ``center`` (inclusive)."""
+    dist = bfs_distances(graph, center, max_depth=radius)
+    return list(dist)
+
+
+def ball_subgraph(graph: Graph, center: Node, radius: int) -> Graph:
+    """The full induced subgraph on the ball of given radius."""
+    return graph.subgraph(ball_nodes(graph, center, radius))
+
+
+def policy_ball_subgraph(
+    graph: Graph, rels: Relationships, center: Node, radius: int
+) -> Graph:
+    """Appendix E's policy-induced ball.
+
+    "a ball of radius h ... comprises nodes whose [policy] distance is
+    less than or equal to h and links that lie on their policy paths to
+    the center node."
+    """
+    dag = policy_dag(graph, rels, center)
+    return _policy_ball_from_dag(dag, radius)
+
+
+def _policy_ball_from_dag(dag: PolicyDAG, radius: int) -> Graph:
+    distances: Dict[Node, int] = {}
+    for (node, _state), d in dag.state_dist.items():
+        if node not in distances or d < distances[node]:
+            distances[node] = d
+    members = [node for node, d in distances.items() if d <= radius]
+    ball = Graph()
+    for node in members:
+        ball.add_node(node)
+    for u, v in policy_path_edges(dag, members):
+        ball.add_edge(u, v)
+    return ball
+
+
+def sample_centers(
+    graph: Graph, count: int, seed: Seed = None
+) -> List[Node]:
+    """Uniformly sampled ball centers.
+
+    The paper grows balls around *every* node but falls back to "a
+    sufficiently large number of randomly chosen nodes, in order to keep
+    computation times reasonable" for larger graphs — this is that
+    sampler.
+    """
+    rng = make_rng(seed)
+    nodes = graph.nodes()
+    if count >= len(nodes):
+        return nodes
+    return rng.sample(nodes, count)
+
+
+def ball_growing_series(
+    graph: Graph,
+    metric: Callable[[Graph], float],
+    num_centers: int = 12,
+    centers: Optional[Sequence[Node]] = None,
+    max_ball_size: Optional[int] = 1500,
+    min_ball_size: int = 3,
+    rels: Optional[Relationships] = None,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """Evaluate ``metric`` on growing balls and average per radius.
+
+    For each center, balls of radius 1, 2, ... are grown until the ball
+    stops growing or exceeds ``max_ball_size``; the metric is evaluated
+    on each ball subgraph.  Per the paper, results are aggregated by
+    radius: "average the sizes and resilience values of all subgraphs of
+    the same radius".  Returns ``[(avg_n, avg_value), ...]`` indexed by
+    radius (radius r is at position r-1 while any center contributes).
+
+    With ``rels`` given, balls are policy-induced (Appendix E).
+    """
+    rng = make_rng(seed)
+    if centers is None:
+        centers = sample_centers(graph, num_centers, seed=rng)
+
+    # per-radius accumulators: radius -> (sum_n, sum_value, count)
+    acc: Dict[int, List[float]] = {}
+    for center in centers:
+        if rels is not None:
+            dag = policy_dag(graph, rels, center)
+            distances: Dict[Node, int] = {}
+            for (node, _s), d in dag.state_dist.items():
+                if node not in distances or d < distances[node]:
+                    distances[node] = d
+        else:
+            dag = None
+            distances = bfs_distances(graph, center)
+        max_radius = max(distances.values()) if distances else 0
+        prev_size = 0
+        for radius in range(1, max_radius + 1):
+            members = [node for node, d in distances.items() if d <= radius]
+            size = len(members)
+            if size == prev_size:
+                continue
+            prev_size = size
+            if size < min_ball_size:
+                continue
+            if max_ball_size is not None and size > max_ball_size:
+                break
+            if dag is not None:
+                ball = _policy_ball_from_dag(dag, radius)
+            else:
+                ball = graph.subgraph(members)
+            value = metric(ball)
+            bucket = acc.setdefault(radius, [0.0, 0.0, 0])
+            bucket[0] += size
+            bucket[1] += value
+            bucket[2] += 1
+
+    series: List[SeriesPoint] = []
+    for radius in sorted(acc):
+        sum_n, sum_value, count = acc[radius]
+        series.append((sum_n / count, sum_value / count))
+    return series

@@ -1,0 +1,39 @@
+"""Biconnected components vs. ball size (Appendix B, Figure 8 d–f).
+
+"Biconnectivity (number of biconnected components) [Zegura et al.]".  The
+paper: "the biconnectivity metric of all graphs has a similar behavior
+with the exception of Mesh, Random, and Waxman" (which, being richly
+cyclic, collapse into few biconnected components).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.generators.base import Seed
+from repro.graph.core import Graph
+from repro.graph.components import count_biconnected_components
+from repro.metrics.balls import ball_growing_series
+from repro.routing.policy import Relationships
+
+SeriesPoint = Tuple[float, float]
+
+
+def biconnectivity_series(
+    graph: Graph,
+    num_centers: int = 10,
+    centers: Optional[Sequence[object]] = None,
+    max_ball_size: Optional[int] = 2500,
+    rels: Optional[Relationships] = None,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """``[(avg ball size n, avg #biconnected components), ...]``."""
+    return ball_growing_series(
+        graph,
+        lambda ball: float(count_biconnected_components(ball)),
+        num_centers=num_centers,
+        centers=centers,
+        max_ball_size=max_ball_size,
+        rels=rels,
+        seed=seed,
+    )

@@ -1,0 +1,66 @@
+"""Clustering coefficients (Section 4.4 and Appendix B, Figure 10), after
+Watts & Strogatz, as used by Bu & Towsley to distinguish power-law
+generators.
+
+The paper computes the clustering coefficient both with the ball-growing
+technique and on the whole graph, and finds "while PLRG captures the
+large-scale properties of our measured graphs, it may not capture the
+local properties of these graphs".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.generators.base import Seed
+from repro.graph.core import Graph
+from repro.metrics.balls import ball_growing_series
+from repro.routing.policy import Relationships
+
+SeriesPoint = Tuple[float, float]
+
+
+def node_clustering(graph: Graph, node: object) -> float:
+    """Watts–Strogatz local coefficient: triangles / possible triangles."""
+    neighbors = list(graph.neighbors(node))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_set = graph.neighbors(node)
+    for i, u in enumerate(neighbors):
+        adj_u = graph.neighbors(u)
+        # Count each triangle edge once by index ordering.
+        for v in neighbors[i + 1:]:
+            if v in adj_u:
+                links += 1
+    del neighbor_set
+    return 2.0 * links / (k * (k - 1))
+
+
+def clustering_coefficient(graph: Graph) -> float:
+    """Whole-graph clustering: mean local coefficient over degree>=2 nodes."""
+    eligible = [node for node in graph.nodes() if graph.degree(node) >= 2]
+    if not eligible:
+        return 0.0
+    return sum(node_clustering(graph, node) for node in eligible) / len(eligible)
+
+
+def clustering_series(
+    graph: Graph,
+    num_centers: int = 10,
+    centers: Optional[Sequence[object]] = None,
+    max_ball_size: Optional[int] = 2500,
+    rels: Optional[Relationships] = None,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """Figure 10: ``[(avg ball size n, avg clustering coeff), ...]``."""
+    return ball_growing_series(
+        graph,
+        clustering_coefficient,
+        num_centers=num_centers,
+        centers=centers,
+        max_ball_size=max_ball_size,
+        rels=rels,
+        seed=seed,
+    )

@@ -1,0 +1,236 @@
+"""The distortion metric D(n) (Section 3.2.1).
+
+"Consider any spanning tree T on a graph G, and compute the average
+distance on T between any two vertices that share an edge in G ...  We
+define the distortion of G to be the smallest such average over all
+possible T's."  Computing it exactly is NP-hard; like the paper we take
+the smallest value over a set of heuristics:
+
+* **center-rooted BFS tree** — the paper's own heuristic: an (approximate)
+  all-pairs computation finds the node "through which the highest number
+  of pairs traverse" (the betweenness center) and the BFS tree rooted
+  there is scored;
+* **alternative roots** — BFS trees from the max-degree node and a few
+  random nodes;
+* **Bartal-style divide and conquer** — recursive region-growing, kept as
+  an ablation baseline (the paper: "for all the topologies except mesh
+  our own heuristics resulted in smaller distortion values").
+
+Known calibration values (asserted in tests): a tree has D = 1; random
+graphs and meshes have D ∝ log n.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.generators.base import Seed, make_rng
+from repro.graph.core import Graph
+from repro.graph.traversal import largest_connected_component
+from repro.graph.trees import bfs_tree, spanning_tree_distortion
+from repro.metrics.balls import ball_growing_series
+from repro.routing.policy import Relationships
+
+Node = Hashable
+SeriesPoint = Tuple[float, float]
+
+_BETWEENNESS_SOURCES = 24
+_RANDOM_ROOTS = 2
+
+
+def approximate_betweenness_center(
+    graph: Graph, rng: random.Random, num_sources: int = _BETWEENNESS_SOURCES
+) -> Node:
+    """The node most shortest paths traverse (sampled Brandes).
+
+    Runs Brandes' dependency accumulation from a sample of sources; exact
+    when the sample covers the whole graph.
+    """
+    nodes = graph.nodes()
+    sources = nodes if len(nodes) <= num_sources else rng.sample(nodes, num_sources)
+    score: Dict[Node, float] = {node: 0.0 for node in nodes}
+    for s in sources:
+        # Standard Brandes single-source pass.
+        dist: Dict[Node, int] = {s: 0}
+        sigma: Dict[Node, float] = {s: 1.0}
+        preds: Dict[Node, List[Node]] = {s: []}
+        order: List[Node] = []
+        frontier = deque([s])
+        while frontier:
+            u = frontier.popleft()
+            order.append(u)
+            for v in graph.neighbors(u):
+                dv = dist.get(v)
+                if dv is None:
+                    dist[v] = dist[u] + 1
+                    sigma[v] = sigma[u]
+                    preds[v] = [u]
+                    frontier.append(v)
+                elif dv == dist[u] + 1:
+                    sigma[v] += sigma[u]
+                    preds[v].append(u)
+        delta: Dict[Node, float] = {node: 0.0 for node in order}
+        for v in reversed(order):
+            for p in preds[v]:
+                delta[p] += sigma[p] / sigma[v] * (1.0 + delta[v])
+            if v != s:
+                score[v] += delta[v]
+    return max(score, key=lambda node: score[node])
+
+
+def _bartal_tree(graph: Graph, rng: random.Random) -> Dict[Node, Optional[Node]]:
+    """Bartal-style divide-and-conquer spanning tree.
+
+    Recursively grows a random-radius region from a random node, builds a
+    BFS subtree inside the region, and stitches the remaining regions'
+    subtrees back via a cut edge.  Produces a valid spanning tree of the
+    (connected) graph; quality is O(log n)-competitive in spirit.
+    """
+    parent: Dict[Node, Optional[Node]] = {}
+    # Work queue of (node_set, is_root).  Non-root regions look up their
+    # cut edge into the already-built tree when popped; if none exists
+    # yet (they only touch other pending regions) they are requeued —
+    # the graph is connected, so progress is guaranteed.
+    work: deque = deque([(set(graph.nodes()), True)])
+    requeues = 0
+    max_requeues = 3 * graph.number_of_nodes() + 10
+    while work:
+        nodes, is_root = work.popleft()
+        attach: Optional[Tuple[Node, Node]] = None
+        if not is_root:
+            for u in nodes:
+                for v in graph.neighbors(u):
+                    if v in parent:
+                        attach = (u, v)
+                        break
+                if attach:
+                    break
+            if attach is None:
+                requeues += 1
+                if requeues > max_requeues:
+                    raise RuntimeError("Bartal tree failed to attach a region")
+                work.append((nodes, False))
+                continue
+        sub = graph.subgraph(nodes)
+        start = attach[0] if attach is not None else next(iter(nodes))
+        # Random region radius between 1 and the subgraph's rough radius.
+        region_radius = max(1, rng.randrange(1, max(2, int(len(nodes) ** 0.5))))
+        dist = {start: 0}
+        frontier = deque([start])
+        region = {start}
+        while frontier:
+            u = frontier.popleft()
+            if dist[u] >= region_radius:
+                continue
+            for v in sub.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    region.add(v)
+                    frontier.append(v)
+        # BFS tree inside the region.
+        parent[start] = attach[1] if attach is not None else None
+        tree_frontier = deque([start])
+        seen = {start}
+        while tree_frontier:
+            u = tree_frontier.popleft()
+            for v in sub.neighbors(u):
+                if v in region and v not in seen:
+                    seen.add(v)
+                    parent[v] = u
+                    tree_frontier.append(v)
+        rest = nodes - region
+        if not rest:
+            continue
+        # Split the remainder into connected pieces; each will find its
+        # own cut edge into the tree when it is popped from the queue.
+        rest_sub = graph.subgraph(rest)
+        unvisited = set(rest)
+        while unvisited:
+            seed_node = next(iter(unvisited))
+            comp = {seed_node}
+            comp_frontier = deque([seed_node])
+            while comp_frontier:
+                u = comp_frontier.popleft()
+                for v in rest_sub.neighbors(u):
+                    if v not in comp:
+                        comp.add(v)
+                        comp_frontier.append(v)
+            unvisited -= comp
+            work.append((comp, False))
+    return parent
+
+
+def distortion_of(
+    graph: Graph,
+    rng: Optional[random.Random] = None,
+    use_bartal: bool = False,
+    random_roots: int = _RANDOM_ROOTS,
+) -> float:
+    """Distortion of one (sub)graph: min over heuristic spanning trees.
+
+    Evaluates the betweenness-center BFS tree (the paper's heuristic),
+    the max-degree-rooted BFS tree, ``random_roots`` random-rooted BFS
+    trees, and optionally a Bartal divide-and-conquer tree.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    component = largest_connected_component(graph)
+    if component.number_of_edges() == 0:
+        return 0.0
+    if component.number_of_nodes() == graph.number_of_nodes():
+        component = graph
+
+    candidates: List[Dict[Node, Optional[Node]]] = []
+    center = approximate_betweenness_center(component, rng)
+    candidates.append(bfs_tree(component, center))
+    max_degree_node = max(component.nodes(), key=component.degree)
+    if max_degree_node != center:
+        candidates.append(bfs_tree(component, max_degree_node))
+    nodes = component.nodes()
+    for _ in range(random_roots):
+        candidates.append(bfs_tree(component, nodes[rng.randrange(len(nodes))]))
+    if use_bartal:
+        candidates.append(_bartal_tree(component, rng))
+    return min(
+        spanning_tree_distortion(component, parent) for parent in candidates
+    )
+
+
+def bartal_distortion_of(graph: Graph, rng: Optional[random.Random] = None) -> float:
+    """Distortion using only the Bartal-style tree (ablation baseline)."""
+    rng = rng if rng is not None else random.Random(0)
+    component = largest_connected_component(graph)
+    if component.number_of_edges() == 0:
+        return 0.0
+    return spanning_tree_distortion(component, _bartal_tree(component, rng))
+
+
+def distortion(
+    graph: Graph,
+    num_centers: int = 10,
+    centers: Optional[Sequence[Node]] = None,
+    max_ball_size: Optional[int] = 1500,
+    rels: Optional[Relationships] = None,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """The distortion series: ``[(avg ball size n, avg D), ...]``.
+
+    With ``rels`` the balls are policy-induced; the paper found the
+    measured networks' distortion drops further under policy.
+    """
+    rng = make_rng(seed)
+    tree_rng = random.Random(rng.getrandbits(32))
+
+    def metric(ball: Graph) -> float:
+        return distortion_of(ball, rng=tree_rng)
+
+    return ball_growing_series(
+        graph,
+        metric,
+        num_centers=num_centers,
+        centers=centers,
+        max_ball_size=max_ball_size,
+        rels=rels,
+        seed=rng,
+    )

@@ -1,0 +1,88 @@
+"""Local-structure metrics that *distinguish* the degree-based family.
+
+The paper's footnote 21: "It would be interesting to find metrics that
+distinguish power law generators ... That is a noble and useful goal,
+and one that should be the subject of future work."  This module
+implements that future work with three standard local metrics:
+
+* **degree assortativity** (Newman) — preferential-attachment growth
+  (B-A, BRITE) produces different degree–degree correlations than stub
+  matching (PLRG);
+* **rich-club connectivity** — how densely the top-degree nodes
+  interconnect;
+* **coreness** (via :mod:`repro.graph.cores`) — how deep the densest
+  nested subgraph goes.
+
+Together with the Bu–Towsley clustering coefficient (already in
+:mod:`repro.metrics.clustering`), these separate generators that the
+three large-scale metrics cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Tuple
+
+from repro.graph.core import Graph
+from repro.graph.cores import coreness_distribution, max_coreness
+
+Node = Hashable
+
+__all__ = [
+    "degree_assortativity",
+    "rich_club_coefficient",
+    "rich_club_profile",
+    "max_coreness",
+    "coreness_distribution",
+]
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Newman's degree assortativity coefficient in [-1, 1].
+
+    Negative values mean hubs attach to leaves (disassortative — the
+    Internet's well-known signature); positive values mean hubs attach
+    to hubs.  Returns 0.0 for degenerate (regular or edgeless) graphs.
+    """
+    m = graph.number_of_edges()
+    if m == 0:
+        return 0.0
+    sum_xy = 0.0
+    sum_x = 0.0
+    sum_x2 = 0.0
+    for u, v in graph.iter_edges():
+        du, dv = graph.degree(u), graph.degree(v)
+        sum_xy += du * dv
+        sum_x += 0.5 * (du + dv)
+        sum_x2 += 0.5 * (du * du + dv * dv)
+    mean = sum_x / m
+    variance = sum_x2 / m - mean * mean
+    if variance <= 0:
+        return 0.0
+    covariance = sum_xy / m - mean * mean
+    return covariance / variance
+
+
+def rich_club_coefficient(graph: Graph, top_fraction: float = 0.05) -> float:
+    """Edge density among the top ``top_fraction`` highest-degree nodes.
+
+    1.0 means the rich club is a clique; 0.0 means its members never
+    interconnect directly.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError("top_fraction must be in (0, 1]")
+    nodes = sorted(graph.nodes(), key=lambda n: -graph.degree(n))
+    club_size = max(2, int(math.ceil(top_fraction * len(nodes))))
+    club = set(nodes[:club_size])
+    internal = sum(
+        1 for u, v in graph.iter_edges() if u in club and v in club
+    )
+    possible = club_size * (club_size - 1) / 2
+    return internal / possible
+
+
+def rich_club_profile(
+    graph: Graph, fractions: Tuple[float, ...] = (0.01, 0.02, 0.05, 0.1)
+) -> List[Tuple[float, float]]:
+    """Rich-club density at several club sizes."""
+    return [(f, rich_club_coefficient(graph, f)) for f in fractions]

@@ -1,0 +1,119 @@
+"""Multicast tree scaling (Chuang–Sirbu), the origin of the expansion
+metric.
+
+Section 2: "Phillips et al. showed that graphs with exponentially
+increasing neighborhood sizes (i.e., number of nodes within a certain
+radius increases exponentially with radius) approximately obey the
+Chuang-Sirbu multicast scaling law" — the cost of a shortest-path
+multicast tree to m random receivers grows like m^k with k ≈ 0.8.
+
+This module measures that law directly: it builds shortest-path trees
+from a source to m random receivers, records the tree size L(m), and
+fits the scaling exponent.  It is both an application-level demo of why
+large-scale structure matters to protocols (the paper's motivation) and
+a cross-check of the expansion classification: exponential-expansion
+graphs obey the law, mesh-like graphs deviate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.generators.base import Seed, make_rng
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_parents
+
+Node = Hashable
+
+
+def multicast_tree_size(
+    graph: Graph, source: Node, receivers: Sequence[Node]
+) -> int:
+    """Links in the union of shortest paths from ``source`` to receivers.
+
+    This is the shortest-path-tree multicast model of Chuang & Sirbu:
+    every receiver is reached along its unicast shortest path, and
+    shared prefixes are counted once.
+    """
+    parent = bfs_parents(graph, source)
+    tree_nodes = {source}
+    links = 0
+    for receiver in receivers:
+        if receiver not in parent:
+            continue  # unreachable receiver (disconnected graph)
+        node = receiver
+        while node not in tree_nodes:
+            tree_nodes.add(node)
+            links += 1
+            node = parent[node]
+    return links
+
+
+def multicast_scaling_series(
+    graph: Graph,
+    group_sizes: Optional[Sequence[int]] = None,
+    trials: int = 8,
+    seed: Seed = None,
+) -> List[Tuple[int, float]]:
+    """Average multicast tree size L(m) for increasing group sizes m."""
+    rng = make_rng(seed)
+    n = graph.number_of_nodes()
+    if group_sizes is None:
+        group_sizes = [m for m in (1, 2, 4, 8, 16, 32, 64, 128, 256) if m < n]
+    nodes = graph.nodes()
+    series = []
+    for m in group_sizes:
+        total = 0
+        for _ in range(trials):
+            source = nodes[rng.randrange(n)]
+            receivers = rng.sample(nodes, m)
+            total += multicast_tree_size(graph, source, receivers)
+        series.append((m, total / trials))
+    return series
+
+
+def chuang_sirbu_exponent(series: Sequence[Tuple[int, float]]) -> float:
+    """Least-squares slope of log L(m) vs log m.
+
+    Chuang & Sirbu report ≈0.8 for Internet-like graphs; a star gives
+    1.0 (no path sharing), a path graph tends toward 0 (total sharing).
+    """
+    points = [(m, size) for m, size in series if m > 0 and size > 0]
+    if len(points) < 3:
+        raise ValueError("need at least 3 usable series points")
+    xs = [math.log(m) for m, _ in points]
+    ys = [math.log(size) for _, size in points]
+    k = len(xs)
+    mean_x = sum(xs) / k
+    mean_y = sum(ys) / k
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return cov / var
+
+
+def normalized_multicast_efficiency(
+    graph: Graph, m: int, trials: int = 8, seed: Seed = None
+) -> float:
+    """Tree links divided by summed unicast hop counts (<= 1).
+
+    1.0 means multicast saves nothing; small values mean heavy sharing.
+    """
+    rng = make_rng(seed)
+    nodes = graph.nodes()
+    n = len(nodes)
+    if m >= n:
+        raise ValueError("group size must be below the node count")
+    from repro.graph.traversal import bfs_distances
+
+    total_tree = 0
+    total_unicast = 0
+    for _ in range(trials):
+        source = nodes[rng.randrange(n)]
+        receivers = rng.sample(nodes, m)
+        total_tree += multicast_tree_size(graph, source, receivers)
+        dist = bfs_distances(graph, source)
+        total_unicast += sum(dist[r] for r in receivers)
+    if total_unicast == 0:
+        return 1.0
+    return total_tree / total_unicast

@@ -1,0 +1,154 @@
+"""Extra ball-growing metrics from the paper's footnote 22.
+
+"we also tested many others (of our own devising), including the average
+path length between any two nodes in a ball of size n, and the expected
+max-flow between the center of a ball of size n and any node on the
+surface of the ball.  These metrics, too, do not contradict our findings
+but do not add to them either."
+
+Both are implemented here, plus the hop-count distribution that van
+Mieghem et al. showed is well modelled by random graphs (Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.generators.base import Seed, make_rng
+from repro.graph.core import Graph
+from repro.graph.flow import Dinic
+from repro.graph.traversal import bfs_distances
+from repro.metrics.balls import ball_growing_series, sample_centers
+from repro.routing.policy import Relationships
+
+Node = Hashable
+SeriesPoint = Tuple[float, float]
+
+
+def average_ball_path_length(graph: Graph, max_sources: int = 24) -> float:
+    """Mean pairwise hop distance inside one (sub)graph, sampled."""
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        return 0.0
+    sources = nodes if len(nodes) <= max_sources else nodes[:max_sources]
+    total = 0
+    count = 0
+    for src in sources:
+        dist = bfs_distances(graph, src)
+        total += sum(dist.values())
+        count += len(dist) - 1
+    return total / count if count else 0.0
+
+
+def path_length_series(
+    graph: Graph,
+    num_centers: int = 8,
+    max_ball_size: Optional[int] = 1500,
+    rels: Optional[Relationships] = None,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """Footnote 22 metric #1: avg path length within balls of size n."""
+    return ball_growing_series(
+        graph,
+        average_ball_path_length,
+        num_centers=num_centers,
+        max_ball_size=max_ball_size,
+        rels=rels,
+        seed=seed,
+    )
+
+
+def unit_max_flow(graph: Graph, source: Node, target: Node) -> float:
+    """Max flow between two nodes with unit capacity per (undirected) edge.
+
+    By Menger's theorem this equals the number of edge-disjoint paths.
+    """
+    nodes = graph.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    dinic = Dinic(len(nodes))
+    for u, v in graph.iter_edges():
+        # An undirected unit edge is two opposing unit arcs.
+        dinic.add_edge(index[u], index[v], 1.0)
+        dinic.add_edge(index[v], index[u], 1.0)
+    return dinic.max_flow(index[source], index[target])
+
+
+def center_to_surface_flow(
+    graph: Graph,
+    center: Node,
+    radius: int,
+    num_targets: int = 6,
+    seed: Seed = None,
+) -> float:
+    """Footnote 22 metric #2: expected max-flow from a ball's center to
+    nodes on its surface (sampled)."""
+    rng = make_rng(seed)
+    dist = bfs_distances(graph, center, max_depth=radius)
+    surface = [node for node, d in dist.items() if d == radius]
+    if not surface:
+        return 0.0
+    ball = graph.subgraph(list(dist))
+    targets = (
+        surface
+        if len(surface) <= num_targets
+        else rng.sample(surface, num_targets)
+    )
+    flows = [unit_max_flow(ball, center, t) for t in targets]
+    return sum(flows) / len(flows)
+
+
+def surface_flow_series(
+    graph: Graph,
+    num_centers: int = 6,
+    max_radius: int = 8,
+    max_ball_size: int = 1500,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """(avg ball size, avg center→surface max-flow) per radius."""
+    rng = make_rng(seed)
+    centers = sample_centers(graph, num_centers, seed=rng)
+    acc: Dict[int, List[float]] = {}
+    for center in centers:
+        dist = bfs_distances(graph, center)
+        max_r = min(max_radius, max(dist.values()))
+        for radius in range(1, max_r + 1):
+            members = [node for node, d in dist.items() if d <= radius]
+            if len(members) > max_ball_size:
+                break
+            flow = center_to_surface_flow(
+                graph, center, radius, seed=rng.getrandbits(32)
+            )
+            if flow == 0.0:
+                continue
+            bucket = acc.setdefault(radius, [0.0, 0.0, 0])
+            bucket[0] += len(members)
+            bucket[1] += flow
+            bucket[2] += 1
+    return [
+        (sum_n / count, sum_f / count)
+        for _radius, (sum_n, sum_f, count) in sorted(acc.items())
+    ]
+
+
+def hop_count_distribution(
+    graph: Graph,
+    num_sources: int = 32,
+    seed: Seed = None,
+) -> List[Tuple[int, float]]:
+    """The hop-count (path length) distribution of van Mieghem et al.
+
+    Returns (hop count, fraction of sampled pairs at that distance).
+    """
+    rng = make_rng(seed)
+    sources = sample_centers(graph, num_sources, seed=rng)
+    counts: Dict[int, int] = {}
+    total = 0
+    for src in sources:
+        for d in bfs_distances(graph, src).values():
+            if d == 0:
+                continue
+            counts[d] = counts.get(d, 0) + 1
+            total += 1
+    if total == 0:
+        return []
+    return [(d, c / total) for d, c in sorted(counts.items())]

@@ -1,0 +1,72 @@
+"""The resilience metric R(n) (Section 3.2.1).
+
+"We define the resilience R(n) to be the average minimum cut-set size
+within an n-node ball around any node in the topology.  We make R a
+function of n not h ... to factor out the fact that graphs with high
+expansion will have more nodes in balls of the same radius."
+
+Known growth laws, asserted in the test suite: a random graph with
+average degree k has R(n) ∝ kn, a mesh R(n) ∝ sqrt(n), a tree R(n) = 1.
+The balanced-bipartition solver is the from-scratch multilevel/FM
+partitioner in :mod:`repro.graph.partition` (the paper used the
+Karypis–Kumar heuristics).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.generators.base import Seed, make_rng
+from repro.graph.core import Graph
+from repro.graph.partition import bisection_cut_size
+from repro.graph.traversal import largest_connected_component
+from repro.metrics.balls import ball_growing_series
+from repro.routing.policy import Relationships
+
+SeriesPoint = Tuple[float, float]
+
+
+def resilience_of(graph: Graph, rng: Optional[random.Random] = None, trials: int = 3) -> float:
+    """Resilience of one (sub)graph: its balanced-bipartition cut size.
+
+    Policy-induced balls can be disconnected (their links are restricted
+    to policy paths); like the paper we evaluate the largest component.
+    """
+    component = largest_connected_component(graph)
+    if component.number_of_nodes() < 2:
+        return 0.0
+    return float(bisection_cut_size(component, rng=rng, trials=trials))
+
+
+def resilience(
+    graph: Graph,
+    num_centers: int = 10,
+    centers: Optional[Sequence[object]] = None,
+    max_ball_size: Optional[int] = 1500,
+    rels: Optional[Relationships] = None,
+    trials: int = 3,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """The resilience series: ``[(avg ball size n, avg R), ...]``.
+
+    With ``rels`` the balls are policy-induced; the paper found that
+    policy "decreases" resilience (paths concentrate on fewer links)
+    "although its qualitative behavior ... remains unchanged", which the
+    fig2 bench reproduces.
+    """
+    rng = make_rng(seed)
+    partition_rng = random.Random(rng.getrandbits(32))
+
+    def metric(ball: Graph) -> float:
+        return resilience_of(ball, rng=partition_rng, trials=trials)
+
+    return ball_growing_series(
+        graph,
+        metric,
+        num_centers=num_centers,
+        centers=centers,
+        max_ball_size=max_ball_size,
+        rels=rels,
+        seed=rng,
+    )

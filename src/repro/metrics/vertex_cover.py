@@ -1,0 +1,39 @@
+"""Vertex cover vs. ball size (Appendix B, Figure 8 a–c).
+
+"Size of a vertex cover [Park, private communication]" — motivated by the
+impact of topology on traceback techniques.  The paper found "the vertex
+cover metric of all graphs are quite similar to each other"; the fig8
+bench reproduces that non-discrimination.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.generators.base import Seed
+from repro.graph.core import Graph
+from repro.graph.cover import vertex_cover_size
+from repro.metrics.balls import ball_growing_series
+from repro.routing.policy import Relationships
+
+SeriesPoint = Tuple[float, float]
+
+
+def vertex_cover_series(
+    graph: Graph,
+    num_centers: int = 10,
+    centers: Optional[Sequence[object]] = None,
+    max_ball_size: Optional[int] = 2500,
+    rels: Optional[Relationships] = None,
+    seed: Seed = None,
+) -> List[SeriesPoint]:
+    """``[(avg ball size n, avg vertex-cover size), ...]`` per radius."""
+    return ball_growing_series(
+        graph,
+        lambda ball: float(vertex_cover_size(ball)),
+        num_centers=num_centers,
+        centers=centers,
+        max_ball_size=max_ball_size,
+        rels=rels,
+        seed=seed,
+    )

@@ -1,0 +1,38 @@
+"""Routing substrate: shortest-path DAGs with path counting, and the
+valley-free policy-routing model of Section 3.2.1 / Appendix E.
+"""
+
+from repro.routing.shortest import (
+    ShortestPathDAG,
+    pair_edge_fractions,
+    shortest_path_dag,
+)
+from repro.routing.inflation import InflationStats, path_inflation
+from repro.routing.policy import (
+    PEER,
+    PROVIDER,
+    CUSTOMER,
+    SIBLING,
+    Relationships,
+    PolicyDAG,
+    policy_dag,
+    policy_distances,
+    policy_pair_edge_fractions,
+)
+
+__all__ = [
+    "InflationStats",
+    "path_inflation",
+    "ShortestPathDAG",
+    "shortest_path_dag",
+    "pair_edge_fractions",
+    "PEER",
+    "PROVIDER",
+    "CUSTOMER",
+    "SIBLING",
+    "Relationships",
+    "PolicyDAG",
+    "policy_dag",
+    "policy_distances",
+    "policy_pair_edge_fractions",
+]

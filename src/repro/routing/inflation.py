@@ -1,0 +1,99 @@
+"""Policy path inflation statistics.
+
+The paper justifies its policy model by Tangmunarunkit et al. [42] ("The
+Impact of Policy on Internet Paths"): valley-free routing inflates a
+minority of paths by a small number of hops.  These helpers compute the
+same summary statistics on any annotated graph, so the synthetic
+Internet's policy behaviour can be validated against the published
+ballpark (papers report ~20% of paths inflated, mean inflation well
+under one hop).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Optional, Sequence
+
+from repro.generators.base import Seed, make_rng
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.routing.policy import Relationships, policy_distances
+
+Node = Hashable
+
+
+def _sample_sources(graph: Graph, count: int, rng) -> Sequence[Node]:
+    # Local sampler (repro.metrics depends on repro.routing, so this
+    # module cannot import the metrics-layer sampler without a cycle).
+    nodes = graph.nodes()
+    if count >= len(nodes):
+        return nodes
+    return rng.sample(nodes, count)
+
+
+@dataclasses.dataclass
+class InflationStats:
+    """Summary of policy-vs-shortest path comparison."""
+
+    pairs: int
+    reachable_pairs: int
+    inflated_pairs: int
+    mean_inflation: float
+    max_inflation: int
+
+    @property
+    def inflated_fraction(self) -> float:
+        """Share of reachable pairs whose policy path is longer."""
+        if self.reachable_pairs == 0:
+            return 0.0
+        return self.inflated_pairs / self.reachable_pairs
+
+    @property
+    def unreachable_fraction(self) -> float:
+        """Share of pairs with no valley-free path at all."""
+        if self.pairs == 0:
+            return 0.0
+        return (self.pairs - self.reachable_pairs) / self.pairs
+
+
+def path_inflation(
+    graph: Graph,
+    rels: Relationships,
+    num_sources: int = 16,
+    sources: Optional[Sequence[Node]] = None,
+    seed: Seed = None,
+) -> InflationStats:
+    """Compare policy distances to shortest distances from sampled
+    sources to every destination."""
+    rng = make_rng(seed)
+    if sources is None:
+        sources = _sample_sources(graph, num_sources, rng)
+    pairs = 0
+    reachable = 0
+    inflated = 0
+    total_inflation = 0
+    max_inflation = 0
+    for src in sources:
+        plain = bfs_distances(graph, src)
+        policy = policy_distances(graph, rels, src)
+        for node, d in plain.items():
+            if node == src:
+                continue
+            pairs += 1
+            pd = policy.get(node)
+            if pd is None:
+                continue
+            reachable += 1
+            delta = pd - d
+            if delta > 0:
+                inflated += 1
+                total_inflation += delta
+                max_inflation = max(max_inflation, delta)
+    mean = total_inflation / reachable if reachable else 0.0
+    return InflationStats(
+        pairs=pairs,
+        reachable_pairs=reachable,
+        inflated_pairs=inflated,
+        mean_inflation=mean,
+        max_inflation=max_inflation,
+    )

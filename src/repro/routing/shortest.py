@@ -1,0 +1,116 @@
+"""Single-source shortest-path DAGs with equal-cost path counting.
+
+The hierarchy measure of Section 5 weights each source–destination pair
+by "the fraction of the total number of equal cost shortest paths between
+u and v that traverse link l" (footnote 27).  That needs, per pair, the
+per-edge fraction of shortest paths — computed here from the shortest-
+path DAG: with sigma(v) = number of shortest s–v paths and h(v) = number
+of shortest v–t continuations, the fraction through DAG edge (a, b) is
+sigma(a) * h(b) / sigma(t).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.core import Graph
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+@dataclasses.dataclass
+class ShortestPathDAG:
+    """BFS shortest-path DAG from a single source.
+
+    Attributes
+    ----------
+    source:
+        The root.
+    dist:
+        Hop distance of each reachable node.
+    sigma:
+        Number of distinct shortest paths from the source to each node.
+    preds:
+        For each node, its DAG predecessors (neighbors one hop closer).
+    """
+
+    source: Node
+    dist: Dict[Node, int]
+    sigma: Dict[Node, int]
+    preds: Dict[Node, List[Node]]
+
+
+def shortest_path_dag(graph: Graph, source: Node) -> ShortestPathDAG:
+    """Compute the shortest-path DAG rooted at ``source``."""
+    dist: Dict[Node, int] = {source: 0}
+    sigma: Dict[Node, int] = {source: 1}
+    preds: Dict[Node, List[Node]] = {source: []}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        du = dist[u]
+        su = sigma[u]
+        for v in graph.neighbors(u):
+            dv = dist.get(v)
+            if dv is None:
+                dist[v] = du + 1
+                sigma[v] = su
+                preds[v] = [u]
+                frontier.append(v)
+            elif dv == du + 1:
+                sigma[v] += su
+                preds[v].append(u)
+    return ShortestPathDAG(source=source, dist=dist, sigma=sigma, preds=preds)
+
+
+def pair_edge_fractions(dag: ShortestPathDAG, target: Node) -> Dict[Edge, float]:
+    """Per-edge shortest-path fractions for the pair (dag.source, target).
+
+    Returns ``{(a, b): fraction}`` where ``(a, b)`` is oriented in the
+    direction of travel (``a`` is one hop closer to the source) and
+    ``fraction`` is the share of equal-cost shortest source→target paths
+    that traverse that edge.  Fractions of the edges leaving any fixed
+    distance level sum to 1.
+
+    Cost is proportional to the number of DAG edges lying on
+    source→target shortest paths (small for small-world graphs), so
+    calling this for every target is far cheaper than V·E.
+    """
+    if target not in dag.dist:
+        return {}
+    if target == dag.source:
+        return {}
+    # Collect the sub-DAG reachable backwards from the target, and count
+    # h(v) = number of shortest v->target continuations.
+    h: Dict[Node, int] = {target: 1}
+    order: List[Node] = [target]
+    queue = deque([target])
+    while queue:
+        v = queue.popleft()
+        for p in dag.preds[v]:
+            if p not in h:
+                h[p] = 0
+                order.append(p)
+                queue.append(p)
+    # Process in decreasing distance order so h(v) is final before use.
+    order.sort(key=lambda v: -dag.dist[v])
+    for v in order:
+        hv = h[v]
+        if hv == 0 and v != target:
+            continue
+        for p in dag.preds[v]:
+            h[p] += hv
+    total = dag.sigma[target]
+    fractions: Dict[Edge, float] = {}
+    for v in order:
+        if v == dag.source:
+            continue
+        hv = h[v]
+        if hv == 0:
+            continue
+        for p in dag.preds[v]:
+            fractions[(p, v)] = dag.sigma[p] * hv / total
+    return fractions

@@ -1,0 +1,110 @@
+"""Tests for the L/H metric classifiers — the paper's own sanity check:
+"it is important that our metrics at least clearly differentiate [the
+canonical graphs]"."""
+
+import pytest
+
+from repro.analysis import (
+    HIGH,
+    LOW,
+    PAPER_SIGNATURES,
+    ClassifierThresholds,
+    classify_distortion,
+    classify_expansion,
+    classify_resilience,
+    signature,
+)
+from repro.generators.canonical import (
+    complete_graph,
+    erdos_renyi,
+    kary_tree,
+    linear_chain,
+    mesh,
+)
+from repro.metrics.distortion import distortion
+from repro.metrics.expansion import expansion
+from repro.metrics.resilience import resilience
+
+
+def full_signature(graph, seed=1):
+    e = expansion(graph, num_centers=24, seed=seed)
+    r = resilience(graph, num_centers=5, max_ball_size=700, seed=seed)
+    d = distortion(graph, num_centers=5, max_ball_size=700, seed=seed)
+    return signature(e, r, d, graph.number_of_nodes())
+
+
+# The paper's five canonical anchors, each with a unique signature.
+
+def test_tree_signature():
+    assert full_signature(kary_tree(3, 6)) == PAPER_SIGNATURES["Tree"]
+
+
+def test_mesh_signature():
+    assert full_signature(mesh(30)) == PAPER_SIGNATURES["Mesh"]
+
+
+def test_random_signature():
+    g = erdos_renyi(2000, 0.002, seed=2)
+    assert full_signature(g) == PAPER_SIGNATURES["Random"]
+
+
+def test_complete_signature():
+    assert full_signature(complete_graph(64)) == PAPER_SIGNATURES["Complete"]
+
+
+def test_linear_signature():
+    assert full_signature(linear_chain(400)) == PAPER_SIGNATURES["Linear"]
+
+
+def test_all_canonical_signatures_distinct():
+    sigs = {
+        PAPER_SIGNATURES[name]
+        for name in ("Tree", "Mesh", "Random", "Complete", "Linear")
+    }
+    assert len(sigs) == 5  # "each of the five networks has its own signature"
+
+
+# Unit-level classifier behaviour.
+
+def test_classify_expansion_empty():
+    assert classify_expansion([], 100) == LOW
+
+
+def test_classify_expansion_synthetic_curves():
+    # Instant reach -> High; linear crawl -> Low.
+    n = 1024
+    fast = [(h, min(1.0, 4 ** h / n)) for h in range(10)]
+    slow = [(h, min(1.0, (h + 1) / 300)) for h in range(300)]
+    assert classify_expansion(fast, n) == HIGH
+    assert classify_expansion(slow, n) == LOW
+
+
+def test_classify_resilience_flat_vs_growing():
+    flat = [(50, 1.0), (200, 2.0), (800, 2.5)]
+    growing = [(50, 8.0), (200, 30.0), (800, 120.0)]
+    assert classify_resilience(flat) == LOW
+    assert classify_resilience(growing) == HIGH
+
+
+def test_classify_resilience_small_balls_fallback():
+    tiny = [(10, 1.0), (20, 2.0)]
+    assert classify_resilience(tiny) == LOW
+
+
+def test_classify_distortion_tree_vs_mesh():
+    tree_like = [(200, 1.0), (500, 1.1), (900, 1.2)]
+    mesh_like = [(200, 4.0), (500, 5.0), (900, 6.0)]
+    assert classify_distortion(tree_like) == LOW
+    assert classify_distortion(mesh_like) == HIGH
+
+
+def test_custom_thresholds_respected():
+    strict = ClassifierThresholds(resilience_ceiling=100.0)
+    growing = [(200, 30.0), (800, 90.0)]
+    assert classify_resilience(growing, strict) == LOW
+
+
+def test_signature_string_format():
+    sig = PAPER_SIGNATURES["AS"]
+    assert len(sig) == 3
+    assert set(sig) <= {"L", "H"}

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import read_edgelist, write_edgelist
+from repro.generators import kary_tree, plrg
+
+
+def test_generate_writes_edgelist(tmp_path, capsys):
+    out = tmp_path / "tree.edges"
+    code = main(["generate", "tree", "--k", "2", "--depth", "4", "--out", str(out)])
+    assert code == 0
+    graph = read_edgelist(out)
+    assert graph.number_of_nodes() == 31
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_generate_plrg_seeded(tmp_path):
+    out1 = tmp_path / "a.edges"
+    out2 = tmp_path / "b.edges"
+    main(["generate", "plrg", "--n", "300", "--seed", "5", "--out", str(out1)])
+    main(["generate", "plrg", "--n", "300", "--seed", "5", "--out", str(out2)])
+    assert out1.read_text() == out2.read_text()
+
+
+def test_info(tmp_path, capsys):
+    out = tmp_path / "g.edges"
+    write_edgelist(kary_tree(2, 3), out)
+    assert main(["info", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "nodes" in text and "15" in text
+
+
+def test_metric_expansion(tmp_path, capsys):
+    out = tmp_path / "g.edges"
+    write_edgelist(kary_tree(3, 4), out)
+    assert main(["metric", str(out), "expansion"]) == 0
+    assert "E(h)" in capsys.readouterr().out
+
+
+def test_metric_degree_ccdf(tmp_path, capsys):
+    out = tmp_path / "g.edges"
+    write_edgelist(plrg(200, 2.3, seed=1), out)
+    assert main(["metric", str(out), "degree-ccdf"]) == 0
+    assert "CCDF" in capsys.readouterr().out
+
+
+def test_signature_command(tmp_path, capsys):
+    out = tmp_path / "g.edges"
+    write_edgelist(plrg(400, 2.246, seed=2), out)
+    code = main(
+        ["signature", str(out), "--centers", "5", "--max-ball", "300"]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "signature" in text
+
+
+def test_hierarchy_command(tmp_path, capsys):
+    out = tmp_path / "g.edges"
+    write_edgelist(kary_tree(3, 3), out)
+    assert main(["hierarchy", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "hierarchy class" in text
+    assert "strict" in text
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_generate_requires_out():
+    with pytest.raises(SystemExit):
+        main(["generate", "tree"])
+
+
+def test_compare_command(tmp_path, capsys):
+    a = tmp_path / "tree.edges"
+    b = tmp_path / "plrg.edges"
+    write_edgelist(kary_tree(3, 4), a)
+    write_edgelist(plrg(300, 2.246, seed=4), b)
+    out = tmp_path / "report.md"
+    code = main(
+        [
+            "compare",
+            str(a),
+            str(b),
+            "--centers",
+            "4",
+            "--max-ball",
+            "150",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "tree" in text and "plrg" in text
+    assert out.read_text().startswith("# Topology comparison report")

@@ -1,0 +1,146 @@
+"""Tests for canonical generators (Section 3.1.3's calibration graphs)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators.canonical import (
+    complete_graph,
+    erdos_renyi,
+    erdos_renyi_gnm,
+    kary_tree,
+    linear_chain,
+    mesh,
+    ring,
+)
+from repro.graph.traversal import is_connected
+
+
+def test_kary_tree_paper_instance():
+    # Figure 1: Tree k=3, D=6 has 1093 nodes and average degree 2.00.
+    g = kary_tree(3, 6)
+    assert g.number_of_nodes() == 1093
+    assert g.number_of_edges() == 1092
+    assert g.average_degree() == pytest.approx(2.0, abs=0.01)
+
+
+def test_kary_tree_structure():
+    g = kary_tree(2, 3)
+    assert g.number_of_nodes() == 15
+    assert g.degree(0) == 2  # root
+    leaves = [n for n in g.nodes() if g.degree(n) == 1]
+    assert len(leaves) == 8
+
+
+def test_kary_tree_depth_zero():
+    g = kary_tree(3, 0)
+    assert g.number_of_nodes() == 1
+
+
+def test_kary_tree_invalid():
+    with pytest.raises(ValueError):
+        kary_tree(0, 3)
+    with pytest.raises(ValueError):
+        kary_tree(3, -1)
+
+
+def test_mesh_paper_instance():
+    # Figure 1: 30x30 grid, 900 nodes, average degree 3.87.
+    g = mesh(30)
+    assert g.number_of_nodes() == 900
+    assert g.average_degree() == pytest.approx(3.87, abs=0.01)
+
+
+def test_mesh_degrees():
+    g = mesh(3, 4)
+    assert g.number_of_nodes() == 12
+    degrees = sorted(g.degrees().values())
+    assert degrees[0] == 2  # corners
+    assert degrees[-1] == 4  # interior
+
+
+def test_mesh_rectangular():
+    g = mesh(2, 5)
+    assert g.number_of_nodes() == 10
+    assert is_connected(g)
+
+
+def test_linear_chain():
+    g = linear_chain(10)
+    assert g.number_of_edges() == 9
+    assert g.degree(0) == 1
+    assert g.degree(5) == 2
+
+
+def test_linear_single_node():
+    assert linear_chain(1).number_of_nodes() == 1
+
+
+def test_complete_graph():
+    g = complete_graph(8)
+    assert g.number_of_edges() == 28
+    assert all(g.degree(v) == 7 for v in g.nodes())
+
+
+def test_ring():
+    g = ring(6)
+    assert g.number_of_edges() == 6
+    assert all(g.degree(v) == 2 for v in g.nodes())
+    with pytest.raises(ValueError):
+        ring(2)
+
+
+def test_erdos_renyi_density():
+    n, p = 1500, 0.004
+    g = erdos_renyi(n, p, seed=1, connected_only=False)
+    expected = p * n * (n - 1) / 2
+    assert abs(g.number_of_edges() - expected) < 0.2 * expected
+
+
+def test_erdos_renyi_connected_only_returns_giant():
+    g = erdos_renyi(500, 0.002, seed=1, connected_only=True)
+    assert is_connected(g)
+
+
+def test_erdos_renyi_extreme_probabilities():
+    g0 = erdos_renyi(50, 0.0, connected_only=False)
+    assert g0.number_of_edges() == 0
+    g1 = erdos_renyi(20, 1.0, connected_only=False)
+    assert g1.number_of_edges() == 190
+
+
+def test_erdos_renyi_invalid():
+    with pytest.raises(ValueError):
+        erdos_renyi(10, 1.5)
+    with pytest.raises(ValueError):
+        erdos_renyi(0, 0.5)
+
+
+def test_erdos_renyi_seed_reproducible():
+    g1 = erdos_renyi(200, 0.02, seed=9, connected_only=False)
+    g2 = erdos_renyi(200, 0.02, seed=9, connected_only=False)
+    assert set(map(frozenset, g1.iter_edges())) == set(
+        map(frozenset, g2.iter_edges())
+    )
+
+
+def test_gnm_exact_edge_count():
+    g = erdos_renyi_gnm(100, 250, seed=2, connected_only=False)
+    assert g.number_of_edges() == 250
+
+
+def test_gnm_too_many_edges():
+    with pytest.raises(ValueError):
+        erdos_renyi_gnm(5, 11)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(0, 5))
+def test_kary_tree_node_count_formula(k, depth):
+    g = kary_tree(k, depth)
+    if k == 1:
+        expected = depth + 1
+    else:
+        expected = (k ** (depth + 1) - 1) // (k - 1)
+    assert g.number_of_nodes() == expected
+    assert g.number_of_edges() == expected - 1
+    assert is_connected(g)

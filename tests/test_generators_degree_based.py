@@ -1,0 +1,226 @@
+"""Tests for the degree-based generators (PLRG, B-A, AB, BT/GLP, BRITE,
+Inet) and the Waxman random-geometric generator."""
+
+import pytest
+
+from repro.generators import (
+    albert_barabasi_extended,
+    barabasi_albert,
+    brite,
+    degree_ccdf,
+    fit_power_law_exponent,
+    glp,
+    inet,
+    plrg,
+    waxman,
+)
+from repro.graph.traversal import is_connected
+
+
+def heavy_tailed(graph, factor=6.0):
+    """True when the max degree stands far above the mean (power-law
+    signature at these sizes)."""
+    return graph.max_degree() > factor * graph.average_degree()
+
+
+# ----------------------------------------------------------------------
+# PLRG
+# ----------------------------------------------------------------------
+
+def test_plrg_connected_giant_component():
+    g = plrg(1200, 2.246, seed=1)
+    assert is_connected(g)
+    assert g.number_of_nodes() > 700  # giant component dominates
+
+
+def test_plrg_heavy_tail():
+    g = plrg(1500, 2.246, seed=2)
+    assert heavy_tailed(g)
+    exponent = fit_power_law_exponent(g, k_min=2)
+    assert 1.5 < exponent < 3.5
+
+
+def test_plrg_exponent_controls_density():
+    dense = plrg(1200, 2.1, seed=3)
+    sparse = plrg(1200, 2.8, seed=3)
+    assert dense.average_degree() > sparse.average_degree()
+
+
+def test_plrg_max_degree_cap():
+    g = plrg(800, 2.2, seed=4, max_degree=20)
+    assert g.max_degree() <= 20
+
+
+def test_plrg_reproducible():
+    g1 = plrg(600, 2.3, seed=5)
+    g2 = plrg(600, 2.3, seed=5)
+    assert set(map(frozenset, g1.iter_edges())) == set(
+        map(frozenset, g2.iter_edges())
+    )
+
+
+# ----------------------------------------------------------------------
+# Barabási–Albert (+ extended)
+# ----------------------------------------------------------------------
+
+def test_ba_node_and_edge_counts():
+    n, m = 500, 2
+    g = barabasi_albert(n, m, seed=1)
+    assert g.number_of_nodes() == n
+    # m edges per new node plus the star seed.
+    assert g.number_of_edges() == m + (n - m - 1) * m
+    assert is_connected(g)
+
+
+def test_ba_heavy_tail():
+    g = barabasi_albert(2000, 2, seed=2)
+    assert heavy_tailed(g)
+
+
+def test_ba_min_degree():
+    g = barabasi_albert(300, 3, seed=3)
+    assert min(g.degrees().values()) >= 3 - 1  # seed star leaves can be m-ish
+
+
+def test_ba_invalid():
+    with pytest.raises(ValueError):
+        barabasi_albert(5, 0)
+    with pytest.raises(ValueError):
+        barabasi_albert(2, 3)
+
+
+def test_ab_extended_runs_and_is_heavier_than_ba():
+    g = albert_barabasi_extended(800, 2, p_add=0.2, p_rewire=0.1, seed=4)
+    assert g.number_of_nodes() >= 700
+    assert heavy_tailed(g, factor=4.0)
+
+
+def test_ab_invalid_probabilities():
+    with pytest.raises(ValueError):
+        albert_barabasi_extended(100, 2, p_add=0.7, p_rewire=0.4)
+
+
+# ----------------------------------------------------------------------
+# GLP / BT
+# ----------------------------------------------------------------------
+
+def test_glp_reaches_target_size():
+    g = glp(700, seed=1)
+    assert g.number_of_nodes() >= 650
+    assert is_connected(g)
+
+
+def test_glp_heavy_tail():
+    g = glp(1500, seed=2)
+    assert heavy_tailed(g)
+
+
+def test_glp_p_adds_links():
+    sparse = glp(600, m=1.0, p=0.0, seed=3)
+    dense = glp(600, m=1.0, p=0.6, seed=3)
+    assert dense.average_degree() > sparse.average_degree()
+
+
+def test_glp_invalid():
+    with pytest.raises(ValueError):
+        glp(100, p=1.0)
+    with pytest.raises(ValueError):
+        glp(100, beta_glp=1.5)
+    with pytest.raises(ValueError):
+        glp(100, m=0)
+
+
+# ----------------------------------------------------------------------
+# BRITE
+# ----------------------------------------------------------------------
+
+def test_brite_sizes_both_placements():
+    for placement in ("random", "heavy_tailed"):
+        g = brite(600, 2, placement=placement, seed=1)
+        assert g.number_of_nodes() == 600
+        assert is_connected(g)
+
+
+def test_brite_heavy_tail():
+    g = brite(2000, 2, seed=2)
+    assert heavy_tailed(g)
+
+
+def test_brite_invalid_placement():
+    with pytest.raises(ValueError):
+        brite(100, 2, placement="gaussian")
+
+
+def test_brite_waxman_bias_runs():
+    g = brite(400, 2, waxman_alpha=0.9, waxman_beta=0.3, seed=3)
+    assert g.number_of_nodes() >= 380
+
+
+# ----------------------------------------------------------------------
+# Inet
+# ----------------------------------------------------------------------
+
+def test_inet_connected_and_sized():
+    g = inet(900, seed=1)
+    assert is_connected(g)
+    assert g.number_of_nodes() >= 850
+
+
+def test_inet_heavy_tail():
+    g = inet(1500, seed=2)
+    assert heavy_tailed(g)
+
+
+def test_inet_degree_one_nodes_attached():
+    g = inet(600, seed=3)
+    leaves = [n for n in g.nodes() if g.degree(n) == 1]
+    assert leaves  # power-law sequences have many degree-1 nodes
+
+
+# ----------------------------------------------------------------------
+# Waxman
+# ----------------------------------------------------------------------
+
+def test_waxman_alpha_scales_density():
+    sparse = waxman(500, alpha=0.01, beta=0.3, seed=1, connected_only=False)
+    dense = waxman(500, alpha=0.05, beta=0.3, seed=1, connected_only=False)
+    assert dense.number_of_edges() > 2 * sparse.number_of_edges()
+
+
+def test_waxman_beta_controls_geographic_bias():
+    # Small beta strongly penalises long links -> fewer edges.
+    local = waxman(500, alpha=0.05, beta=0.05, seed=2, connected_only=False)
+    global_ = waxman(500, alpha=0.05, beta=1.0, seed=2, connected_only=False)
+    assert global_.number_of_edges() > local.number_of_edges()
+
+
+def test_waxman_paper_scale_density():
+    # Paper instance n=5000, alpha=0.005, beta=0.30 -> avg degree 7.22.
+    g = waxman(2000, alpha=0.0125, beta=0.30, seed=3, connected_only=False)
+    assert 5.0 <= g.average_degree() <= 10.0
+
+
+def test_waxman_connected_only():
+    g = waxman(400, alpha=0.02, beta=0.3, seed=4)
+    assert is_connected(g)
+
+
+def test_waxman_invalid():
+    with pytest.raises(ValueError):
+        waxman(100, alpha=0.0)
+    with pytest.raises(ValueError):
+        waxman(100, alpha=0.5, beta=0.0)
+
+
+# ----------------------------------------------------------------------
+# Degree CCDFs of the whole family
+# ----------------------------------------------------------------------
+
+def test_degree_ccdf_is_monotone_decreasing():
+    g = plrg(800, 2.3, seed=6)
+    ccdf = degree_ccdf(g)
+    values = [p for _k, p in ccdf]
+    assert values[0] == 1.0 if ccdf[0][0] == min(
+        g.degrees().values()
+    ) else values[0] <= 1.0
+    assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))

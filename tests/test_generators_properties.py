@@ -1,0 +1,103 @@
+"""Cross-family property tests: invariants every generator must hold."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import (
+    TiersParams,
+    TransitStubParams,
+    barabasi_albert,
+    brite,
+    erdos_renyi,
+    glp,
+    inet,
+    plrg,
+    tiers,
+    transit_stub,
+    waxman,
+)
+from repro.graph.traversal import is_connected
+
+FAMILY = {
+    "plrg": lambda n, seed: plrg(n, 2.3, seed=seed),
+    "ba": lambda n, seed: barabasi_albert(n, 2, seed=seed),
+    "brite": lambda n, seed: brite(n, 2, seed=seed),
+    "glp": lambda n, seed: glp(n, seed=seed),
+    "inet": lambda n, seed: inet(n, seed=seed),
+    "waxman": lambda n, seed: waxman(n, alpha=0.05, beta=0.3, seed=seed),
+    "random": lambda n, seed: erdos_renyi(n, 8.0 / n, seed=seed),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FAMILY))
+@settings(max_examples=6, deadline=None)
+@given(st.integers(60, 220), st.integers(0, 10**6))
+def test_generator_invariants(name, n, seed):
+    graph = FAMILY[name](n, seed)
+    # Connected (each returns a giant component or is connected by
+    # construction) and non-trivial.
+    assert is_connected(graph)
+    assert graph.number_of_nodes() >= 3
+    assert graph.number_of_nodes() <= n
+    # Simple graph: no self-loops (Graph enforces), sensible edge count.
+    assert graph.number_of_edges() >= graph.number_of_nodes() - 1
+    max_edges = graph.number_of_nodes() * (graph.number_of_nodes() - 1) // 2
+    assert graph.number_of_edges() <= max_edges
+    # Integer node labels only.
+    assert all(isinstance(node, int) for node in graph.nodes())
+
+
+@pytest.mark.parametrize("name", sorted(FAMILY))
+def test_generator_determinism(name):
+    g1 = FAMILY[name](150, 42)
+    g2 = FAMILY[name](150, 42)
+    assert set(map(frozenset, g1.iter_edges())) == set(
+        map(frozenset, g2.iter_edges())
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FAMILY))
+def test_generator_seed_sensitivity(name):
+    g1 = FAMILY[name](150, 1)
+    g2 = FAMILY[name](150, 2)
+    assert set(map(frozenset, g1.iter_edges())) != set(
+        map(frozenset, g2.iter_edges())
+    )
+
+
+def test_structural_generators_exact_sizes():
+    ts_params = TransitStubParams(
+        stubs_per_transit_node=2,
+        transit_domains=3,
+        nodes_per_transit=4,
+        nodes_per_stub=5,
+    )
+    ts = transit_stub(ts_params, seed=1)
+    assert ts.number_of_nodes() == ts_params.total_nodes()
+    tiers_params = TiersParams(
+        mans_per_wan=4, lans_per_man=3, wan_nodes=30, man_nodes=8, lan_nodes=3
+    )
+    t = tiers(tiers_params, seed=1)
+    assert t.number_of_nodes() == tiers_params.total_nodes()
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10**6))
+def test_structural_generators_always_connected(seed):
+    ts = transit_stub(
+        TransitStubParams(
+            stubs_per_transit_node=2,
+            transit_domains=3,
+            nodes_per_transit=3,
+            nodes_per_stub=4,
+        ),
+        seed=seed,
+    )
+    assert is_connected(ts)
+    t = tiers(
+        TiersParams(
+            mans_per_wan=3, lans_per_man=2, wan_nodes=20, man_nodes=6, lan_nodes=3
+        ),
+        seed=seed,
+    )
+    assert is_connected(t)

@@ -1,0 +1,151 @@
+"""Tests for the structural generators: Transit-Stub and Tiers."""
+
+import pytest
+
+from repro.generators.tiers import TiersParams, tiers, tiers_with_roles
+from repro.generators.transit_stub import (
+    TransitStubParams,
+    transit_stub,
+    transit_stub_with_roles,
+)
+from repro.graph.traversal import is_connected
+
+
+# ----------------------------------------------------------------------
+# Transit-Stub
+# ----------------------------------------------------------------------
+
+def test_ts_paper_instance_size():
+    # Figure 1: the TS instance has 1008 nodes (6 domains x 6 transit
+    # nodes, each transit node with 3 stubs of 9 nodes).
+    params = TransitStubParams()
+    assert params.total_nodes() == 1008
+    g = transit_stub(params, seed=1)
+    assert g.number_of_nodes() == 1008
+    assert is_connected(g)
+
+
+def test_ts_average_degree_near_paper():
+    g = transit_stub(seed=2)
+    # Paper reports 2.78 for this parameterisation.
+    assert 2.3 <= g.average_degree() <= 3.3
+
+
+def test_ts_roles():
+    g, roles = transit_stub_with_roles(seed=3)
+    transit = [n for n, r in roles.items() if r == "transit"]
+    stub = [n for n, r in roles.items() if r == "stub"]
+    assert len(transit) == 36
+    assert len(stub) == 972
+    # Transit nodes are better connected than stub nodes on average.
+    t_deg = sum(g.degree(n) for n in transit) / len(transit)
+    s_deg = sum(g.degree(n) for n in stub) / len(stub)
+    assert t_deg > s_deg
+
+
+def test_ts_extra_edges_increase_degree():
+    base = transit_stub(TransitStubParams(), seed=4)
+    extra = transit_stub(
+        TransitStubParams(extra_transit_stub=50, extra_stub_stub=100), seed=4
+    )
+    assert extra.number_of_edges() > base.number_of_edges()
+    assert is_connected(extra)
+
+
+def test_ts_single_transit_domain():
+    params = TransitStubParams(transit_domains=1, stubs_per_transit_node=1)
+    g = transit_stub(params, seed=5)
+    assert is_connected(g)
+    assert g.number_of_nodes() == params.total_nodes()
+
+
+def test_ts_invalid_params():
+    with pytest.raises(ValueError):
+        transit_stub(TransitStubParams(transit_domains=0))
+    with pytest.raises(ValueError):
+        transit_stub(TransitStubParams(nodes_per_stub=0))
+
+
+def test_ts_reproducible():
+    g1 = transit_stub(seed=6)
+    g2 = transit_stub(seed=6)
+    assert set(map(frozenset, g1.iter_edges())) == set(
+        map(frozenset, g2.iter_edges())
+    )
+
+
+# ----------------------------------------------------------------------
+# Tiers
+# ----------------------------------------------------------------------
+
+def test_tiers_default_instance():
+    params = TiersParams()
+    # 500 WAN + 50*40 MAN + 50*10*5 LAN = 5000 (the paper's instance).
+    assert params.total_nodes() == 5000
+    g = tiers(params, seed=1)
+    assert g.number_of_nodes() == 5000
+    assert is_connected(g)
+    # Paper reports average degree 2.83 for its 5000-node instance.
+    assert 2.5 <= g.average_degree() <= 3.2
+
+
+def test_tiers_roles_and_star_lans():
+    g, roles = tiers_with_roles(
+        TiersParams(
+            mans_per_wan=3, lans_per_man=2, wan_nodes=30, man_nodes=10, lan_nodes=4
+        ),
+        seed=2,
+    )
+    lan_nodes = [n for n, r in roles.items() if r == "lan"]
+    assert len(lan_nodes) == 3 * 2 * 4
+    # Star topology: in each LAN, non-hub nodes have degree 1.
+    degree_one = sum(1 for n in lan_nodes if g.degree(n) == 1)
+    assert degree_one >= 3 * 2 * (4 - 1)  # all leaves
+
+
+def test_tiers_wan_redundancy_raises_degree():
+    sparse = tiers(
+        TiersParams(redundancy_wan=1, redundancy_man=1, man_wan_links=1), seed=3
+    )
+    dense = tiers(
+        TiersParams(redundancy_wan=5, redundancy_man=4, man_wan_links=1), seed=3
+    )
+    assert dense.number_of_edges() > sparse.number_of_edges()
+
+
+def test_tiers_multiple_wans_rejected():
+    with pytest.raises(ValueError):
+        tiers(TiersParams(wans=2))
+
+
+def test_tiers_invalid_sizes():
+    with pytest.raises(ValueError):
+        tiers(TiersParams(lan_nodes=0))
+
+
+def test_tiers_reproducible():
+    params = TiersParams(mans_per_wan=4, lans_per_man=2, wan_nodes=40, man_nodes=8)
+    g1 = tiers(params, seed=4)
+    g2 = tiers(params, seed=4)
+    assert set(map(frozenset, g1.iter_edges())) == set(
+        map(frozenset, g2.iter_edges())
+    )
+
+
+def test_tiers_mst_backbone_connected_without_redundancy():
+    g = tiers(
+        TiersParams(
+            mans_per_wan=5,
+            lans_per_man=2,
+            wan_nodes=50,
+            man_nodes=10,
+            lan_nodes=3,
+            redundancy_wan=1,
+            redundancy_man=1,
+            man_wan_links=1,
+        ),
+        seed=5,
+    )
+    assert is_connected(g)
+    # Pure-MST Tiers is tree-like: edges close to nodes - 1.
+    assert g.number_of_edges() <= 1.1 * g.number_of_nodes()

@@ -1,0 +1,99 @@
+"""Tests for biconnected components and articulation points."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.components import (
+    articulation_points,
+    biconnected_components,
+    count_biconnected_components,
+    is_biconnected,
+)
+from repro.graph.convert import to_networkx
+from repro.graph.core import Graph
+
+
+def test_single_edge_is_one_component():
+    g = Graph([(0, 1)])
+    assert count_biconnected_components(g) == 1
+    assert articulation_points(g) == set()
+
+
+def test_path_graph_components():
+    g = Graph([(0, 1), (1, 2), (2, 3)])
+    # Every edge of a path is its own biconnected component.
+    assert count_biconnected_components(g) == 3
+    assert articulation_points(g) == {1, 2}
+
+
+def test_cycle_is_biconnected():
+    g = Graph([(i, (i + 1) % 5) for i in range(5)])
+    assert count_biconnected_components(g) == 1
+    assert articulation_points(g) == set()
+    assert is_biconnected(g)
+
+
+def test_two_cycles_sharing_a_node():
+    g = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+    assert count_biconnected_components(g) == 2
+    assert articulation_points(g) == {2}
+    assert not is_biconnected(g)
+
+
+def test_star_components():
+    g = Graph([(0, i) for i in range(1, 6)])
+    assert count_biconnected_components(g) == 5
+    assert articulation_points(g) == {0}
+
+
+def test_every_edge_in_exactly_one_component():
+    g = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    comps = biconnected_components(g)
+    all_edges = [frozenset(e) for comp in comps for e in comp]
+    assert len(all_edges) == g.number_of_edges()
+    assert len(set(all_edges)) == g.number_of_edges()
+
+
+def test_disconnected_graph():
+    g = Graph([(0, 1), (2, 3), (3, 4), (4, 2)])
+    assert count_biconnected_components(g) == 2
+
+
+def test_deep_path_no_recursion_error():
+    # The iterative implementation must handle paths longer than
+    # Python's default recursion limit.
+    n = 5000
+    g = Graph([(i, i + 1) for i in range(n)])
+    assert count_biconnected_components(g) == n
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 16))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    g = Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(e for e in edges if e[0] != e[1])
+    return g
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs())
+def test_biconnected_components_match_networkx(g):
+    ours = count_biconnected_components(g)
+    theirs = sum(1 for _ in nx.biconnected_component_edges(to_networkx(g)))
+    assert ours == theirs
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_graphs())
+def test_articulation_points_match_networkx(g):
+    ours = articulation_points(g)
+    theirs = set(nx.articulation_points(to_networkx(g)))
+    assert ours == theirs

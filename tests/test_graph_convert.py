@@ -1,0 +1,35 @@
+"""Tests for the optional networkx bridge."""
+
+import networkx as nx
+
+from repro.graph.convert import from_networkx, to_networkx
+from repro.graph.core import Graph
+
+
+def test_to_networkx_roundtrip():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    g.add_node(99)  # isolated node survives
+    nx_graph = to_networkx(g)
+    assert nx_graph.number_of_nodes() == 4
+    assert nx_graph.number_of_edges() == 3
+    back = from_networkx(nx_graph)
+    assert set(back.nodes()) == set(g.nodes())
+    assert {frozenset(e) for e in back.iter_edges()} == {
+        frozenset(e) for e in g.iter_edges()
+    }
+
+
+def test_from_networkx_drops_self_loops():
+    nx_graph = nx.Graph()
+    nx_graph.add_edge(0, 0)
+    nx_graph.add_edge(0, 1)
+    g = from_networkx(nx_graph)
+    assert g.number_of_edges() == 1
+    assert not g.has_edge(0, 0)
+
+
+def test_from_networkx_generator_graphs():
+    nx_graph = nx.barbell_graph(5, 2)
+    g = from_networkx(nx_graph)
+    assert g.number_of_nodes() == nx_graph.number_of_nodes()
+    assert g.number_of_edges() == nx_graph.number_of_edges()

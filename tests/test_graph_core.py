@@ -1,0 +1,183 @@
+"""Unit tests for repro.graph.core.Graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.core import Graph
+
+
+def test_empty_graph():
+    g = Graph()
+    assert g.number_of_nodes() == 0
+    assert g.number_of_edges() == 0
+    assert g.average_degree() == 0.0
+    assert g.max_degree() == 0
+    assert g.nodes() == []
+    assert g.edges() == []
+
+
+def test_add_edge_creates_nodes():
+    g = Graph()
+    g.add_edge(1, 2)
+    assert 1 in g and 2 in g
+    assert g.number_of_nodes() == 2
+    assert g.number_of_edges() == 1
+
+
+def test_self_loop_ignored():
+    g = Graph()
+    g.add_edge(1, 1)
+    assert g.number_of_edges() == 0
+    # A self-loop on a new node does not even create the node.
+    assert g.number_of_nodes() == 0
+
+
+def test_duplicate_edge_ignored():
+    g = Graph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 1)
+    g.add_edge(1, 2)
+    assert g.number_of_edges() == 1
+
+
+def test_constructor_from_edges():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    assert g.number_of_nodes() == 3
+    assert g.number_of_edges() == 3
+
+
+def test_remove_edge():
+    g = Graph([(0, 1), (1, 2)])
+    g.remove_edge(1, 0)
+    assert not g.has_edge(0, 1)
+    assert g.number_of_edges() == 1
+    assert g.number_of_nodes() == 3  # nodes stay
+
+
+def test_remove_missing_edge_raises():
+    g = Graph([(0, 1)])
+    with pytest.raises(KeyError):
+        g.remove_edge(0, 2)
+
+
+def test_remove_node_removes_incident_edges():
+    g = Graph([(0, 1), (0, 2), (1, 2)])
+    g.remove_node(0)
+    assert g.number_of_nodes() == 2
+    assert g.number_of_edges() == 1
+    assert g.has_edge(1, 2)
+
+
+def test_remove_missing_node_raises():
+    g = Graph()
+    with pytest.raises(KeyError):
+        g.remove_node(5)
+
+
+def test_degree_and_neighbors():
+    g = Graph([(0, 1), (0, 2), (0, 3)])
+    assert g.degree(0) == 3
+    assert g.degree(1) == 1
+    assert sorted(g.neighbors(0)) == [1, 2, 3]
+
+
+def test_degrees_map_and_sequence():
+    g = Graph([(0, 1), (0, 2)])
+    assert g.degrees() == {0: 2, 1: 1, 2: 1}
+    assert g.degree_sequence() == [2, 1, 1]
+
+
+def test_average_degree():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    assert g.average_degree() == 2.0
+
+
+def test_edges_each_reported_once():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    edges = g.edges()
+    assert len(edges) == 3
+    canonical = {frozenset(e) for e in edges}
+    assert canonical == {frozenset((0, 1)), frozenset((1, 2)), frozenset((2, 0))}
+
+
+def test_copy_is_independent():
+    g = Graph([(0, 1)])
+    h = g.copy()
+    h.add_edge(1, 2)
+    assert g.number_of_edges() == 1
+    assert h.number_of_edges() == 2
+
+
+def test_subgraph_induces_edges():
+    g = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+    sub = g.subgraph([0, 1, 2])
+    assert sub.number_of_nodes() == 3
+    assert sub.number_of_edges() == 2
+    assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+    assert not sub.has_edge(3, 0)
+
+
+def test_subgraph_does_not_mutate_parent():
+    g = Graph([(0, 1), (1, 2)])
+    sub = g.subgraph([0, 1])
+    sub.add_edge(0, 5)
+    assert 5 not in g
+    assert g.number_of_edges() == 2
+
+
+def test_relabeled():
+    g = Graph([("a", "b"), ("b", "c")])
+    relabeled, index = g.relabeled()
+    assert set(index.values()) == {0, 1, 2}
+    assert relabeled.number_of_edges() == 2
+    assert relabeled.has_edge(index["a"], index["b"])
+
+
+def test_adjacency_lists():
+    g = Graph([(10, 20), (20, 30)])
+    adj, nodes = g.adjacency_lists()
+    assert len(adj) == 3
+    index = {node: i for i, node in enumerate(nodes)}
+    assert index[20] in adj[index[10]]
+    assert index[10] in adj[index[20]]
+
+
+def test_hashable_node_types():
+    g = Graph()
+    g.add_edge(("t", 1), ("s", 0, 2))
+    g.add_edge("x", 5)
+    assert g.number_of_edges() == 2
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=120
+    )
+)
+def test_edge_count_invariant(pairs):
+    """number_of_edges always equals half the degree sum."""
+    g = Graph()
+    for u, v in pairs:
+        g.add_edge(u, v)
+    assert sum(g.degrees().values()) == 2 * g.number_of_edges()
+    assert len(g.edges()) == g.number_of_edges()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=80
+    ),
+    st.sets(st.integers(0, 20)),
+)
+def test_subgraph_invariants(pairs, keep):
+    """Induced subgraphs keep exactly the edges inside the node set."""
+    g = Graph()
+    for u, v in pairs:
+        g.add_edge(u, v)
+    keep &= set(g.nodes())
+    sub = g.subgraph(keep)
+    assert set(sub.nodes()) == keep
+    for u, v in sub.iter_edges():
+        assert g.has_edge(u, v) and u in keep and v in keep
+    expected = sum(1 for u, v in g.iter_edges() if u in keep and v in keep)
+    assert sub.number_of_edges() == expected

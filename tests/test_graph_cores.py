@@ -1,0 +1,102 @@
+"""Tests for k-core decomposition."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.generators.canonical import complete_graph, kary_tree, mesh, ring
+from repro.graph.convert import to_networkx
+from repro.graph.core import Graph
+from repro.graph.cores import (
+    core_numbers,
+    coreness_distribution,
+    k_core,
+    max_coreness,
+)
+
+
+def test_empty_graph():
+    assert core_numbers(Graph()) == {}
+    assert max_coreness(Graph()) == 0
+    assert coreness_distribution(Graph()) == []
+
+
+def test_tree_coreness_is_one():
+    core = core_numbers(kary_tree(3, 4))
+    assert set(core.values()) == {1}
+
+
+def test_ring_coreness_is_two():
+    core = core_numbers(ring(10))
+    assert set(core.values()) == {2}
+
+
+def test_complete_graph_coreness():
+    core = core_numbers(complete_graph(7))
+    assert set(core.values()) == {6}
+
+
+def test_mesh_coreness_is_two():
+    # A grid's corners peel first, but everything ends up coreness 2.
+    core = core_numbers(mesh(6))
+    assert max(core.values()) == 2
+
+
+def test_clique_with_pendant():
+    g = complete_graph(5)
+    g.add_edge(0, 99)  # pendant node
+    core = core_numbers(g)
+    assert core[99] == 1
+    assert core[1] == 4
+
+
+def test_k_core_subgraph():
+    g = complete_graph(5)
+    g.add_edge(0, 99)
+    sub = k_core(g, 2)
+    assert 99 not in sub
+    assert sub.number_of_nodes() == 5
+
+
+def test_coreness_distribution_sums_to_one():
+    g = complete_graph(4)
+    g.add_edge(0, 50)
+    dist = coreness_distribution(g)
+    assert abs(sum(f for _k, f in dist) - 1.0) < 1e-12
+    assert dist[0][0] == 1  # the pendant's coreness
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 20))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    g = Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(e for e in edges if e[0] != e[1])
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_core_numbers_match_networkx(g):
+    ours = core_numbers(g)
+    theirs = nx.core_number(to_networkx(g))
+    assert ours == theirs
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_k_core_min_degree_invariant(g):
+    """Every node of the k-core has degree >= k within the k-core."""
+    k = max_coreness(g)
+    if k == 0:
+        return
+    sub = k_core(g, k)
+    assert sub.number_of_nodes() > 0
+    for node in sub.nodes():
+        assert sub.degree(node) >= k

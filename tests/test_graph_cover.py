@@ -1,0 +1,101 @@
+"""Tests for vertex-cover approximations (Figure 8 metric + ablation)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.core import Graph
+from repro.graph.cover import (
+    cover_is_valid,
+    greedy_vertex_cover,
+    local_ratio_vertex_cover,
+    matching_vertex_cover,
+    vertex_cover_size,
+)
+
+
+def test_empty_graph_cover():
+    g = Graph()
+    g.add_node(0)
+    assert vertex_cover_size(g) == 0
+    assert matching_vertex_cover(g) == set()
+    assert greedy_vertex_cover(g) == set()
+
+
+def test_single_edge():
+    g = Graph([(0, 1)])
+    assert vertex_cover_size(g) in (1, 2)
+    assert cover_is_valid(greedy_vertex_cover(g), g.edges())
+
+
+def test_star_cover_is_center():
+    g = Graph([(0, i) for i in range(1, 10)])
+    assert greedy_vertex_cover(g) == {0}
+    assert vertex_cover_size(g) == 1
+
+
+def test_matching_cover_at_most_twice_optimum_on_star():
+    g = Graph([(0, i) for i in range(1, 10)])
+    assert len(matching_vertex_cover(g)) == 2  # optimum 1, bound 2
+
+
+def test_triangle():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    assert vertex_cover_size(g) == 2
+
+
+def test_local_ratio_simple():
+    weights = {0: 1.0, 1: 10.0}
+    weight, cover = local_ratio_vertex_cover(weights, [(0, 1)])
+    assert cover_is_valid(cover, [(0, 1)])
+    assert weight <= 2.0  # picks the cheap endpoint; 2x bound anyway
+
+
+def test_local_ratio_respects_2_approximation_on_path():
+    # Path 0-1-2-3: optimum weighted cover with unit weights = 2 ({1, 2}).
+    weights = {i: 1.0 for i in range(4)}
+    edges = [(0, 1), (1, 2), (2, 3)]
+    weight, cover = local_ratio_vertex_cover(weights, edges)
+    assert cover_is_valid(cover, edges)
+    assert weight <= 4.0
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 20))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    g = Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(e for e in edges if e[0] != e[1])
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_all_covers_are_valid(g):
+    edges = g.edges()
+    assert cover_is_valid(matching_vertex_cover(g), edges)
+    assert cover_is_valid(greedy_vertex_cover(g), edges)
+    weights = {node: 1.0 for node in g.nodes()}
+    _, cover = local_ratio_vertex_cover(weights, edges)
+    assert cover_is_valid(cover, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_cover_size_bounds(g):
+    """vertex_cover_size is within [max_matching, 2 * max_matching]."""
+    import networkx as nx
+
+    from repro.graph.convert import to_networkx
+
+    if g.number_of_edges() == 0:
+        return
+    matching = nx.max_weight_matching(to_networkx(g), maxcardinality=True)
+    lower = len(matching)  # any cover has >= matching-size vertices
+    size = vertex_cover_size(g)
+    assert lower <= size <= 2 * lower

@@ -1,0 +1,122 @@
+"""Tests for the balanced bipartition solver, including the growth laws
+the paper quotes: R ∝ kn (random), R ∝ sqrt(n) (mesh), R = O(1) (tree)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.generators.canonical import erdos_renyi_gnm, kary_tree, mesh
+from repro.graph.core import Graph
+from repro.graph.partition import (
+    balanced_bipartition,
+    bisection_cut_size,
+    greedy_bisection_cut_size,
+)
+
+
+def cut_between(graph, side_a, side_b):
+    return sum(1 for u, v in graph.iter_edges() if (u in side_a) != (v in side_a))
+
+
+def test_trivial_graphs():
+    g = Graph()
+    assert balanced_bipartition(g)[0] == 0
+    g.add_node(0)
+    cut, (a, b) = balanced_bipartition(g)
+    assert cut == 0 and len(a) + len(b) == 1
+
+
+def test_two_nodes():
+    g = Graph([(0, 1)])
+    cut, (a, b) = balanced_bipartition(g)
+    assert cut == 1
+    assert len(a) == 1 and len(b) == 1
+
+
+def test_reported_cut_matches_partition():
+    g = erdos_renyi_gnm(120, 360, seed=1)
+    cut, (a, b) = balanced_bipartition(g)
+    assert cut == cut_between(g, a, b)
+    assert a | b == set(g.nodes())
+    assert not (a & b)
+
+
+def test_partition_is_balanced():
+    g = erdos_renyi_gnm(200, 500, seed=2)
+    n = g.number_of_nodes()
+    _, (a, b) = balanced_bipartition(g)
+    assert min(len(a), len(b)) >= 0.38 * n
+
+
+def test_tree_cut_is_tiny():
+    tree = kary_tree(3, 6)  # 1093 nodes
+    cut = bisection_cut_size(tree)
+    assert cut <= 6  # ideal is 1-2; heuristic slack allowed
+
+
+def test_mesh_cut_is_near_side_length():
+    g = mesh(20)
+    cut = bisection_cut_size(g)
+    assert 20 <= cut <= 30  # optimum is 20 (a straight cut)
+
+
+def test_random_graph_cut_scales_linearly():
+    # R(n) ∝ kn: a 400-node degree-4 random graph should have a cut far
+    # above the mesh's sqrt-scale cut.
+    g = erdos_renyi_gnm(400, 800, seed=3)
+    cut = bisection_cut_size(g)
+    assert cut > 60
+
+
+def test_growth_law_ordering():
+    """tree << mesh << random at comparable sizes (the paper's R laws)."""
+    tree_cut = bisection_cut_size(kary_tree(2, 8))  # 511 nodes
+    mesh_cut = bisection_cut_size(mesh(22))  # 484 nodes
+    rand_cut = bisection_cut_size(erdos_renyi_gnm(500, 1000, seed=4))
+    assert tree_cut < mesh_cut < rand_cut
+
+
+def test_mesh_sqrt_scaling():
+    small = bisection_cut_size(mesh(10))
+    large = bisection_cut_size(mesh(30))
+    # 9x the nodes should give ~3x the cut, certainly < 5x.
+    assert small <= large <= 5 * small
+
+
+def test_greedy_baseline_never_better_than_refined():
+    g = erdos_renyi_gnm(150, 400, seed=5)
+    refined = bisection_cut_size(g, trials=4)
+    greedy = greedy_bisection_cut_size(g)
+    assert refined <= greedy
+
+
+def test_deterministic_given_same_rng_seed():
+    g = erdos_renyi_gnm(100, 250, seed=6)
+    cut1 = bisection_cut_size(g, rng=random.Random(7))
+    cut2 = bisection_cut_size(g, rng=random.Random(7))
+    assert cut1 == cut2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(4, 40), st.integers(0, 10**6))
+def test_partition_invariants_random_graphs(n, seed):
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for _ in range(2 * n):
+        g.add_edge(rng.randrange(n), rng.randrange(n))
+    cut, (a, b) = balanced_bipartition(g)
+    # Partition covers all nodes exactly once.
+    assert a | b == set(g.nodes())
+    assert not (a & b)
+    # Reported cut is the actual cut.
+    assert cut == cut_between(g, a, b)
+    # Balance within the documented slack (never worse than 1/3 : 2/3).
+    assert min(len(a), len(b)) >= n // 3
+
+
+def test_disconnected_graph_can_have_zero_cut():
+    g = Graph([(0, 1), (0, 2), (3, 4), (3, 5)])
+    cut, (a, b) = balanced_bipartition(g)
+    assert cut == 0
+    assert {len(a), len(b)} == {3}

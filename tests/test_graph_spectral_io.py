@@ -1,0 +1,100 @@
+"""Tests for spectra and edge-list I/O."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators.canonical import complete_graph, ring
+from repro.graph.core import Graph
+from repro.graph.io import read_edgelist, write_edgelist
+from repro.graph.spectral import (
+    adjacency_matrix,
+    adjacency_spectrum,
+    eigenvalue_rank_series,
+    top_eigenvalues,
+)
+
+
+def test_adjacency_matrix_symmetric():
+    g = Graph([(0, 1), (1, 2)])
+    m = adjacency_matrix(g)
+    assert np.array_equal(m, m.T)
+    assert m.sum() == 4  # 2 edges, both directions
+
+
+def test_complete_graph_spectrum():
+    # K_n eigenvalues: n-1 once, -1 with multiplicity n-1.
+    n = 6
+    values = adjacency_spectrum(complete_graph(n))
+    assert values[0] == pytest.approx(n - 1)
+    assert values[1:] == pytest.approx(-np.ones(n - 1))
+
+
+def test_star_spectrum():
+    # Star on n leaves: +/- sqrt(n), zeros in between.
+    n = 9
+    g = Graph([(0, i) for i in range(1, n + 1)])
+    values = adjacency_spectrum(g)
+    assert values[0] == pytest.approx(math.sqrt(n))
+    assert values[-1] == pytest.approx(-math.sqrt(n))
+
+
+def test_ring_largest_eigenvalue_is_two():
+    values = adjacency_spectrum(ring(12))
+    assert values[0] == pytest.approx(2.0)
+
+
+def test_top_eigenvalues_match_dense():
+    g = Graph([(i, (i + 1) % 20) for i in range(20)])
+    g.add_edges_from([(0, 10), (5, 15)])
+    dense = adjacency_spectrum(g)[:5]
+    top = top_eigenvalues(g, 5)
+    assert np.allclose(dense, top)
+
+
+def test_top_eigenvalues_sparse_path():
+    # Force the sparse (Lanczos) code path with a graph above the dense
+    # limit and k << n.
+    g = Graph([(i, i + 1) for i in range(1500)])
+    top = top_eigenvalues(g, 3)
+    assert len(top) == 3
+    # Path-graph eigenvalues are 2 cos(pi k / (n+1)) < 2.
+    assert top[0] == pytest.approx(2.0, abs=1e-3)
+    assert all(top[i] >= top[i + 1] for i in range(len(top) - 1))
+
+
+def test_eigenvalue_rank_series_positive_only():
+    series = eigenvalue_rank_series(complete_graph(5), k=5)
+    assert series == [(1, pytest.approx(4.0))]
+
+
+def test_empty_graph_spectrum():
+    assert adjacency_spectrum(Graph()).size == 0
+    assert top_eigenvalues(Graph(), 5).size == 0
+
+
+def test_edgelist_roundtrip(tmp_path):
+    g = Graph([(0, 1), (1, 2), (2, 3), (0, 3)])
+    path = tmp_path / "graph.edges"
+    write_edgelist(g, path, header="test graph\nsecond line")
+    back = read_edgelist(path)
+    assert back.number_of_nodes() == g.number_of_nodes()
+    assert {frozenset(e) for e in back.iter_edges()} == {
+        frozenset(e) for e in g.iter_edges()
+    }
+
+
+def test_edgelist_string_nodes(tmp_path):
+    g = Graph([("r1", "r2"), ("r2", "r3")])
+    path = tmp_path / "named.edges"
+    write_edgelist(g, path)
+    back = read_edgelist(path, as_int=False)
+    assert back.has_edge("r1", "r2")
+
+
+def test_edgelist_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.edges"
+    path.write_text("0 1\njustonetoken\n")
+    with pytest.raises(ValueError):
+        read_edgelist(path)

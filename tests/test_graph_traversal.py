@@ -1,0 +1,147 @@
+"""Tests for BFS traversal, connectivity and path utilities, including
+cross-validation against networkx reference implementations."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.convert import to_networkx
+from repro.graph.core import Graph
+from repro.graph.traversal import (
+    average_path_length,
+    bfs_distances,
+    bfs_layers,
+    bfs_parents,
+    connected_components,
+    eccentricity,
+    graph_diameter,
+    is_connected,
+    largest_connected_component,
+    shortest_path,
+    shortest_path_length,
+)
+
+
+def path_graph(n):
+    return Graph([(i, i + 1) for i in range(n - 1)])
+
+
+def test_bfs_distances_path():
+    g = path_graph(5)
+    assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+
+def test_bfs_distances_max_depth():
+    g = path_graph(10)
+    dist = bfs_distances(g, 0, max_depth=3)
+    assert max(dist.values()) == 3
+    assert len(dist) == 4
+
+
+def test_bfs_distances_missing_source():
+    g = path_graph(3)
+    with pytest.raises(KeyError):
+        bfs_distances(g, 99)
+
+
+def test_bfs_layers():
+    g = Graph([(0, 1), (0, 2), (1, 3), (2, 3)])
+    layers = bfs_layers(g, 0)
+    assert layers[0] == [0]
+    assert sorted(layers[1]) == [1, 2]
+    assert layers[2] == [3]
+
+
+def test_bfs_parents_root_is_none():
+    g = path_graph(4)
+    parent = bfs_parents(g, 0)
+    assert parent[0] is None
+    assert parent[3] == 2
+
+
+def test_shortest_path_endpoints():
+    g = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+    path = shortest_path(g, 0, 3)
+    assert path[0] == 0 and path[-1] == 3
+    assert len(path) - 1 == 2
+
+
+def test_shortest_path_same_node():
+    g = path_graph(3)
+    assert shortest_path(g, 1, 1) == [1]
+    assert shortest_path_length(g, 1, 1) == 0
+
+
+def test_shortest_path_disconnected():
+    g = Graph([(0, 1)])
+    g.add_edge(2, 3)
+    assert shortest_path(g, 0, 3) is None
+    assert shortest_path_length(g, 0, 3) is None
+
+
+def test_connected_components_sorted_by_size():
+    g = Graph([(0, 1), (1, 2), (3, 4)])
+    g.add_node(9)
+    comps = connected_components(g)
+    assert [len(c) for c in comps] == [3, 2, 1]
+
+
+def test_is_connected():
+    assert is_connected(Graph())
+    assert is_connected(path_graph(5))
+    g = path_graph(3)
+    g.add_node(99)
+    assert not is_connected(g)
+
+
+def test_largest_connected_component():
+    g = Graph([(0, 1), (1, 2), (5, 6)])
+    giant = largest_connected_component(g)
+    assert set(giant.nodes()) == {0, 1, 2}
+
+
+def test_eccentricity_and_diameter():
+    g = path_graph(5)
+    assert eccentricity(g, 0) == 4
+    assert eccentricity(g, 2) == 2
+    assert graph_diameter(g) == 4
+
+
+def test_average_path_length_path_graph():
+    g = path_graph(3)  # pairs: (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3
+    assert average_path_length(g) == pytest.approx(4 / 3)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 18))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    g = Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(e for e in edges if e[0] != e[1])
+    return g
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_bfs_distances_match_networkx(g):
+    source = g.nodes()[0]
+    ours = bfs_distances(g, source)
+    theirs = nx.single_source_shortest_path_length(to_networkx(g), source)
+    assert ours == dict(theirs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_components_match_networkx(g):
+    ours = sorted(sorted(map(str, comp)) for comp in connected_components(g))
+    theirs = sorted(
+        sorted(map(str, comp)) for comp in nx.connected_components(to_networkx(g))
+    )
+    assert ours == theirs

@@ -1,0 +1,109 @@
+"""Tests for BFS trees, TreeIndex LCA queries, and tree distortion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.graph.trees import (
+    TreeIndex,
+    bfs_tree,
+    spanning_tree_distortion,
+    tree_as_graph,
+    tree_distance,
+)
+
+
+def test_bfs_tree_root_parent_none():
+    g = Graph([(0, 1), (1, 2), (0, 2)])
+    parent = bfs_tree(g, 0)
+    assert parent[0] is None
+    assert len(parent) == 3
+
+
+def test_tree_as_graph():
+    parent = {0: None, 1: 0, 2: 0, 3: 1}
+    tree = tree_as_graph(parent)
+    assert tree.number_of_edges() == 3
+    assert tree.has_edge(3, 1)
+
+
+def test_tree_distance_path():
+    parent = {0: None, 1: 0, 2: 1, 3: 2}
+    assert tree_distance(parent, 0, 3) == 3
+    assert tree_distance(parent, 1, 3) == 2
+    assert tree_distance(parent, 2, 2) == 0
+
+
+def test_tree_index_matches_walk():
+    parent = {0: None, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 5}
+    index = TreeIndex(parent)
+    for u in parent:
+        for v in parent:
+            assert index.distance(u, v) == tree_distance(parent, u, v)
+
+
+def test_tree_index_lca():
+    parent = {0: None, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2}
+    index = TreeIndex(parent)
+    assert index.lca(3, 4) == 1
+    assert index.lca(3, 5) == 0
+    assert index.lca(3, 3) == 3
+    assert index.lca(0, 4) == 0
+
+
+def test_tree_index_depth():
+    parent = {0: None, 1: 0, 2: 1}
+    index = TreeIndex(parent)
+    assert index.depth(0) == 0
+    assert index.depth(2) == 2
+
+
+def test_tree_index_rejects_forest():
+    with pytest.raises(ValueError):
+        TreeIndex({0: None, 1: None})
+
+
+def test_tree_index_deep_chain():
+    n = 4000
+    parent = {0: None}
+    parent.update({i: i - 1 for i in range(1, n)})
+    index = TreeIndex(parent)
+    assert index.distance(0, n - 1) == n - 1
+    assert index.lca(n - 1, n // 2) == n // 2
+
+
+def test_distortion_of_tree_is_one():
+    g = Graph([(0, 1), (1, 2), (1, 3), (3, 4)])
+    parent = bfs_tree(g, 0)
+    assert spanning_tree_distortion(g, parent) == 1.0
+
+
+def test_distortion_of_cycle():
+    # 4-cycle with BFS tree from 0: the chord's endpoints are 3 apart on
+    # the tree -> distortion = (1 + 1 + 1 + 3) / 4 = 1.5
+    g = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+    parent = bfs_tree(g, 0)
+    assert spanning_tree_distortion(g, parent) == pytest.approx(1.5)
+
+
+def test_distortion_empty_graph():
+    g = Graph()
+    g.add_node(0)
+    assert spanning_tree_distortion(g, {0: None}) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 60), st.randoms(use_true_random=False))
+def test_tree_index_distance_matches_bfs(n, rnd):
+    """On a random tree, TreeIndex distances equal BFS distances."""
+    g = Graph()
+    g.add_node(0)
+    for i in range(1, n):
+        g.add_edge(i, rnd.randrange(i))
+    index = TreeIndex(bfs_tree(g, 0))
+    # Check a handful of random pairs against BFS ground truth.
+    for _ in range(10):
+        u = rnd.randrange(n)
+        v = rnd.randrange(n)
+        assert index.distance(u, v) == bfs_distances(g, u)[v]

@@ -1,0 +1,143 @@
+"""Tests for weighted shortest paths (Dijkstra) and hop counting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators.canonical import erdos_renyi_gnm, linear_chain, ring
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.graph.weighted import (
+    dijkstra,
+    random_edge_weights,
+    total_variation_distance,
+    weighted_hop_count_distribution,
+)
+
+
+def unit_weight(_u, _v):
+    return 1.0
+
+
+def test_unit_weights_match_bfs():
+    g = erdos_renyi_gnm(120, 300, seed=1)
+    src = g.nodes()[0]
+    dist, hops = dijkstra(g, unit_weight, src)
+    bfs = bfs_distances(g, src)
+    assert {n: int(d) for n, d in dist.items()} == bfs
+    assert hops == bfs
+
+
+def test_weighted_path_choice():
+    # Direct edge weight 5 vs two-hop detour weight 2+2.
+    g = Graph([(0, 2), (0, 1), (1, 2)])
+    weights = {frozenset((0, 2)): 5.0, frozenset((0, 1)): 2.0, frozenset((1, 2)): 2.0}
+    dist, hops = dijkstra(g, lambda u, v: weights[frozenset((u, v))], 0)
+    assert dist[2] == pytest.approx(4.0)
+    assert hops[2] == 2
+
+
+def test_tie_breaks_toward_fewer_hops():
+    # Two paths of equal weight 2: direct (1 hop, weight 2) and via 1.
+    g = Graph([(0, 2), (0, 1), (1, 2)])
+    weights = {frozenset((0, 2)): 2.0, frozenset((0, 1)): 1.0, frozenset((1, 2)): 1.0}
+    _dist, hops = dijkstra(g, lambda u, v: weights[frozenset((u, v))], 0)
+    assert hops[2] == 1
+
+
+def test_negative_weight_rejected():
+    g = Graph([(0, 1)])
+    with pytest.raises(ValueError):
+        dijkstra(g, lambda u, v: -1.0, 0)
+
+
+def test_unreachable_nodes_absent():
+    g = Graph([(0, 1)])
+    g.add_node(5)
+    dist, hops = dijkstra(g, unit_weight, 0)
+    assert 5 not in dist and 5 not in hops
+
+
+def test_random_edge_weights_symmetric_and_fixed():
+    g = ring(10)
+    weight = random_edge_weights(g, "exponential", seed=2)
+    for u, v in g.iter_edges():
+        assert weight(u, v) == weight(v, u)
+        assert weight(u, v) > 0
+        assert weight(u, v) == weight(u, v)  # stable across calls
+
+
+def test_random_edge_weights_distributions_differ():
+    g = erdos_renyi_gnm(100, 300, seed=3)
+    exp_w = random_edge_weights(g, "exponential", seed=3)
+    uni_w = random_edge_weights(g, "uniform", seed=3)
+    exp_values = [exp_w(u, v) for u, v in g.iter_edges()]
+    uni_values = [uni_w(u, v) for u, v in g.iter_edges()]
+    assert max(uni_values) <= 1.0
+    assert max(exp_values) > 1.0  # exponential has unbounded support
+
+
+def test_random_edge_weights_invalid():
+    g = ring(5)
+    with pytest.raises(ValueError):
+        random_edge_weights(g, "gaussian")
+
+
+def test_weighted_hop_count_distribution_sums_to_one():
+    g = erdos_renyi_gnm(200, 600, seed=4)
+    weight = random_edge_weights(g, "exponential", seed=4)
+    dist = weighted_hop_count_distribution(g, weight, num_sources=15, seed=4)
+    assert sum(f for _h, f in dist) == pytest.approx(1.0)
+
+
+def test_weighted_hops_exceed_unweighted():
+    # Random weights push optimal paths onto detours: mean weighted hop
+    # count >= mean unweighted hop count.
+    g = erdos_renyi_gnm(300, 900, seed=5)
+    weight = random_edge_weights(g, "exponential", seed=5)
+    weighted = weighted_hop_count_distribution(g, weight, num_sources=15, seed=5)
+    unweighted = weighted_hop_count_distribution(
+        g, unit_weight, num_sources=15, seed=5
+    )
+    mean_w = sum(h * f for h, f in weighted)
+    mean_u = sum(h * f for h, f in unweighted)
+    assert mean_w >= mean_u
+
+
+def test_total_variation_distance():
+    a = [(1, 0.5), (2, 0.5)]
+    b = [(1, 0.5), (2, 0.5)]
+    assert total_variation_distance(a, b) == 0.0
+    c = [(3, 1.0)]
+    assert total_variation_distance(a, c) == pytest.approx(1.0)
+
+
+def test_chain_weighted_hops_equal_plain():
+    # On a tree there is only one path, weights cannot change hops.
+    g = linear_chain(30)
+    weight = random_edge_weights(g, "uniform", seed=6)
+    _dist, hops = dijkstra(g, weight, 0)
+    assert hops == bfs_distances(g, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 25), st.integers(0, 10**6))
+def test_dijkstra_distances_are_optimal_vs_bfs_bound(n, seed):
+    import random as _random
+
+    rng = _random.Random(seed)
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for i in range(1, n):
+        g.add_edge(i, rng.randrange(i))
+    for _ in range(n):
+        g.add_edge(rng.randrange(n), rng.randrange(n))
+    weight = random_edge_weights(g, "uniform", seed=seed)
+    dist, hops = dijkstra(g, weight, 0)
+    bfs = bfs_distances(g, 0)
+    assert set(dist) == set(bfs)
+    for node in bfs:
+        # A weighted-optimal path can never use fewer hops than BFS.
+        assert hops[node] >= bfs[node]
+        # And its weight is at most the weight of the BFS path (trivially
+        # bounded by hop count since weights <= 1).
+        assert dist[node] <= bfs[node] + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for the benchmark harness: registry, tables, sweeps."""
+
+import pytest
+
+from repro.harness import (
+    FIGURE1_ROWS,
+    format_series,
+    format_table,
+    sweep,
+    topology,
+    topology_names,
+)
+from repro.generators.canonical import erdos_renyi
+
+
+def test_topology_registry_small_instances():
+    entry = topology("Tree", scale="small")
+    assert entry.graph.number_of_nodes() == 121
+    assert entry.category == "canonical"
+
+
+def test_topology_registry_caches():
+    a = topology("Mesh", scale="small")
+    b = topology("Mesh", scale="small")
+    assert a is b
+
+
+def test_topology_unknown_name():
+    with pytest.raises(KeyError):
+        topology("Banana")
+
+
+def test_topology_measured_pair_has_relationships():
+    entry = topology("AS", scale="small")
+    assert entry.relationships is not None
+    assert entry.category == "measured"
+    # Every edge of the AS graph must be annotated.
+    for u, v in entry.graph.iter_edges():
+        assert entry.relationships.rel(u, v)
+
+
+def test_topology_rl_small_is_core():
+    entry = topology("RL", scale="small")
+    # The small-scale RL instance is the degree>=2 core (footnote 29).
+    assert all(entry.graph.degree(n) >= 2 for n in entry.graph.nodes())
+
+
+def test_topology_names_cover_figure1():
+    names = set(topology_names("default"))
+    for name, _category in FIGURE1_ROWS:
+        assert name in names
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "count"], [["Tree", 1093], ["Mesh", 900]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "Tree" in lines[2]
+    # Second column starts at the same offset in header and data rows.
+    assert lines[0].index("count") == lines[2].index("1093")
+
+
+def test_format_series_decimation():
+    points = [(i, i * 2.0) for i in range(100)]
+    out = format_series("E(h)", points, x_name="h", y_name="E", max_points=10)
+    assert out.startswith("E(h)")
+    # Decimated to roughly 10 points.
+    assert len(out.splitlines()[1].split()) <= 12
+
+
+def test_sweep_rows():
+    rows = sweep(
+        "Random",
+        lambda seed, n, p: erdos_renyi(n, p, seed=seed),
+        [{"n": 100, "p": 0.05}, {"n": 200, "p": 0.02}],
+    )
+    assert len(rows) == 2
+    assert rows[0].generator == "Random"
+    assert rows[0].nodes <= 100
+    assert rows[0].signature is None
+
+
+def test_sweep_with_classification():
+    rows = sweep(
+        "Random",
+        lambda seed, n, p: erdos_renyi(n, p, seed=seed),
+        [{"n": 400, "p": 0.01}],
+        classify=True,
+    )
+    assert rows[0].signature is not None
+    assert len(rows[0].signature) == 3

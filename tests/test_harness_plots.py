@@ -1,0 +1,132 @@
+"""Tests for the ASCII plotter and routing inflation / DAG checks."""
+
+import pytest
+
+from repro.harness.plots import ascii_plot
+from repro.graph.core import Graph
+from repro.internet import provider_hierarchy_is_acyclic, synthetic_as_graph
+from repro.internet.asgraph import ASGraphParams
+from repro.routing import path_inflation
+from repro.routing.policy import Relationships
+
+
+# ----------------------------------------------------------------------
+# ascii_plot
+# ----------------------------------------------------------------------
+
+def test_plot_empty():
+    assert ascii_plot({}) == "(no series)"
+
+
+def test_plot_log_drops_nonpositive():
+    out = ascii_plot({"s": [(0, 0.0), (1, 1.0)]}, log_y=True)
+    assert "1" in out
+
+
+def test_plot_all_nonpositive_on_log_axis():
+    assert ascii_plot({"s": [(0, 0.0)]}, log_y=True) == "(no plottable points)"
+
+
+def test_plot_contains_marks_and_legend():
+    out = ascii_plot(
+        {"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]},
+        width=20,
+        height=6,
+    )
+    assert "o=a" in out and "x=b" in out
+    assert "o" in out and "x" in out
+
+
+def test_plot_dimensions():
+    out = ascii_plot({"a": [(0, 0), (10, 10)]}, width=30, height=8)
+    lines = out.splitlines()
+    assert len(lines) == 8 + 2  # canvas + x axis + legend
+    canvas_rows = [line for line in lines if "|" in line]
+    assert all(len(row.split("|")[1]) == 30 for row in canvas_rows)
+
+
+def test_plot_single_point_no_crash():
+    out = ascii_plot({"a": [(5, 5)]})
+    assert "o" in out
+
+
+def test_plot_axis_labels():
+    out = ascii_plot(
+        {"a": [(1, 1), (100, 100)]}, log_x=True, log_y=True,
+        x_label="n", y_label="R",
+    )
+    assert "n vs R" in out
+    assert "log x" in out and "log y" in out
+
+
+# ----------------------------------------------------------------------
+# path inflation
+# ----------------------------------------------------------------------
+
+def test_inflation_all_sibling_is_zero():
+    g = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])
+    rels = Relationships(default_sibling=True)
+    stats = path_inflation(g, rels, num_sources=4, seed=1)
+    assert stats.inflated_pairs == 0
+    assert stats.mean_inflation == 0.0
+    assert stats.unreachable_fraction == 0.0
+
+
+def test_inflation_detects_valley():
+    # 0 and 2 both provide for 1; 0<->2 policy-unreachable.
+    g = Graph([(0, 1), (1, 2)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=0, customer=1)
+    rels.set_provider_customer(provider=2, customer=1)
+    stats = path_inflation(g, rels, sources=[0, 1, 2], seed=1)
+    assert stats.unreachable_fraction > 0
+
+
+def test_inflation_on_synthetic_as_graph_is_small():
+    as_graph = synthetic_as_graph(ASGraphParams(n=350), seed=2)
+    stats = path_inflation(
+        as_graph.graph, as_graph.relationships, num_sources=10, seed=2
+    )
+    # [42]'s qualitative result: a minority of pairs, small inflation.
+    assert stats.unreachable_fraction == 0.0  # multihomed tiering connects all
+    assert stats.inflated_fraction < 0.35
+    assert stats.mean_inflation < 0.5
+    assert stats.max_inflation <= 6
+
+
+# ----------------------------------------------------------------------
+# provider-hierarchy DAG check
+# ----------------------------------------------------------------------
+
+def test_acyclic_on_chain():
+    g = Graph([(0, 1), (1, 2)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=0, customer=1)
+    rels.set_provider_customer(provider=1, customer=2)
+    assert provider_hierarchy_is_acyclic(g, rels)
+
+
+def test_cycle_detected():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=0, customer=1)
+    rels.set_provider_customer(provider=1, customer=2)
+    rels.set_provider_customer(provider=2, customer=0)
+    assert not provider_hierarchy_is_acyclic(g, rels)
+
+
+def test_peers_do_not_create_cycles():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    rels = Relationships()
+    rels.set_peer(0, 1)
+    rels.set_peer(1, 2)
+    rels.set_peer(2, 0)
+    assert provider_hierarchy_is_acyclic(g, rels)
+
+
+def test_synthetic_as_graph_always_acyclic():
+    for seed in (1, 2, 3):
+        as_graph = synthetic_as_graph(ASGraphParams(n=250), seed=seed)
+        assert provider_hierarchy_is_acyclic(
+            as_graph.graph, as_graph.relationships
+        )

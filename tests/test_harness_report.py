@@ -1,0 +1,92 @@
+"""Tests for the one-call report generator."""
+
+from repro.generators import kary_tree, plrg
+from repro.harness import ReportInput, analyse_topology, generate_report
+from repro.harness.report import MAX_LINK_VALUE_NODES
+
+
+def test_analyse_topology_tree():
+    report = analyse_topology(
+        ReportInput("Tree", kary_tree(3, 4)), num_centers=4, max_ball_size=150
+    )
+    assert report.name == "Tree"
+    assert report.nodes == 121
+    assert report.signature[2] == "L"  # tree distortion is Low
+    assert report.hierarchy_class == "strict"
+    assert report.correlation is not None
+
+
+def test_analyse_topology_skips_link_values_on_large_graphs():
+    graph = plrg(2500, 2.246, seed=1)
+    assert graph.number_of_nodes() > MAX_LINK_VALUE_NODES
+    report = analyse_topology(
+        ReportInput("PLRG", graph), num_centers=4, max_ball_size=300
+    )
+    assert report.hierarchy_class is None
+    assert report.correlation is None
+
+
+def test_analyse_topology_link_value_override():
+    big = plrg(2500, 2.246, seed=2)
+    small = plrg(300, 2.246, seed=2)
+    report = analyse_topology(
+        ReportInput("PLRG", big, link_value_graph=small),
+        num_centers=4,
+        max_ball_size=300,
+    )
+    assert report.hierarchy_class is not None
+
+
+def test_generate_report_markdown():
+    items = [
+        ReportInput("Tree", kary_tree(3, 4)),
+        ReportInput("PLRG", plrg(350, 2.246, seed=3)),
+    ]
+    report = generate_report(items, num_centers=4, max_ball_size=200)
+    assert report.startswith("# Topology comparison report")
+    assert "Tree" in report and "PLRG" in report
+    assert "signature" in report
+    # PLRG should be flagged Internet-like.
+    assert "Internet-like (HHL) topologies" in report
+    assert "PLRG" in report.split("Internet-like")[-1]
+
+
+# ----------------------------------------------------------------------
+# Series export
+# ----------------------------------------------------------------------
+
+def test_series_csv_roundtrip(tmp_path):
+    from repro.harness import read_series_csv, write_series_csv
+
+    series = {"Tree": [(1, 0.5), (2, 1.0)], "Mesh": [(1, 0.25)]}
+    path = tmp_path / "fig.csv"
+    write_series_csv(series, path, x_name="h", y_name="E")
+    back = read_series_csv(path)
+    assert back == {"Tree": [(1.0, 0.5), (2.0, 1.0)], "Mesh": [(1.0, 0.25)]}
+    header = path.read_text().splitlines()[0]
+    assert header == "series,h,E"
+
+
+def test_series_json_roundtrip(tmp_path):
+    from repro.harness import read_series_json, write_series_json
+
+    series = {"R(n)": [(10, 3.5), (100, 30.0)]}
+    path = tmp_path / "fig.json"
+    write_series_json(series, path, metadata={"figure": "2b"})
+    back = read_series_json(path)
+    assert back == {"R(n)": [(10.0, 3.5), (100.0, 30.0)]}
+    import json
+
+    payload = json.loads(path.read_text())
+    assert payload["metadata"]["figure"] == "2b"
+
+
+def test_series_csv_bad_header(tmp_path):
+    from repro.harness import read_series_csv
+
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n")
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        read_series_csv(path)

@@ -1,0 +1,265 @@
+"""Tests for the Section 5 hierarchy machinery: traversal sets, link
+values, classification, correlation."""
+
+import pytest
+
+from repro.generators.canonical import erdos_renyi_gnm, kary_tree, mesh
+from repro.generators.plrg import plrg
+from repro.graph.core import Graph
+from repro.hierarchy import (
+    HierarchyThresholds,
+    classify_hierarchy,
+    hierarchy_table,
+    link_traversal_sets,
+    link_value_degree_correlation,
+    link_value_from_entries,
+    link_values,
+    normalized_rank_distribution,
+    pearson,
+    traversal_set_size,
+)
+from repro.internet import synthetic_as_graph
+from repro.internet.asgraph import ASGraphParams
+
+
+# ----------------------------------------------------------------------
+# Traversal sets
+# ----------------------------------------------------------------------
+
+def test_traversal_sets_path_graph():
+    g = Graph([(0, 1), (1, 2)])
+    sets = link_traversal_sets(g)
+    # Pairs: (0,1), (0,2), (1,2). Link (0,1) carries (0,1) and (0,2).
+    entries_01 = sets[(0, 1)]
+    assert len(entries_01) == 2
+    assert all(w == pytest.approx(1.0) for _u, _v, w in entries_01)
+
+
+def test_traversal_sets_orientation():
+    g = Graph([(0, 1), (1, 2)])
+    sets = link_traversal_sets(g)
+    for u, v, _w in sets[(1, 2)]:
+        # Left member must be on node 1's side {0, 1}, right on {2}.
+        assert u in (0, 1)
+        assert v == 2
+
+
+def test_traversal_sets_total_weight_equals_path_length_sum():
+    # Sum over links of traversal weight == sum over pairs of distance.
+    g = erdos_renyi_gnm(40, 90, seed=1)
+    sets = link_traversal_sets(g)
+    total = sum(traversal_set_size(entries) for entries in sets.values())
+    from repro.graph.traversal import bfs_distances
+
+    nodes = g.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    expected = 0.0
+    for s in nodes:
+        dist = bfs_distances(g, s)
+        expected += sum(d for t, d in dist.items() if index[t] > index[s])
+    assert total == pytest.approx(expected)
+
+
+def test_traversal_sets_each_pair_once():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    sets = link_traversal_sets(g)
+    # Triangle: every pair is adjacent; each link's set is just its own
+    # endpoints' pair with weight 1.
+    for (a, b), entries in sets.items():
+        assert len(entries) == 1
+        u, v, w = entries[0]
+        assert {u, v} == {a, b}
+        assert w == pytest.approx(1.0)
+
+
+def test_traversal_sets_equal_cost_split():
+    g = Graph([(0, 1), (0, 2), (1, 3), (2, 3)])
+    sets = link_traversal_sets(g)
+    # Pair (0,3) splits across the two 2-hop paths.
+    entries = [e for e in sets[(0, 1)] if {e[0], e[1]} == {0, 3}]
+    assert len(entries) == 1
+    assert entries[0][2] == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Link values
+# ----------------------------------------------------------------------
+
+def test_access_link_value_is_one():
+    # "access links have a vertex cover of 1, since eliminating the
+    # singleton node eliminates all pairs from the set."
+    g = Graph([(0, 1), (1, 2), (1, 3), (3, 4)])  # 0 is a leaf
+    values = link_values(g)
+    leaf_link = (0, 1) if (0, 1) in values else (1, 0)
+    assert values[leaf_link] == pytest.approx(1.0)
+
+
+def test_star_center_links_all_access():
+    g = Graph([(0, i) for i in range(1, 8)])
+    values = link_values(g)
+    assert all(v == pytest.approx(1.0) for v in values.values())
+
+
+def test_backbone_link_beats_leaf_link():
+    # Two stars joined by a bridge: the bridge carries all cross pairs.
+    g = Graph([(0, i) for i in range(2, 6)])
+    g.add_edges_from([(1, i) for i in range(6, 10)])
+    g.add_edge(0, 1)
+    values = link_values(g)
+    bridge = values[(0, 1)] if (0, 1) in values else values[(1, 0)]
+    leaf = [v for k, v in values.items() if frozenset(k) != frozenset((0, 1))]
+    assert bridge > max(leaf)
+
+
+def test_link_value_from_entries_empty():
+    assert link_value_from_entries([]) == 0.0
+
+
+def test_link_value_exact_vs_approx_bound():
+    g = plrg(150, 2.3, seed=2)
+    sets = link_traversal_sets(g)
+    for entries in list(sets.values())[:25]:
+        exact = link_value_from_entries(entries, exact=True)
+        approx = link_value_from_entries(entries, exact=False)
+        assert exact <= approx + 1e-9
+        assert approx <= 2 * exact + 1e-9
+
+
+def test_tree_root_links_have_highest_value():
+    g = kary_tree(3, 3)
+    values = link_values(g)
+    root_links = [v for (a, b), v in values.items() if a == 0 or b == 0]
+    other = [v for (a, b), v in values.items() if a != 0 and b != 0]
+    assert min(root_links) > max(other) * 0.9
+
+
+# ----------------------------------------------------------------------
+# Rank distribution and classification
+# ----------------------------------------------------------------------
+
+def test_normalized_rank_distribution_format():
+    values = {(0, 1): 4.0, (1, 2): 2.0, (2, 3): 1.0}
+    dist = normalized_rank_distribution(values, num_nodes=10)
+    assert dist[0] == (pytest.approx(1 / 3), pytest.approx(0.4))
+    assert dist[-1][0] == pytest.approx(1.0)
+    values_only = [v for _r, v in dist]
+    assert values_only == sorted(values_only, reverse=True)
+
+
+def test_normalized_rank_distribution_empty():
+    assert normalized_rank_distribution({}, 5) == []
+
+
+def test_classify_hierarchy_categories():
+    # Strict: huge top value falling off fast.
+    strict = [(0.01, 0.4), (0.1, 0.01), (1.0, 0.001)]
+    assert classify_hierarchy(strict) == "strict"
+    # Moderate: modest top value, fast falloff.
+    moderate = [(0.01, 0.08), (0.1, 0.004), (1.0, 0.0005)]
+    assert classify_hierarchy(moderate) == "moderate"
+    # Loose: flat distribution.
+    loose = [(0.01, 0.08)] + [(i / 10, 0.05) for i in range(1, 11)]
+    assert classify_hierarchy(loose) == "loose"
+
+
+def test_classify_hierarchy_empty_raises():
+    with pytest.raises(ValueError):
+        classify_hierarchy([])
+
+
+def test_paper_hierarchy_classes_on_small_instances():
+    """The Section 5.1 table: Tree strict; Mesh/Random loose; PLRG/AS
+    moderate."""
+    cases = {
+        "Tree": kary_tree(3, 4),
+        "Mesh": mesh(13),
+        "Random": erdos_renyi_gnm(260, 540, seed=3),
+        "PLRG": plrg(380, 2.246, seed=3),
+    }
+    expected = {
+        "Tree": "strict",
+        "Mesh": "loose",
+        "Random": "loose",
+        "PLRG": "moderate",
+    }
+    distributions = {
+        name: normalized_rank_distribution(link_values(g), g.number_of_nodes())
+        for name, g in cases.items()
+    }
+    table = dict(hierarchy_table(distributions))
+    assert table == expected
+
+
+def test_as_graph_is_moderate_with_and_without_policy():
+    as_graph = synthetic_as_graph(ASGraphParams(n=260), seed=4)
+    g = as_graph.graph
+    plain = link_values(g)
+    policy = link_values(g, rels=as_graph.relationships)
+    for values in (plain, policy):
+        dist = normalized_rank_distribution(values, g.number_of_nodes())
+        assert classify_hierarchy(dist) == "moderate"
+    # "with policy routing since paths are more concentrated, the highest
+    # link values are larger than with shortest path routing."
+    assert max(policy.values()) >= max(plain.values()) * 0.9
+
+
+# ----------------------------------------------------------------------
+# Correlation
+# ----------------------------------------------------------------------
+
+def test_pearson_known_values():
+    assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+    assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+    assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+    assert pearson([1], [2]) == 0.0
+
+
+def test_plrg_correlation_exceeds_tree():
+    plrg_graph = plrg(300, 2.246, seed=5)
+    tree_graph = kary_tree(3, 4)
+    plrg_corr = link_value_degree_correlation(plrg_graph, link_values(plrg_graph))
+    tree_corr = link_value_degree_correlation(tree_graph, link_values(tree_graph))
+    # Figure 5: PLRG has the highest correlation, the Tree the lowest.
+    assert plrg_corr > 0.7
+    assert plrg_corr > tree_corr
+
+
+# ----------------------------------------------------------------------
+# Traffic-demand extension
+# ----------------------------------------------------------------------
+
+def test_gravity_demand_normalised():
+    from repro.hierarchy import gravity_demand
+
+    g = erdos_renyi_gnm(60, 150, seed=6)
+    demand = gravity_demand(g)
+    nodes = g.nodes()
+    values = [demand(u, v) for u in nodes[:10] for v in nodes[10:20]]
+    assert all(v > 0 for v in values)
+    # Mean demand is around 1 by construction.
+    assert 0.2 < sum(values) / len(values) < 5.0
+
+
+def test_gravity_demand_prefers_hubs():
+    from repro.hierarchy import gravity_demand
+
+    g = Graph([(0, i) for i in range(1, 10)])
+    g.add_edge(1, 2)
+    demand = gravity_demand(g)
+    assert demand(0, 1) > demand(3, 4)
+
+
+def test_pair_weight_scales_traversal_sets():
+    g = Graph([(0, 1), (1, 2)])
+    uniform = link_traversal_sets(g)
+    doubled = link_traversal_sets(g, pair_weight=lambda u, v: 2.0)
+    for link in uniform:
+        u_total = sum(w for _a, _b, w in uniform[link])
+        d_total = sum(w for _a, _b, w in doubled[link])
+        assert d_total == pytest.approx(2 * u_total)
+
+
+def test_zero_demand_pairs_dropped():
+    g = Graph([(0, 1), (1, 2)])
+    sets = link_traversal_sets(g, pair_weight=lambda u, v: 0.0)
+    assert all(not entries for entries in sets.values())

@@ -1,0 +1,77 @@
+"""Footnote 28's sanity check: where do the highest-valued links live?
+
+"We have actually verified, for several of our topologies, that this
+expectation holds: the highest valued links in TS are in the transit
+cloud; in Tiers they are in the WAN; in the AS graph, they connect
+well-known national backbone[s]."
+"""
+
+import pytest
+
+from repro.generators.tiers import TiersParams, tiers_with_roles
+from repro.generators.transit_stub import TransitStubParams, transit_stub_with_roles
+from repro.hierarchy import link_values
+from repro.internet import synthetic_as_graph
+from repro.internet.asgraph import ASGraphParams
+
+
+def top_links(values, count=5):
+    return sorted(values, key=lambda link: -values[link])[:count]
+
+
+def test_ts_top_links_in_transit_cloud():
+    graph, roles = transit_stub_with_roles(
+        TransitStubParams(
+            stubs_per_transit_node=2,
+            transit_domains=4,
+            nodes_per_transit=4,
+            nodes_per_stub=6,
+        ),
+        seed=1,
+    )
+    values = link_values(graph)
+    for u, v in top_links(values, 4):
+        # At least one endpoint of every top link is a transit node.
+        assert "transit" in (roles[u], roles[v]), (u, v)
+
+
+def test_tiers_top_links_in_wan():
+    graph, roles = tiers_with_roles(
+        TiersParams(
+            mans_per_wan=6,
+            lans_per_man=3,
+            wan_nodes=50,
+            man_nodes=12,
+            lan_nodes=3,
+        ),
+        seed=2,
+    )
+    values = link_values(graph)
+    wan_side = 0
+    top = top_links(values, 5)
+    for u, v in top:
+        if "wan" in (roles[u], roles[v]):
+            wan_side += 1
+    assert wan_side >= 3  # most top links touch the WAN
+
+
+def test_as_top_links_touch_backbone():
+    as_graph = synthetic_as_graph(ASGraphParams(n=260), seed=3)
+    graph = as_graph.graph
+    values = link_values(graph)
+    # "Backbone" = tier-0/1 ASes (the national-provider analogue).
+    backbone = {n for n, t in as_graph.tier.items() if t <= 1}
+    touching = sum(
+        1 for u, v in top_links(values, 5) if u in backbone or v in backbone
+    )
+    assert touching >= 3
+
+
+def test_as_top_link_degrees_are_high():
+    as_graph = synthetic_as_graph(ASGraphParams(n=260), seed=4)
+    graph = as_graph.graph
+    values = link_values(graph)
+    avg_degree = graph.average_degree()
+    for u, v in top_links(values, 3):
+        # Backbone links connect hubs: both endpoints well above average.
+        assert max(graph.degree(u), graph.degree(v)) > 3 * avg_degree

@@ -1,0 +1,108 @@
+"""End-to-end integration tests: the full pipeline a downstream user
+would run, at small scale."""
+
+import pytest
+
+from repro.analysis import signature
+from repro.generators import plrg, transit_stub, TransitStubParams
+from repro.graph.io import read_edgelist, write_edgelist
+from repro.hierarchy import (
+    classify_hierarchy,
+    link_values,
+    normalized_rank_distribution,
+)
+from repro.internet import (
+    infer_gao,
+    sample_policy_paths,
+    synthetic_as_graph,
+    synthetic_router_graph,
+)
+from repro.internet.asgraph import ASGraphParams
+from repro.metrics import distortion, expansion, resilience
+
+
+def test_generate_measure_classify_roundtrip(tmp_path):
+    """Generate -> save -> load -> measure -> classify, PLRG vs TS."""
+    plrg_graph = plrg(700, 2.246, seed=1)
+    ts_graph = transit_stub(
+        TransitStubParams(
+            stubs_per_transit_node=2,
+            transit_domains=4,
+            nodes_per_transit=5,
+            nodes_per_stub=8,
+        ),
+        seed=1,
+    )
+    results = {}
+    for graph in (plrg_graph, ts_graph):
+        path = tmp_path / f"{graph.name.split('(')[0]}.edges"
+        write_edgelist(graph, path)
+        loaded = read_edgelist(path)
+        assert loaded.number_of_edges() == graph.number_of_edges()
+        e = expansion(loaded, num_centers=16, seed=2)
+        r = resilience(loaded, num_centers=4, max_ball_size=400, seed=2)
+        d = distortion(loaded, num_centers=4, max_ball_size=400, seed=2)
+        results[graph.name] = signature(e, r, d, loaded.number_of_nodes())
+    sigs = list(results.values())
+    assert sigs[0] == "HHL"  # PLRG: Internet-like
+    assert sigs[1] == "HLL"  # TS: tree-like
+
+
+def test_internet_pipeline_with_inferred_policy():
+    """Build AS world, *infer* relationships from paths (as the paper
+    did from BGP tables), and run the policy metrics on the inference."""
+    as_graph = synthetic_as_graph(ASGraphParams(n=300), seed=9)
+    paths = sample_policy_paths(
+        as_graph.graph, as_graph.relationships, num_sources=8, seed=9
+    )
+    inferred = infer_gao(as_graph.graph, paths)
+    # Policy metrics run end-to-end on the inferred annotation.
+    e_true = expansion(as_graph.graph, num_centers=8, rels=as_graph.relationships, seed=3)
+    e_inferred = expansion(as_graph.graph, num_centers=8, rels=inferred, seed=3)
+    # Same radii; both slower than (or equal to) plain BFS expansion.
+    plain = expansion(as_graph.graph, num_centers=8, seed=3)
+    for (h, ep), (_h2, et), (_h3, epl) in zip(e_inferred, e_true, plain):
+        assert ep <= epl + 1e-9
+    # The inferred-policy curve tracks the truth-policy curve closely.
+    diffs = [abs(a[1] - b[1]) for a, b in zip(e_inferred, e_true)]
+    assert max(diffs) < 0.2
+
+
+def test_router_level_hierarchy_pipeline():
+    """AS -> RL expansion -> core -> link values -> moderate class."""
+    from repro.internet import rl_core
+
+    as_graph = synthetic_as_graph(ASGraphParams(n=130), seed=12)
+    rl = synthetic_router_graph(as_graph, seed=13)
+    core = rl_core(rl.graph)
+    assert 100 < core.number_of_nodes() < 1200
+    values = link_values(core, seed=1)
+    dist = normalized_rank_distribution(values, core.number_of_nodes())
+    assert classify_hierarchy(dist) in ("moderate", "loose")
+    assert dist[0][1] < 0.3  # nothing like the strict generators' tops
+
+
+def test_whole_registry_importable_and_consistent():
+    """Every public package imports and re-exports what it promises."""
+    import repro
+    import repro.analysis
+    import repro.generators
+    import repro.graph
+    import repro.harness
+    import repro.hierarchy
+    import repro.internet
+    import repro.metrics
+    import repro.routing
+
+    for module in (
+        repro.analysis,
+        repro.generators,
+        repro.graph,
+        repro.harness,
+        repro.hierarchy,
+        repro.internet,
+        repro.metrics,
+        repro.routing,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)

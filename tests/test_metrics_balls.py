@@ -1,0 +1,85 @@
+"""Tests for the ball-growing machinery."""
+
+import pytest
+
+from repro.generators.canonical import kary_tree, mesh
+from repro.graph.core import Graph
+from repro.metrics.balls import (
+    ball_growing_series,
+    ball_nodes,
+    ball_subgraph,
+    sample_centers,
+)
+
+
+def test_ball_nodes_radius_zero():
+    g = Graph([(0, 1), (1, 2)])
+    assert ball_nodes(g, 0, 0) == [0]
+
+
+def test_ball_nodes_radii():
+    g = Graph([(0, 1), (1, 2), (2, 3)])
+    assert sorted(ball_nodes(g, 0, 2)) == [0, 1, 2]
+    assert sorted(ball_nodes(g, 1, 1)) == [0, 1, 2]
+
+
+def test_ball_subgraph_induced():
+    g = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+    ball = ball_subgraph(g, 0, 1)
+    assert set(ball.nodes()) == {0, 1, 2}
+    assert ball.number_of_edges() == 3  # includes the 1-2 edge
+
+
+def test_sample_centers_returns_all_when_small():
+    g = Graph([(0, 1), (1, 2)])
+    assert set(sample_centers(g, 10)) == {0, 1, 2}
+
+
+def test_sample_centers_subsamples():
+    g = kary_tree(3, 5)
+    centers = sample_centers(g, 7, seed=1)
+    assert len(centers) == 7
+    assert len(set(centers)) == 7
+
+
+def test_sample_centers_deterministic():
+    g = kary_tree(3, 5)
+    assert sample_centers(g, 5, seed=2) == sample_centers(g, 5, seed=2)
+
+
+def test_ball_growing_series_sizes_monotone():
+    g = mesh(12)
+    series = ball_growing_series(
+        g, lambda ball: 0.0, num_centers=6, seed=1, max_ball_size=None
+    )
+    sizes = [n for n, _ in series]
+    assert all(sizes[i] <= sizes[i + 1] for i in range(len(sizes) - 1))
+    # The final radius covers the whole mesh from every center.
+    assert sizes[-1] == g.number_of_nodes()
+
+
+def test_ball_growing_series_metric_applied():
+    g = mesh(8)
+    series = ball_growing_series(
+        g,
+        lambda ball: float(ball.number_of_nodes()),
+        num_centers=4,
+        seed=2,
+        max_ball_size=None,
+    )
+    for n, value in series:
+        assert value == pytest.approx(n)
+
+
+def test_ball_growing_respects_max_ball_size():
+    g = mesh(20)
+    series = ball_growing_series(
+        g, lambda ball: 1.0, num_centers=4, max_ball_size=50, seed=3
+    )
+    assert all(n <= 50 for n, _ in series)
+
+
+def test_ball_growing_min_ball_size():
+    g = Graph([(0, 1)])
+    series = ball_growing_series(g, lambda ball: 1.0, min_ball_size=3, seed=4)
+    assert series == []

@@ -1,0 +1,169 @@
+"""Tests for the three basic metrics (expansion, resilience, distortion)
+against the paper's calibration laws (Section 3.2.1)."""
+
+import pytest
+
+from repro.generators.canonical import (
+    complete_graph,
+    erdos_renyi_gnm,
+    kary_tree,
+    linear_chain,
+    mesh,
+)
+from repro.graph.core import Graph
+from repro.internet import synthetic_as_graph
+from repro.internet.asgraph import ASGraphParams
+from repro.metrics.distortion import (
+    approximate_betweenness_center,
+    bartal_distortion_of,
+    distortion,
+    distortion_of,
+)
+from repro.metrics.expansion import expansion, radius_to_reach
+from repro.metrics.resilience import resilience, resilience_of
+
+
+# ----------------------------------------------------------------------
+# Expansion
+# ----------------------------------------------------------------------
+
+def test_expansion_starts_small_ends_at_one():
+    g = kary_tree(3, 5)
+    series = expansion(g, num_centers=20, seed=1)
+    assert series[0][1] == pytest.approx(1 / g.number_of_nodes())
+    assert series[-1][1] == pytest.approx(1.0)
+
+
+def test_expansion_monotone_nondecreasing():
+    g = mesh(15)
+    series = expansion(g, num_centers=10, seed=2)
+    values = [e for _h, e in series]
+    assert all(values[i] <= values[i + 1] + 1e-12 for i in range(len(values) - 1))
+
+
+def test_complete_graph_expansion_extreme():
+    # "A fully-connected network has extremely high expansion (E(h)=1)."
+    series = expansion(complete_graph(20), seed=3)
+    assert series[1][1] == pytest.approx(1.0)
+
+
+def test_linear_chain_expansion_is_linear():
+    # "A chain network has E(h) = h/N" (for the middle node; averaged
+    # over ends it is within 2x of that).
+    n = 200
+    series = expansion(linear_chain(n), num_centers=n, seed=4)
+    h, e = series[10]
+    assert e <= 3 * (2 * h + 1) / n
+
+
+def test_tree_expands_much_faster_than_mesh():
+    tree = kary_tree(3, 6)  # 1093 nodes
+    grid = mesh(33)  # 1089 nodes
+    tree_h = radius_to_reach(expansion(tree, num_centers=30, seed=5), 0.5)
+    mesh_h = radius_to_reach(expansion(grid, num_centers=30, seed=5), 0.5)
+    assert tree_h < 0.75 * mesh_h
+
+
+def test_expansion_policy_variant_runs():
+    as_graph = synthetic_as_graph(ASGraphParams(n=250), seed=6)
+    plain = expansion(as_graph.graph, num_centers=10, seed=7)
+    policy = expansion(
+        as_graph.graph, num_centers=10, rels=as_graph.relationships, seed=7
+    )
+    # Policy paths are never shorter, so policy expansion is never faster.
+    for (h1, e1), (h2, e2) in zip(plain, policy):
+        assert h1 == h2
+        assert e2 <= e1 + 1e-9
+
+
+def test_radius_to_reach():
+    series = [(0, 0.01), (1, 0.2), (2, 0.6), (3, 1.0)]
+    assert radius_to_reach(series, 0.5) == 2
+    assert radius_to_reach(series, 0.99) == 3
+
+
+# ----------------------------------------------------------------------
+# Resilience
+# ----------------------------------------------------------------------
+
+def test_resilience_of_tree_is_tiny():
+    assert resilience_of(kary_tree(2, 7)) <= 5
+
+
+def test_resilience_of_complete_graph_is_quadratic():
+    # R(n) ∝ n for the complete graph: cut of K20 bipartition = 100.
+    value = resilience_of(complete_graph(20))
+    assert value == pytest.approx(100, rel=0.1)
+
+
+def test_resilience_growth_law_ordering():
+    tree_series = resilience(kary_tree(3, 6), num_centers=5, seed=1)
+    mesh_series = resilience(mesh(30), num_centers=5, seed=1)
+    rand_series = resilience(erdos_renyi_gnm(900, 1800, seed=1), num_centers=5, seed=1)
+
+    def tail(series):
+        big = [v for n, v in series if n >= 200]
+        return max(big) if big else max(v for _n, v in series)
+
+    assert tail(tree_series) < tail(mesh_series) < tail(rand_series)
+
+
+def test_resilience_single_node_ball():
+    g = Graph()
+    g.add_node(0)
+    assert resilience_of(g) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Distortion
+# ----------------------------------------------------------------------
+
+def test_distortion_of_tree_is_one():
+    assert distortion_of(kary_tree(3, 5)) == pytest.approx(1.0)
+
+
+def test_distortion_of_complete_graph_is_at_most_two():
+    # Paper: the complete graph has D(n) = 2 (low distortion).
+    value = distortion_of(complete_graph(15))
+    assert value <= 2.0 + 1e-9
+    assert value > 1.0
+
+
+def test_distortion_of_cycle():
+    g = Graph([(i, (i + 1) % 10) for i in range(10)])
+    # Any spanning tree of a cycle is a path; one edge is stretched n-1.
+    assert distortion_of(g) == pytest.approx((9 + 9) / 10, abs=0.5)
+
+
+def test_distortion_ordering_tree_measured_mesh():
+    tree_val = distortion_of(kary_tree(3, 5))
+    mesh_val = distortion_of(mesh(18))
+    as_graph = synthetic_as_graph(ASGraphParams(n=350), seed=8)
+    as_val = distortion_of(as_graph.graph)
+    assert tree_val <= as_val < mesh_val
+
+
+def test_distortion_series_tree_flat_at_one():
+    series = distortion(kary_tree(3, 6), num_centers=5, seed=2)
+    assert all(v == pytest.approx(1.0) for _n, v in series)
+
+
+def test_bartal_tree_distortion_valid_and_worse_or_equal():
+    g = mesh(10)
+    combined = distortion_of(g)
+    bartal_only = bartal_distortion_of(g)
+    assert bartal_only >= 1.0
+    assert combined <= bartal_only + 1e-9
+
+
+def test_betweenness_center_of_star_is_hub():
+    g = Graph([(0, i) for i in range(1, 12)])
+    import random
+
+    assert approximate_betweenness_center(g, random.Random(0)) == 0
+
+
+def test_distortion_of_edgeless_graph():
+    g = Graph()
+    g.add_node(0)
+    assert distortion_of(g) == 0.0

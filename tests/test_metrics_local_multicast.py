@@ -1,0 +1,181 @@
+"""Tests for the extension metrics: assortativity, rich club, Laplacian
+multiplicity, and multicast scaling."""
+
+import pytest
+
+from repro.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi_gnm,
+    glp,
+    kary_tree,
+    linear_chain,
+    mesh,
+    plrg,
+    ring,
+)
+from repro.graph.core import Graph
+from repro.graph.spectral import laplacian_one_multiplicity, laplacian_spectrum
+from repro.metrics.local import (
+    degree_assortativity,
+    rich_club_coefficient,
+    rich_club_profile,
+)
+from repro.metrics.multicast import (
+    chuang_sirbu_exponent,
+    multicast_scaling_series,
+    multicast_tree_size,
+    normalized_multicast_efficiency,
+)
+
+
+# ----------------------------------------------------------------------
+# Assortativity
+# ----------------------------------------------------------------------
+
+def test_assortativity_regular_graph_degenerate():
+    assert degree_assortativity(ring(10)) == 0.0
+    assert degree_assortativity(complete_graph(6)) == 0.0
+
+
+def test_assortativity_star_is_negative():
+    g = Graph([(0, i) for i in range(1, 12)])
+    assert degree_assortativity(g) < 0  # hub-leaf edges only
+
+
+def test_assortativity_matches_networkx():
+    import networkx as nx
+
+    from repro.graph.convert import to_networkx
+
+    g = plrg(400, 2.3, seed=1)
+    ours = degree_assortativity(g)
+    theirs = nx.degree_assortativity_coefficient(to_networkx(g))
+    assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+def test_degree_based_generators_disassortative():
+    for g in (plrg(900, 2.246, seed=2), barabasi_albert(900, 2, seed=2)):
+        assert degree_assortativity(g) < 0.05
+
+
+# ----------------------------------------------------------------------
+# Rich club
+# ----------------------------------------------------------------------
+
+def test_rich_club_complete_graph_is_one():
+    assert rich_club_coefficient(complete_graph(20), 0.2) == pytest.approx(1.0)
+
+
+def test_rich_club_star_is_low():
+    g = Graph([(0, i) for i in range(1, 40)])
+    # Top 10% = hub + leaves; only hub-leaf edges inside.
+    assert rich_club_coefficient(g, 0.1) < 0.6
+
+
+def test_rich_club_invalid_fraction():
+    with pytest.raises(ValueError):
+        rich_club_coefficient(complete_graph(5), 0.0)
+
+
+def test_rich_club_profile_shape():
+    profile = rich_club_profile(plrg(300, 2.3, seed=3))
+    assert len(profile) == 4
+    assert all(0.0 <= v <= 1.0 for _f, v in profile)
+
+
+def test_bt_richer_club_than_ba():
+    """GLP's link-addition phase densifies the core (the Bu–Towsley
+    design goal); plain B-A with m=2 has a maximally sparse core."""
+    bt = glp(1200, seed=4)
+    ba = barabasi_albert(1200, 2, seed=4)
+    assert rich_club_coefficient(bt) > rich_club_coefficient(ba)
+
+
+# ----------------------------------------------------------------------
+# Laplacian spectrum
+# ----------------------------------------------------------------------
+
+def test_laplacian_spectrum_range():
+    values = laplacian_spectrum(plrg(200, 2.3, seed=5))
+    assert values[0] == pytest.approx(0.0, abs=1e-9)
+    assert values[-1] <= 2.0 + 1e-9
+
+
+def test_laplacian_one_multiplicity_discriminates():
+    # Vukadinovic: high for trees/AS-like graphs, near zero for grids.
+    tree_mult = laplacian_one_multiplicity(kary_tree(3, 4))
+    mesh_mult = laplacian_one_multiplicity(mesh(11))
+    assert tree_mult > 0.3
+    assert mesh_mult < 0.1
+
+
+def test_laplacian_empty_graph():
+    assert laplacian_one_multiplicity(Graph()) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Multicast scaling
+# ----------------------------------------------------------------------
+
+def test_multicast_tree_size_single_receiver_is_distance():
+    g = linear_chain(20)
+    assert multicast_tree_size(g, 0, [10]) == 10
+
+
+def test_multicast_tree_size_shared_prefix_counted_once():
+    # Star: every receiver is one hop; no sharing.
+    g = Graph([(0, i) for i in range(1, 10)])
+    assert multicast_tree_size(g, 0, [1, 2, 3]) == 3
+    # Path: receivers 5 and 10 share the first 5 links.
+    chain = linear_chain(12)
+    assert multicast_tree_size(chain, 0, [5, 10]) == 10
+
+
+def test_multicast_tree_receiver_equals_source():
+    g = linear_chain(5)
+    assert multicast_tree_size(g, 0, [0]) == 0
+
+
+def test_multicast_tree_unreachable_receiver_skipped():
+    g = Graph([(0, 1)])
+    g.add_edge(2, 3)
+    assert multicast_tree_size(g, 0, [1, 3]) == 1
+
+
+def test_scaling_series_monotone():
+    g = plrg(500, 2.246, seed=6)
+    series = multicast_scaling_series(g, trials=4, seed=6)
+    sizes = [s for _m, s in series]
+    assert all(sizes[i] <= sizes[i + 1] for i in range(len(sizes) - 1))
+
+
+def test_chuang_sirbu_exponent_star_is_one():
+    g = Graph([(0, i) for i in range(1, 400)])
+    series = multicast_scaling_series(
+        g, group_sizes=(2, 8, 32, 128), trials=6, seed=7
+    )
+    assert chuang_sirbu_exponent(series) == pytest.approx(1.0, abs=0.1)
+
+
+def test_chuang_sirbu_exponent_random_graph_near_point8():
+    g = erdos_renyi_gnm(900, 1900, seed=8)
+    series = multicast_scaling_series(g, trials=6, seed=8)
+    k = chuang_sirbu_exponent(series)
+    assert 0.6 < k < 0.95  # the Chuang-Sirbu law's neighbourhood
+
+
+def test_chuang_sirbu_needs_points():
+    with pytest.raises(ValueError):
+        chuang_sirbu_exponent([(1, 5.0)])
+
+
+def test_normalized_efficiency_bounds():
+    g = plrg(400, 2.246, seed=9)
+    eff = normalized_multicast_efficiency(g, 32, trials=4, seed=9)
+    assert 0.0 < eff <= 1.0
+
+
+def test_normalized_efficiency_group_too_large():
+    with pytest.raises(ValueError):
+        normalized_multicast_efficiency(linear_chain(5), 5)

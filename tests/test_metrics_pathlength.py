@@ -1,0 +1,107 @@
+"""Tests for the footnote-22 extra metrics and hop-count distribution."""
+
+import pytest
+
+from repro.generators.canonical import (
+    complete_graph,
+    erdos_renyi_gnm,
+    kary_tree,
+    linear_chain,
+    mesh,
+    ring,
+)
+from repro.graph.core import Graph
+from repro.metrics.pathlength import (
+    average_ball_path_length,
+    center_to_surface_flow,
+    hop_count_distribution,
+    path_length_series,
+    surface_flow_series,
+    unit_max_flow,
+)
+
+
+def test_average_path_length_complete_graph():
+    assert average_ball_path_length(complete_graph(10)) == pytest.approx(1.0)
+
+
+def test_average_path_length_single_node():
+    g = Graph()
+    g.add_node(0)
+    assert average_ball_path_length(g) == 0.0
+
+
+def test_path_length_series_grows_with_ball():
+    series = path_length_series(mesh(14), num_centers=4, seed=1)
+    assert series[0][1] < series[-1][1]
+
+
+def test_path_length_series_tree_vs_random():
+    # Same ball size, larger internal path length for the mesh.
+    rand_series = path_length_series(
+        erdos_renyi_gnm(500, 1100, seed=2), num_centers=4, seed=2
+    )
+    mesh_series = path_length_series(mesh(22), num_centers=4, seed=2)
+
+    def at_size(series, n):
+        candidates = [v for size, v in series if size >= n]
+        return candidates[0] if candidates else series[-1][1]
+
+    assert at_size(mesh_series, 300) > at_size(rand_series, 300)
+
+
+def test_unit_max_flow_ring_is_two():
+    g = ring(8)
+    assert unit_max_flow(g, 0, 4) == pytest.approx(2.0)
+
+
+def test_unit_max_flow_tree_is_one():
+    g = kary_tree(2, 4)
+    leaves = [n for n in g.nodes() if g.degree(n) == 1]
+    assert unit_max_flow(g, leaves[0], leaves[-1]) == pytest.approx(1.0)
+
+
+def test_unit_max_flow_complete_graph():
+    # Between any two nodes of K_n there are n-1 edge-disjoint paths.
+    g = complete_graph(7)
+    assert unit_max_flow(g, 0, 1) == pytest.approx(6.0)
+
+
+def test_center_to_surface_flow_chain():
+    g = linear_chain(20)
+    assert center_to_surface_flow(g, 10, 3, seed=1) == pytest.approx(1.0)
+
+
+def test_center_to_surface_flow_no_surface():
+    g = complete_graph(5)
+    # Radius beyond the diameter: no surface nodes.
+    assert center_to_surface_flow(g, 0, 4, seed=1) == 0.0
+
+
+def test_surface_flow_series_random_above_tree():
+    tree_series = surface_flow_series(kary_tree(3, 6), num_centers=4, seed=3)
+    rand_series = surface_flow_series(
+        erdos_renyi_gnm(700, 1500, seed=3), num_centers=4, seed=3
+    )
+    tree_max = max(v for _n, v in tree_series)
+    rand_max = max(v for _n, v in rand_series)
+    assert tree_max <= 3.0  # tree surface flow is ~1
+    assert rand_max > tree_max
+
+
+def test_hop_count_distribution_sums_to_one():
+    dist = hop_count_distribution(mesh(12), num_sources=20, seed=4)
+    assert sum(f for _d, f in dist) == pytest.approx(1.0)
+
+
+def test_hop_count_distribution_chain_uniformish():
+    dist = hop_count_distribution(linear_chain(30), num_sources=30, seed=5)
+    hops = [d for d, _f in dist]
+    assert min(hops) == 1
+    assert max(hops) == 29
+
+
+def test_hop_count_distribution_empty_graph():
+    g = Graph()
+    g.add_node(0)
+    assert hop_count_distribution(g) == []

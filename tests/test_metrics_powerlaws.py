@@ -1,0 +1,96 @@
+"""Tests for the Faloutsos power-law exponents and Weibull fit."""
+
+import pytest
+
+from repro.generators import (
+    erdos_renyi_gnm,
+    kary_tree,
+    linear_chain,
+    mesh,
+    plrg,
+)
+from repro.graph.core import Graph
+from repro.metrics.powerlaws import (
+    degree_exponent,
+    hop_plot_exponent,
+    rank_exponent,
+    weibull_ccdf_fit,
+)
+
+
+def test_rank_exponent_plrg_clearly_negative():
+    slope, corr = rank_exponent(plrg(1500, 2.246, seed=1))
+    assert slope < -0.4
+    assert corr > 0.85
+
+
+def test_rank_exponent_regularish_graph_flat():
+    slope, _corr = rank_exponent(mesh(20))
+    assert slope > -0.2  # almost flat: degrees only span 2..4
+
+
+def test_degree_exponent_plrg():
+    slope, corr = degree_exponent(plrg(2500, 2.246, seed=2))
+    # Frequency falls as a power of degree with exponent ~ -beta.
+    assert -3.5 < slope < -1.3
+    assert corr > 0.8
+
+
+def test_degree_exponent_degenerate():
+    slope, corr = degree_exponent(linear_chain(3))
+    assert isinstance(slope, float) and isinstance(corr, float)
+
+
+def test_hop_plot_mesh_slope_near_two():
+    # P(h) ∝ h^2 for a grid before saturation.
+    slope, corr = hop_plot_exponent(mesh(30), num_sources=20, seed=3)
+    assert 1.4 < slope < 2.6
+    assert corr > 0.9
+
+
+def test_hop_plot_chain_slope_near_one():
+    slope, _corr = hop_plot_exponent(linear_chain(400), num_sources=30, seed=4)
+    assert 0.7 < slope < 1.3
+
+
+def test_hop_plot_random_steeper_than_mesh():
+    rand_slope, _ = hop_plot_exponent(
+        erdos_renyi_gnm(1500, 3000, seed=5), num_sources=20, seed=5
+    )
+    mesh_slope, _ = hop_plot_exponent(mesh(30), num_sources=20, seed=5)
+    assert rand_slope > mesh_slope
+
+
+def test_weibull_fit_heavy_tail_shape_below_one():
+    shape, scale, corr = weibull_ccdf_fit(plrg(2000, 2.246, seed=6))
+    assert shape < 1.0
+    assert scale > 0.0
+    assert corr > 0.7
+
+
+def test_weibull_fit_random_graph_shape_above_one():
+    # Poisson-like degrees: a thin-tailed CCDF, Weibull shape > 1 —
+    # unlike the heavy-tailed graphs' shape < 1 (Broido & Claffy).
+    shape, _scale, corr = weibull_ccdf_fit(erdos_renyi_gnm(2000, 4000, seed=8))
+    assert shape > 1.0
+    assert corr > 0.9
+
+
+def test_weibull_fit_too_small():
+    with pytest.raises(ValueError):
+        weibull_ccdf_fit(Graph([(0, 1)]))
+
+
+def test_same_degree_sequence_same_exponents():
+    """The paper's Section 1 point, at the metric level: rewiring a graph
+    with the identical degree sequence leaves the Faloutsos exponents
+    essentially unchanged."""
+    from repro.generators import wire_deterministic, wire_plrg
+    from repro.generators.degree_sequence import power_law_degrees
+
+    degrees = power_law_degrees(1200, 2.3, seed=7)
+    random_wired = wire_plrg(degrees, seed=7)
+    deterministic = wire_deterministic(degrees)
+    r1, _ = rank_exponent(random_wired)
+    r2, _ = rank_exponent(deterministic)
+    assert abs(r1 - r2) < 0.25

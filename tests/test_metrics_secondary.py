@@ -1,0 +1,167 @@
+"""Tests for the Appendix B secondary metrics: eigenvalues,
+eccentricity, vertex cover, biconnectivity, tolerance, clustering."""
+
+import pytest
+
+from repro.generators.canonical import (
+    complete_graph,
+    erdos_renyi_gnm,
+    kary_tree,
+    mesh,
+    ring,
+)
+from repro.generators.plrg import plrg
+from repro.graph.core import Graph
+from repro.metrics.biconnectivity import biconnectivity_series
+from repro.metrics.clustering import (
+    clustering_coefficient,
+    clustering_series,
+    node_clustering,
+)
+from repro.metrics.eccentricity import eccentricities, eccentricity_distribution
+from repro.metrics.eigen import eigenvalue_spectrum, spectrum_power_law_exponent
+from repro.metrics.tolerance import (
+    attack_peak,
+    attack_tolerance,
+    error_tolerance,
+)
+from repro.metrics.vertex_cover import vertex_cover_series
+
+
+# ----------------------------------------------------------------------
+# Eigenvalues
+# ----------------------------------------------------------------------
+
+def test_eigenvalue_spectrum_descending_positive():
+    spectrum = eigenvalue_spectrum(plrg(400, 2.3, seed=1), k=30)
+    values = [v for _r, v in spectrum]
+    assert all(v > 0 for v in values)
+    assert all(values[i] >= values[i + 1] - 1e-9 for i in range(len(values) - 1))
+
+
+def test_plrg_spectrum_steeper_than_mesh():
+    # The power-law eigenvalue signature: PLRG's log-log rank slope is
+    # clearly negative, the mesh's spectrum is much flatter.
+    plrg_slope = spectrum_power_law_exponent(
+        eigenvalue_spectrum(plrg(500, 2.246, seed=2), k=25)
+    )
+    mesh_slope = spectrum_power_law_exponent(
+        eigenvalue_spectrum(mesh(22), k=25)
+    )
+    assert plrg_slope < mesh_slope < 0.05
+
+
+def test_spectrum_exponent_needs_points():
+    with pytest.raises(ValueError):
+        spectrum_power_law_exponent([(1, 2.0)])
+
+
+# ----------------------------------------------------------------------
+# Eccentricity
+# ----------------------------------------------------------------------
+
+def test_eccentricities_of_ring():
+    values = eccentricities(ring(10), num_samples=10, seed=1)
+    assert values == [5] * 10
+
+
+def test_eccentricity_distribution_sums_to_one():
+    dist = eccentricity_distribution(mesh(10), num_samples=100, seed=2)
+    assert sum(f for _x, f in dist) == pytest.approx(1.0)
+
+
+def test_eccentricity_distribution_centered_near_one():
+    dist = eccentricity_distribution(kary_tree(3, 5), num_samples=80, seed=3)
+    xs = [x for x, _f in dist]
+    assert min(xs) >= 0.4
+    assert max(xs) <= 1.8
+
+
+# ----------------------------------------------------------------------
+# Vertex cover / biconnectivity ball series
+# ----------------------------------------------------------------------
+
+def test_vertex_cover_series_grows_with_balls():
+    series = vertex_cover_series(mesh(12), num_centers=4, seed=1)
+    assert series[0][1] <= series[-1][1]
+    # Cover can never exceed ball size.
+    assert all(v <= n for n, v in series)
+
+
+def test_biconnectivity_series_tree_equals_edges():
+    # In a tree every edge is a biconnected component: count = n - 1.
+    series = biconnectivity_series(kary_tree(2, 6), num_centers=4, seed=2)
+    for n, v in series:
+        assert v == pytest.approx(n - 1, rel=0.15)
+
+
+def test_biconnectivity_series_mesh_small():
+    series = biconnectivity_series(mesh(10), num_centers=4, seed=3)
+    # A mesh ball is highly cyclic: very few biconnected components.
+    _n, v = series[-1]
+    assert v <= 5
+
+
+# ----------------------------------------------------------------------
+# Attack / error tolerance
+# ----------------------------------------------------------------------
+
+def test_error_tolerance_baseline_is_plain_path_length():
+    g = erdos_renyi_gnm(300, 700, seed=4)
+    series = error_tolerance(g, fractions=(0.0, 0.1), num_sources=20, seed=4)
+    assert series[0][0] == 0.0
+    assert series[0][1] > 1.0
+
+
+def test_attack_hurts_plrg_more_than_error():
+    g = plrg(900, 2.246, seed=5)
+    attack = attack_tolerance(g, fractions=(0.0, 0.05), num_sources=12, seed=5)
+    error = error_tolerance(g, fractions=(0.0, 0.05), num_sources=12, seed=5)
+    # Removing hubs lengthens paths far more than random removals —
+    # Albert et al.'s attack-vulnerability result for scale-free graphs.
+    assert attack[1][1] > error[1][1]
+
+
+def test_attack_tolerance_monotone_fractions():
+    g = mesh(12)
+    series = attack_tolerance(g, fractions=(0.0, 0.04, 0.08), num_sources=10, seed=6)
+    assert [f for f, _v in series] == [0.0, 0.04, 0.08]
+
+
+def test_attack_peak_detection():
+    assert attack_peak([(0.0, 3.0), (0.1, 9.0), (0.2, 4.0)]) == 0.1
+    assert attack_peak([(0.0, 3.0), (0.1, 4.0), (0.2, 5.0)]) is None
+    assert attack_peak([(0.0, 1.0)]) is None
+
+
+# ----------------------------------------------------------------------
+# Clustering
+# ----------------------------------------------------------------------
+
+def test_node_clustering_triangle():
+    g = Graph([(0, 1), (1, 2), (2, 0)])
+    assert node_clustering(g, 0) == pytest.approx(1.0)
+
+
+def test_node_clustering_star_is_zero():
+    g = Graph([(0, i) for i in range(1, 6)])
+    assert node_clustering(g, 0) == 0.0
+
+
+def test_node_clustering_low_degree():
+    g = Graph([(0, 1)])
+    assert node_clustering(g, 0) == 0.0
+
+
+def test_clustering_coefficient_complete_graph():
+    assert clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+
+def test_clustering_coefficient_tree_is_zero():
+    assert clustering_coefficient(kary_tree(3, 4)) == 0.0
+
+
+def test_clustering_series_runs():
+    series = clustering_series(plrg(300, 2.3, seed=7), num_centers=4, seed=7)
+    assert series
+    assert all(0.0 <= v <= 1.0 for _n, v in series)

@@ -1,0 +1,141 @@
+"""Reproduction of the paper's Figure 15 policy-induced ball example
+(Appendix E).
+
+The figure's annotated AS graph has center A with neighbours B, C, H;
+D and E at policy distance 2; G at 3; F at 4 (F is *not* at distance 3,
+because the shorter physical route A-B-E-F contains a valley).  The
+paper states:
+
+  "a ball of radius 3 includes nodes A, B, C, D, E, G and H and links
+  (A,B), (A,C), (A,H), (B,E), (C,D) and (E,G).  A ball of radius 4
+  includes all nodes and links in the ball of radius 3 plus node F and
+  links (D,E) and (E,F)."
+
+We encode relationships realising exactly those distances and assert the
+ball contents verbatim.
+"""
+
+import pytest
+
+from repro.graph.core import Graph
+from repro.metrics.balls import policy_ball_subgraph
+from repro.routing.policy import Relationships, policy_distances
+
+
+@pytest.fixture()
+def figure15():
+    g = Graph(
+        [
+            ("A", "B"),
+            ("A", "C"),
+            ("A", "H"),
+            ("B", "E"),
+            ("C", "D"),
+            ("D", "E"),
+            ("E", "F"),
+            ("E", "G"),
+        ]
+    )
+    rels = Relationships()
+    # A climbs to B and C; H is A's customer.
+    rels.set_provider_customer(provider="B", customer="A")
+    rels.set_provider_customer(provider="C", customer="A")
+    rels.set_provider_customer(provider="A", customer="H")
+    # Via B the path descends to E (so it can never climb to F).
+    rels.set_provider_customer(provider="B", customer="E")
+    # Via C the path keeps climbing C -> D -> E -> F.
+    rels.set_provider_customer(provider="D", customer="C")
+    rels.set_provider_customer(provider="E", customer="D")
+    rels.set_provider_customer(provider="F", customer="E")
+    # G hangs below E.
+    rels.set_provider_customer(provider="E", customer="G")
+    return g, rels
+
+
+def edge_set(graph):
+    return {frozenset(e) for e in graph.iter_edges()}
+
+
+def test_policy_distances_match_figure(figure15):
+    g, rels = figure15
+    dist = policy_distances(g, rels, "A")
+    assert dist == {
+        "A": 0,
+        "B": 1,
+        "C": 1,
+        "H": 1,
+        "D": 2,
+        "E": 2,
+        "G": 3,
+        "F": 4,
+    }
+
+
+def test_f_not_reachable_in_three_policy_hops(figure15):
+    g, rels = figure15
+    # Physically F is 3 hops away (A-B-E-F), but that path has a valley
+    # (down to E, then up to F), so the policy distance is 4.
+    from repro.graph.traversal import bfs_distances
+
+    assert bfs_distances(g, "A")["F"] == 3
+    assert policy_distances(g, rels, "A")["F"] == 4
+
+
+def test_ball_radius_3_contents(figure15):
+    g, rels = figure15
+    ball = policy_ball_subgraph(g, rels, "A", 3)
+    assert set(ball.nodes()) == {"A", "B", "C", "D", "E", "G", "H"}
+    assert edge_set(ball) == {
+        frozenset(("A", "B")),
+        frozenset(("A", "C")),
+        frozenset(("A", "H")),
+        frozenset(("B", "E")),
+        frozenset(("C", "D")),
+        frozenset(("E", "G")),
+    }
+
+
+def test_ball_radius_4_adds_f_and_links(figure15):
+    g, rels = figure15
+    ball3 = policy_ball_subgraph(g, rels, "A", 3)
+    ball4 = policy_ball_subgraph(g, rels, "A", 4)
+    assert set(ball4.nodes()) == set(ball3.nodes()) | {"F"}
+    assert edge_set(ball4) == edge_set(ball3) | {
+        frozenset(("D", "E")),
+        frozenset(("E", "F")),
+    }
+
+
+def test_ball_radius_1_is_immediate_neighbours(figure15):
+    g, rels = figure15
+    ball = policy_ball_subgraph(g, rels, "A", 1)
+    assert set(ball.nodes()) == {"A", "B", "C", "H"}
+    assert len(edge_set(ball)) == 3
+
+
+def test_ball_radius_2(figure15):
+    g, rels = figure15
+    ball = policy_ball_subgraph(g, rels, "A", 2)
+    assert set(ball.nodes()) == {"A", "B", "C", "H", "D", "E"}
+    # Links on shortest policy paths to those nodes: the (D,E) link is
+    # not included because D and E are each reached another way.
+    assert edge_set(ball) == {
+        frozenset(("A", "B")),
+        frozenset(("A", "C")),
+        frozenset(("A", "H")),
+        frozenset(("B", "E")),
+        frozenset(("C", "D")),
+    }
+
+
+def test_policy_ball_on_unannotated_graph_equals_plain_ball():
+    from repro.metrics.balls import ball_subgraph
+
+    g = Graph([(0, 1), (1, 2), (2, 3), (0, 3)])
+    rels = Relationships(default_sibling=True)
+    plain = ball_subgraph(g, 0, 2)
+    policy = policy_ball_subgraph(g, rels, 0, 2)
+    assert set(policy.nodes()) == set(plain.nodes())
+    # All-sibling: every shortest path is policy-valid, so only links on
+    # shortest paths appear; they form a subset of the plain ball.
+    assert edge_set(policy) <= edge_set(plain)

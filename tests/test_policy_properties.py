@@ -1,0 +1,107 @@
+"""Property-based tests for valley-free policy routing invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.routing.policy import (
+    Relationships,
+    policy_dag,
+    policy_distances,
+    policy_pair_edge_fractions,
+)
+
+
+@st.composite
+def annotated_graphs(draw):
+    """Random connected-ish graphs with random valley-free annotations."""
+    n = draw(st.integers(3, 14))
+    seed = draw(st.integers(0, 10**6))
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_nodes_from(range(n))
+    # Random tree backbone keeps most node pairs reachable.
+    for i in range(1, n):
+        g.add_edge(i, rng.randrange(i))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        g.add_edge(rng.randrange(n), rng.randrange(n))
+    rels = Relationships()
+    for u, v in g.iter_edges():
+        kind = rng.random()
+        if kind < 0.6:
+            rels.set_provider_customer(provider=max(u, v), customer=min(u, v))
+        elif kind < 0.8:
+            rels.set_peer(u, v)
+        else:
+            rels.set_sibling(u, v)
+    return g, rels, rng
+
+
+@settings(max_examples=60, deadline=None)
+@given(annotated_graphs())
+def test_policy_distance_at_least_bfs(world):
+    g, rels, rng = world
+    src = rng.randrange(g.number_of_nodes())
+    plain = bfs_distances(g, src)
+    policy = policy_distances(g, rels, src)
+    assert set(policy) <= set(plain)
+    for node, d in policy.items():
+        assert d >= plain[node]
+
+
+@settings(max_examples=60, deadline=None)
+@given(annotated_graphs())
+def test_policy_distance_symmetry(world):
+    g, rels, rng = world
+    nodes = g.nodes()
+    a = nodes[rng.randrange(len(nodes))]
+    b = nodes[rng.randrange(len(nodes))]
+    d_ab = policy_distances(g, rels, a).get(b)
+    d_ba = policy_distances(g, rels, b).get(a)
+    assert d_ab == d_ba
+
+
+@settings(max_examples=60, deadline=None)
+@given(annotated_graphs())
+def test_policy_fractions_form_distribution(world):
+    """Per pair, fractions leaving the source sum to 1 and all fractions
+    lie in (0, 1]."""
+    g, rels, rng = world
+    src = rng.randrange(g.number_of_nodes())
+    dag = policy_dag(g, rels, src)
+    for target in g.nodes():
+        if target == src or dag.distance(target) is None:
+            continue
+        fractions = policy_pair_edge_fractions(dag, target)
+        if not fractions:
+            continue
+        for value in fractions.values():
+            assert 0.0 < value <= 1.0 + 1e-9
+        out_of_source = sum(
+            w for (a, _b), w in fractions.items() if a == src
+        )
+        assert abs(out_of_source - 1.0) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(annotated_graphs())
+def test_policy_sigma_counts_positive(world):
+    g, rels, rng = world
+    src = rng.randrange(g.number_of_nodes())
+    dag = policy_dag(g, rels, src)
+    for node in g.nodes():
+        if dag.distance(node) is not None:
+            assert dag.total_paths(node) >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(annotated_graphs())
+def test_all_sibling_policy_equals_bfs(world):
+    """With every edge a sibling, policy routing degenerates to BFS."""
+    g, _rels, rng = world
+    siblings = Relationships(default_sibling=True)
+    src = rng.randrange(g.number_of_nodes())
+    assert policy_distances(g, siblings, src) == bfs_distances(g, src)

@@ -1,0 +1,145 @@
+"""Tests for valley-free policy routing."""
+
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.internet import synthetic_as_graph
+from repro.internet.asgraph import ASGraphParams
+from repro.routing.policy import (
+    Relationships,
+    policy_dag,
+    policy_distances,
+    policy_pair_edge_fractions,
+)
+
+
+def chain_world():
+    """customer 0 -> provider 1 -> provider 2 (tier-1) <- 3 <- 4."""
+    g = Graph([(0, 1), (1, 2), (2, 3), (3, 4)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=1, customer=0)
+    rels.set_provider_customer(provider=2, customer=1)
+    rels.set_provider_customer(provider=2, customer=3)
+    rels.set_provider_customer(provider=3, customer=4)
+    return g, rels
+
+
+def test_up_then_down_is_allowed():
+    g, rels = chain_world()
+    dist = policy_distances(g, rels, 0)
+    assert dist[4] == 4  # 0 up 1 up 2 down 3 down 4
+
+
+def test_valley_is_forbidden():
+    # 0 and 2 are providers of 1; path 0-1-2 goes down then up: invalid.
+    g = Graph([(0, 1), (1, 2)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=0, customer=1)
+    rels.set_provider_customer(provider=2, customer=1)
+    dist = policy_distances(g, rels, 0)
+    assert 1 in dist
+    assert 2 not in dist  # unreachable without a valley
+
+
+def test_peer_link_used_at_most_once():
+    # 0 -peer- 1 -peer- 2: two peer hops in a row are invalid.
+    g = Graph([(0, 1), (1, 2)])
+    rels = Relationships()
+    rels.set_peer(0, 1)
+    rels.set_peer(1, 2)
+    dist = policy_distances(g, rels, 0)
+    assert dist == {0: 0, 1: 1}
+
+
+def test_peer_at_top_of_hill():
+    # 0 up 1 peer 2 down 3: the classic valley-free shape.
+    g = Graph([(0, 1), (1, 2), (2, 3)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=1, customer=0)
+    rels.set_peer(1, 2)
+    rels.set_provider_customer(provider=2, customer=3)
+    dist = policy_distances(g, rels, 0)
+    assert dist[3] == 3
+
+
+def test_no_up_after_peer():
+    # 0 peer 1 up 2 is invalid.
+    g = Graph([(0, 1), (1, 2)])
+    rels = Relationships()
+    rels.set_peer(0, 1)
+    rels.set_provider_customer(provider=2, customer=1)
+    dist = policy_distances(g, rels, 0)
+    assert 2 not in dist
+
+
+def test_sibling_preserves_state():
+    # 0 up 1 sib 2 up 3: siblings don't end the ascent.
+    g = Graph([(0, 1), (1, 2), (2, 3)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=1, customer=0)
+    rels.set_sibling(1, 2)
+    rels.set_provider_customer(provider=3, customer=2)
+    dist = policy_distances(g, rels, 0)
+    assert dist[3] == 3
+
+
+def test_policy_distance_never_shorter_than_bfs():
+    as_graph = synthetic_as_graph(ASGraphParams(n=300), seed=2)
+    g, rels = as_graph.graph, as_graph.relationships
+    src = g.nodes()[17]
+    policy = policy_distances(g, rels, src)
+    plain = bfs_distances(g, src)
+    for node, d in policy.items():
+        assert d >= plain[node]
+
+
+def test_policy_distances_symmetric():
+    # Valley-free validity is direction-symmetric, so distances must be.
+    as_graph = synthetic_as_graph(ASGraphParams(n=200), seed=3)
+    g, rels = as_graph.graph, as_graph.relationships
+    a, b = g.nodes()[5], g.nodes()[111]
+    d_ab = policy_distances(g, rels, a).get(b)
+    d_ba = policy_distances(g, rels, b).get(a)
+    assert d_ab == d_ba
+
+
+def test_policy_dag_path_counts():
+    # Two equal-length valley-free paths: 0 up 1 down 3 and 0 up 2 down 3.
+    g = Graph([(0, 1), (0, 2), (1, 3), (2, 3)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=1, customer=0)
+    rels.set_provider_customer(provider=2, customer=0)
+    rels.set_provider_customer(provider=1, customer=3)
+    rels.set_provider_customer(provider=2, customer=3)
+    dag = policy_dag(g, rels, 0)
+    assert dag.distance(3) == 2
+    assert dag.total_paths(3) == 2
+    fractions = policy_pair_edge_fractions(dag, 3)
+    assert fractions[(0, 1)] == pytest.approx(0.5)
+    assert fractions[(1, 3)] == pytest.approx(0.5)
+
+
+def test_policy_fractions_concentrate_vs_shortest():
+    # When one of two equal-cost shortest paths is policy-invalid, the
+    # whole fraction moves to the valid one.
+    g = Graph([(0, 1), (0, 2), (1, 3), (2, 3)])
+    rels = Relationships()
+    rels.set_provider_customer(provider=1, customer=0)
+    rels.set_provider_customer(provider=1, customer=3)
+    # invalid branch: 0 is provider of 2 (down), then 2->3 up: valley.
+    rels.set_provider_customer(provider=0, customer=2)
+    rels.set_provider_customer(provider=3, customer=2)
+    dag = policy_dag(g, rels, 0)
+    fractions = policy_pair_edge_fractions(dag, 3)
+    assert fractions[(0, 1)] == pytest.approx(1.0)
+    assert (0, 2) not in fractions
+
+
+def test_policy_dag_unreachable_returns_empty():
+    g = Graph([(0, 1)])
+    g.add_node(5)
+    rels = Relationships(default_sibling=True)
+    dag = policy_dag(g, rels, 0)
+    assert dag.distance(5) is None
+    assert policy_pair_edge_fractions(dag, 5) == {}

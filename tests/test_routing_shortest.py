@@ -1,0 +1,126 @@
+"""Tests for shortest-path DAGs and per-pair edge traversal fractions."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.core import Graph
+from repro.routing.shortest import pair_edge_fractions, shortest_path_dag
+
+
+def brute_force_shortest_paths(graph, s, t):
+    """All shortest s-t paths by exhaustive BFS enumeration."""
+    from collections import deque
+
+    best = None
+    results = []
+    queue = deque([[s]])
+    while queue:
+        path = queue.popleft()
+        if best is not None and len(path) - 1 > best:
+            continue
+        node = path[-1]
+        if node == t:
+            if best is None or len(path) - 1 < best:
+                best = len(path) - 1
+                results = [path]
+            elif len(path) - 1 == best:
+                results.append(path)
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in path:
+                queue.append(path + [nbr])
+    return results
+
+
+def test_dag_distances_and_sigma_diamond():
+    g = Graph([(0, 1), (0, 2), (1, 3), (2, 3)])
+    dag = shortest_path_dag(g, 0)
+    assert dag.dist == {0: 0, 1: 1, 2: 1, 3: 2}
+    assert dag.sigma[3] == 2
+    assert sorted(dag.preds[3]) == [1, 2]
+
+
+def test_fractions_diamond_split_evenly():
+    g = Graph([(0, 1), (0, 2), (1, 3), (2, 3)])
+    dag = shortest_path_dag(g, 0)
+    fractions = pair_edge_fractions(dag, 3)
+    assert fractions[(0, 1)] == pytest.approx(0.5)
+    assert fractions[(1, 3)] == pytest.approx(0.5)
+    assert fractions[(0, 2)] == pytest.approx(0.5)
+    assert fractions[(2, 3)] == pytest.approx(0.5)
+
+
+def test_fractions_unique_path_all_one():
+    g = Graph([(0, 1), (1, 2), (2, 3)])
+    dag = shortest_path_dag(g, 0)
+    fractions = pair_edge_fractions(dag, 3)
+    assert fractions == {
+        (0, 1): pytest.approx(1.0),
+        (1, 2): pytest.approx(1.0),
+        (2, 3): pytest.approx(1.0),
+    }
+
+
+def test_fractions_source_level_sums_to_one():
+    g = Graph([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4)])
+    dag = shortest_path_dag(g, 0)
+    for t in (3, 4):
+        fractions = pair_edge_fractions(dag, t)
+        out_of_source = sum(w for (a, _b), w in fractions.items() if a == 0)
+        assert out_of_source == pytest.approx(1.0)
+
+
+def test_fractions_unreachable_target():
+    g = Graph([(0, 1)])
+    g.add_node(7)
+    dag = shortest_path_dag(g, 0)
+    assert pair_edge_fractions(dag, 7) == {}
+
+
+def test_fractions_self_pair_empty():
+    g = Graph([(0, 1)])
+    dag = shortest_path_dag(g, 0)
+    assert pair_edge_fractions(dag, 0) == {}
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 10), st.integers(0, 10**6))
+def test_fractions_match_brute_force_enumeration(n, seed):
+    rng = random.Random(seed)
+    g = Graph()
+    g.add_nodes_from(range(n))
+    for _ in range(2 * n):
+        g.add_edge(rng.randrange(n), rng.randrange(n))
+    dag = shortest_path_dag(g, 0)
+    for t in range(1, n):
+        if t not in dag.dist:
+            continue
+        fractions = pair_edge_fractions(dag, t)
+        paths = brute_force_shortest_paths(g, 0, t)
+        assert len(paths) == dag.sigma[t]
+        # Count path-share per directed edge by enumeration.
+        expected = {}
+        for path in paths:
+            for a, b in zip(path, path[1:]):
+                expected[(a, b)] = expected.get((a, b), 0) + 1
+        total = len(paths)
+        assert set(expected) == set(fractions)
+        for edge, count in expected.items():
+            assert fractions[edge] == pytest.approx(count / total)
+
+
+def test_sigma_counts_grid():
+    # In a 3x3 grid the number of shortest corner-to-corner paths is
+    # C(4, 2) = 6.
+    g = Graph()
+    for r in range(3):
+        for c in range(3):
+            if r + 1 < 3:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < 3:
+                g.add_edge((r, c), (r, c + 1))
+    dag = shortest_path_dag(g, (0, 0))
+    assert dag.sigma[(2, 2)] == 6

@@ -1,0 +1,161 @@
+"""White-box tests of substrate internals: the partition coarsening,
+FM refinement, and Dinic edge cases that the public-API tests exercise
+only indirectly."""
+
+import random
+
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.flow import Dinic
+from repro.graph import partition as P
+
+
+def to_weighted_adjacency(graph):
+    adj_lists, order = graph.adjacency_lists()
+    return [{v: 1 for v in nbrs} for nbrs in adj_lists], order
+
+
+# ----------------------------------------------------------------------
+# Coarsening
+# ----------------------------------------------------------------------
+
+def test_coarsen_halves_a_matching_friendly_graph():
+    # A perfect matching (disjoint edges) coarsens to exactly n/2 nodes.
+    g = Graph([(2 * i, 2 * i + 1) for i in range(20)])
+    adj, _ = to_weighted_adjacency(g)
+    coarse, weights, mapping = P._coarsen(adj, [1] * 40, random.Random(0), 10)
+    assert len(coarse) == 20
+    assert sum(weights) == 40
+    assert all(w == 2 for w in weights)
+    assert len(mapping) == 40
+
+
+def test_coarsen_respects_weight_cap():
+    # A star wants to collapse into its hub, but the cap forbids heavy
+    # merges.
+    g = Graph([(0, i) for i in range(1, 30)])
+    adj, _ = to_weighted_adjacency(g)
+    node_w = [1] * 30
+    _coarse, weights, _mapping = P._coarsen(adj, node_w, random.Random(0), 2)
+    assert max(weights) <= 2
+
+
+def test_coarsen_preserves_total_edge_weight_across_cut():
+    g = Graph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    adj, _ = to_weighted_adjacency(g)
+    coarse, weights, mapping = P._coarsen(adj, [1] * 4, random.Random(1), 2)
+    # Edge weight between coarse nodes equals the number of fine edges
+    # crossing them.
+    fine_cross = 0
+    for u in range(4):
+        for v in adj[u]:
+            if v > u and mapping[u] != mapping[v]:
+                fine_cross += 1
+    coarse_cross = sum(
+        w for u in range(len(coarse)) for v, w in coarse[u].items() if v > u
+    )
+    assert coarse_cross == fine_cross
+
+
+# ----------------------------------------------------------------------
+# FM refinement
+# ----------------------------------------------------------------------
+
+def test_fm_refine_fixes_a_bad_split():
+    # Two cliques joined by one edge; start from the worst split
+    # (half of each clique on each side) and expect FM to find cut 1.
+    g = Graph()
+    for offset in (0, 10):
+        for i in range(8):
+            for j in range(i + 1, 8):
+                g.add_edge(offset + i, offset + j)
+    g.add_edge(0, 10)
+    adj, order = to_weighted_adjacency(g)
+    index = {node: i for i, node in enumerate(order)}
+    side = [0] * 16
+    for node in list(range(4)) + list(range(10, 14)):
+        side[index[node]] = 1
+    refined = P._fm_refine(adj, [1] * 16, side, 0.1, random.Random(0))
+    assert P._cut_size(adj, refined) == 1
+
+
+def test_fm_refine_never_worsens():
+    rng = random.Random(2)
+    g = Graph()
+    g.add_nodes_from(range(40))
+    for _ in range(100):
+        g.add_edge(rng.randrange(40), rng.randrange(40))
+    adj, _ = to_weighted_adjacency(g)
+    side = [rng.randrange(2) for _ in range(40)]
+    start_cut = P._cut_size(adj, side)
+    refined = P._fm_refine(adj, [1] * 40, side, 0.1, random.Random(3))
+    assert P._cut_size(adj, refined) <= start_cut
+
+
+def test_grow_initial_partition_balanced():
+    g = Graph([(i, i + 1) for i in range(99)])
+    adj, _ = to_weighted_adjacency(g)
+    side = P._grow_initial_partition(adj, [1] * 100, random.Random(4))
+    zeros = side.count(0)
+    assert 40 <= zeros <= 60
+
+
+# ----------------------------------------------------------------------
+# Dinic internals / edge cases
+# ----------------------------------------------------------------------
+
+def test_dinic_zero_capacity_edge_ignored():
+    d = Dinic(3)
+    d.add_edge(0, 1, 0.0)
+    d.add_edge(1, 2, 5.0)
+    assert d.max_flow(0, 2) == 0.0
+
+
+def test_dinic_flow_conservation():
+    rng = random.Random(5)
+    n = 12
+    d = Dinic(n)
+    arcs = []
+    for _ in range(40):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            cap = float(rng.randint(1, 9))
+            eid = d.add_edge(u, v, cap)
+            arcs.append((u, v, cap, eid))
+    flow = d.max_flow(0, n - 1)
+    # Net flow out of each internal node is zero; out of source = flow.
+    net = [0.0] * n
+    for u, v, cap, eid in arcs:
+        sent = cap - d.cap[eid]
+        net[u] -= sent
+        net[v] += sent
+    assert net[0] == pytest.approx(-flow)
+    assert net[n - 1] == pytest.approx(flow)
+    for node in range(1, n - 1):
+        assert net[node] == pytest.approx(0.0)
+
+
+def test_dinic_min_cut_capacity_equals_flow():
+    rng = random.Random(6)
+    n = 10
+    d = Dinic(n)
+    arcs = []
+    for _ in range(30):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            cap = float(rng.randint(1, 5))
+            d.add_edge(u, v, cap)
+            arcs.append((u, v, cap))
+    flow = d.max_flow(0, n - 1)
+    reach = d.min_cut_reachable(0)
+    cut_capacity = sum(cap for u, v, cap in arcs if reach[u] and not reach[v])
+    assert cut_capacity == pytest.approx(flow)
+
+
+def test_dinic_reuse_after_max_flow_is_saturated():
+    d = Dinic(2)
+    d.add_edge(0, 1, 3.0)
+    assert d.max_flow(0, 1) == pytest.approx(3.0)
+    # Residual network has no remaining augmenting path.
+    assert d.max_flow(0, 1) == 0.0
