@@ -1,0 +1,150 @@
+"""Shared-ball engine vs. legacy per-metric calls on the Figure 2 trio.
+
+The point of :class:`repro.engine.MetricEngine` is that one pass over a
+graph can serve expansion, resilience and distortion together: each
+sampled center's balls are grown once (one BFS, one subgraph induction
+per radius) and every requested metric is evaluated against the shared
+subgraph.  This bench compares three separate legacy calls against one
+batched engine pass on a ~2k-node PLRG, asserts the results are
+identical, that the batched pass does measurably less work, and that it
+is faster; the numbers land in ``BENCH_engine.json``.
+
+Timing methodology: the per-call difference is a few percent on a
+sparse graph (the per-metric evaluators dominate; only the structural
+ball work is shared), so single wall-clock measurements drown in
+scheduler noise.  We interleave paired rounds with alternating order,
+time CPU seconds with the GC paused, and compare the summed times.
+
+Run explicitly (it is excluded from quick runs by the markers):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_engine.py -m perf
+"""
+
+import gc
+import json
+import time
+
+import pytest
+
+from repro.engine import MetricEngine, MetricRequest
+from repro.generators.plrg import plrg
+from repro.metrics import distortion, expansion, resilience
+
+pytestmark = [pytest.mark.slow, pytest.mark.perf]
+
+N = 2000
+EXPONENT = 2.246
+GRAPH_SEED = 3
+SEED = 1
+EXPANSION_CENTERS = 16
+BALL_CENTERS = 12
+MAX_BALL = 300
+ROUNDS = 5
+
+OUTPUT = "BENCH_engine.json"
+
+
+def _requests():
+    return [
+        MetricRequest("expansion", num_centers=EXPANSION_CENTERS, seed=SEED),
+        MetricRequest(
+            "resilience",
+            num_centers=BALL_CENTERS,
+            max_ball_size=MAX_BALL,
+            seed=SEED,
+        ),
+        MetricRequest(
+            "distortion",
+            num_centers=BALL_CENTERS,
+            max_ball_size=MAX_BALL,
+            seed=SEED,
+        ),
+    ]
+
+
+def _legacy_trio(graph):
+    return {
+        "expansion": expansion(
+            graph, num_centers=EXPANSION_CENTERS, seed=SEED
+        ),
+        "resilience": resilience(
+            graph,
+            num_centers=BALL_CENTERS,
+            max_ball_size=MAX_BALL,
+            seed=SEED,
+        ),
+        "distortion": distortion(
+            graph,
+            num_centers=BALL_CENTERS,
+            max_ball_size=MAX_BALL,
+            seed=SEED,
+        ),
+    }
+
+
+def _timed(fn):
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        result = fn()
+        return time.process_time() - start, result
+    finally:
+        gc.enable()
+
+
+def test_perf_engine_one_pass_beats_three_legacy_calls():
+    graph = plrg(N, EXPONENT, seed=GRAPH_SEED)
+
+    run_engine = lambda: MetricEngine(workers=0, use_cache=False).compute(
+        graph, _requests()
+    )
+    run_legacy = lambda: _legacy_trio(graph)
+
+    # Warm-up both sides, and check equivalence once up front.
+    batched = run_engine()
+    legacy = run_legacy()
+    for name in legacy:
+        assert batched[name] == legacy[name], name
+
+    engine_seconds = legacy_seconds = 0.0
+    for round_idx in range(ROUNDS):
+        if round_idx % 2 == 0:
+            te, _ = _timed(run_engine)
+            tl, _ = _timed(run_legacy)
+        else:
+            tl, _ = _timed(run_legacy)
+            te, _ = _timed(run_engine)
+        engine_seconds += te
+        legacy_seconds += tl
+
+    # Deterministic shared-work check, independent of timing noise: the
+    # batched pass grows each resilience/distortion center's balls once.
+    counter = MetricEngine(workers=0, use_cache=False)
+    counter.compute(graph, _requests())
+    batched_centers = counter.stats["centers_computed"]
+    assert batched_centers == EXPANSION_CENTERS + BALL_CENTERS
+    legacy_centers = EXPANSION_CENTERS + 2 * BALL_CENTERS
+
+    record = {
+        "graph": f"plrg(n={N}, exponent={EXPONENT}, seed={GRAPH_SEED})",
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "metrics": sorted(legacy),
+        "expansion_centers": EXPANSION_CENTERS,
+        "ball_centers": BALL_CENTERS,
+        "max_ball_size": MAX_BALL,
+        "timing": f"summed CPU seconds over {ROUNDS} interleaved rounds",
+        "legacy_seconds": round(legacy_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(legacy_seconds / engine_seconds, 3),
+        "legacy_center_passes": legacy_centers,
+        "engine_center_passes": batched_centers,
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    # The shared-ball pass serves resilience and distortion from one
+    # ball growth per center, so it must beat the three sequential calls.
+    assert engine_seconds < legacy_seconds, record

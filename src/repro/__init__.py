@@ -28,6 +28,11 @@ The package is organised bottom-up:
     expansion, resilience, distortion, and the secondary metrics of
     Appendix B.
 
+``repro.engine``
+    The shared-ball MetricEngine behind every series function: batched
+    one-pass evaluation of several metrics over shared ball growths,
+    optional process-pool parallelism and an on-disk result cache.
+
 ``repro.hierarchy``
     Section 5's hierarchy measure: link traversal sets, link values by
     weighted vertex cover, the strict/moderate/loose classification, and

@@ -6,8 +6,13 @@ on their own edge lists, and classify graphs — without writing Python:
     python -m repro generate plrg --n 2000 --out plrg.edges
     python -m repro info plrg.edges
     python -m repro metric plrg.edges expansion
-    python -m repro signature plrg.edges
+    python -m repro signature plrg.edges --workers 4
     python -m repro hierarchy plrg.edges
+
+Metric-computing commands (``metric``, ``signature``, ``compare``) run
+on the shared-ball :class:`repro.engine.MetricEngine`: ``--workers N``
+fans ball centers across N processes and finished series are cached
+under ``.repro-cache/`` (disable with ``--no-cache``).
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import signature as metric_signature
+from repro.engine import MetricEngine, MetricRequest
 from repro.generators import (
     TiersParams,
     TransitStubParams,
@@ -42,12 +48,21 @@ from repro.hierarchy import (
     link_values,
     normalized_rank_distribution,
 )
-from repro.metrics import (
-    degree_ccdf,
-    distortion,
-    expansion,
-    resilience,
-)
+from repro.metrics import degree_ccdf
+
+__all__ = [
+    "GENERATORS",
+    "METRIC_CHOICES",
+    "COMMANDS",
+    "build_parser",
+    "main",
+    "cmd_generate",
+    "cmd_info",
+    "cmd_metric",
+    "cmd_signature",
+    "cmd_hierarchy",
+    "cmd_compare",
+]
 
 GENERATORS: Dict[str, Callable[[argparse.Namespace], Graph]] = {
     "tree": lambda a: kary_tree(a.k, a.depth),
@@ -81,11 +96,54 @@ def _add_generate(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--out", required=True, help="output edge-list path")
 
 
+# CLI spelling (dashed) -> engine metric name; degree-ccdf is computed
+# directly (it is a whole-graph distribution, not a ball series).
+METRIC_CHOICES: Dict[str, Optional[str]] = {
+    "expansion": "expansion",
+    "resilience": "resilience",
+    "distortion": "distortion",
+    "vertex-cover": "vertex_cover",
+    "biconnectivity": "biconnectivity",
+    "clustering": "clustering",
+    "path-length": "path_length",
+    "degree-ccdf": None,
+}
+
+# Axis labels for `metric` output, per engine metric.
+_SERIES_LABELS: Dict[str, tuple] = {
+    "expansion": ("E(h)", "h", "E"),
+    "resilience": ("R(n)", "n", "R"),
+    "distortion": ("D(n)", "n", "D"),
+    "vertex_cover": ("vertex cover", "n", "cover"),
+    "biconnectivity": ("biconnectivity", "n", "#bicomp"),
+    "clustering": ("clustering", "n", "C"),
+    "path_length": ("path length", "n", "len"),
+}
+
+
 def _add_graph_command(sub, name: str, help_text: str, extra=None) -> None:
     p = sub.add_parser(name, help=help_text)
     p.add_argument("edgelist", help="edge-list file (see `generate`)")
     if extra:
         extra(p)
+
+
+def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for ball centers (0 = serial)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the .repro-cache/ series cache",
+    )
+
+
+def _make_engine(args: argparse.Namespace) -> MetricEngine:
+    return MetricEngine(workers=args.workers, use_cache=not args.no_cache)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,13 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
         "metric",
         "compute one metric series",
         extra=lambda p: (
-            p.add_argument(
-                "metric_name",
-                choices=("expansion", "resilience", "distortion", "degree-ccdf"),
-            ),
+            p.add_argument("metric_name", choices=sorted(METRIC_CHOICES)),
             p.add_argument("--centers", type=int, default=12),
             p.add_argument("--max-ball", type=int, default=900),
             p.add_argument("--seed", type=int, default=1),
+            _add_engine_flags(p),
         ),
     )
     _add_graph_command(
@@ -122,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--centers", type=int, default=12),
             p.add_argument("--max-ball", type=int, default=900),
             p.add_argument("--seed", type=int, default=1),
+            _add_engine_flags(p),
         ),
     )
     _add_graph_command(
@@ -137,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--centers", type=int, default=6)
     compare.add_argument("--max-ball", type=int, default=500)
     compare.add_argument("--out", help="also write the markdown report here")
+    _add_engine_flags(compare)
     return parser
 
 
@@ -169,41 +227,52 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_metric(args: argparse.Namespace) -> int:
     """``metric``: one metric series for an edge list."""
     graph = read_edgelist(args.edgelist)
-    if args.metric_name == "expansion":
-        series = expansion(graph, num_centers=args.centers, seed=args.seed)
-        print(format_series("E(h)", series, "h", "E"))
-    elif args.metric_name == "resilience":
-        series = resilience(
-            graph,
-            num_centers=args.centers,
-            max_ball_size=args.max_ball,
-            seed=args.seed,
-        )
-        print(format_series("R(n)", series, "n", "R"))
-    elif args.metric_name == "distortion":
-        series = distortion(
-            graph,
-            num_centers=args.centers,
-            max_ball_size=args.max_ball,
-            seed=args.seed,
-        )
-        print(format_series("D(n)", series, "n", "D"))
-    else:
+    engine_name = METRIC_CHOICES[args.metric_name]
+    if engine_name is None:
         print(format_series("degree CCDF", degree_ccdf(graph), "k", "P(>=k)"))
+        return 0
+    params = {"num_centers": args.centers, "seed": args.seed}
+    if engine_name != "expansion":
+        params["max_ball_size"] = args.max_ball
+    series = _make_engine(args).compute_one(graph, engine_name, **params)
+    title, x_label, y_label = _SERIES_LABELS[engine_name]
+    print(format_series(title, series, x_label, y_label))
     return 0
 
 
 def cmd_signature(args: argparse.Namespace) -> int:
-    """``signature``: the Section 4.4 L/H classification of a graph."""
+    """``signature``: the Section 4.4 L/H classification of a graph.
+
+    All three basic metrics come from one shared engine pass, so
+    resilience and distortion grow each ball once between them.
+    """
     graph = read_edgelist(args.edgelist)
-    e = expansion(graph, num_centers=max(args.centers, 16), seed=args.seed)
-    r = resilience(
-        graph, num_centers=args.centers, max_ball_size=args.max_ball, seed=args.seed
+    series = _make_engine(args).compute(
+        graph,
+        [
+            MetricRequest(
+                "expansion", num_centers=max(args.centers, 16), seed=args.seed
+            ),
+            MetricRequest(
+                "resilience",
+                num_centers=args.centers,
+                max_ball_size=args.max_ball,
+                seed=args.seed,
+            ),
+            MetricRequest(
+                "distortion",
+                num_centers=args.centers,
+                max_ball_size=args.max_ball,
+                seed=args.seed,
+            ),
+        ],
     )
-    d = distortion(
-        graph, num_centers=args.centers, max_ball_size=args.max_ball, seed=args.seed
+    sig = metric_signature(
+        series["expansion"],
+        series["resilience"],
+        series["distortion"],
+        graph.number_of_nodes(),
     )
-    sig = metric_signature(e, r, d, graph.number_of_nodes())
     print(f"signature (expansion/resilience/distortion): {sig}")
     hints = {
         "HHL": "Internet-like (matches AS/RL/PLRG in the paper)",
@@ -247,7 +316,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
         name = os.path.splitext(os.path.basename(path))[0]
         items.append(ReportInput(name, read_edgelist(path)))
     report = generate_report(
-        items, num_centers=args.centers, max_ball_size=args.max_ball
+        items,
+        num_centers=args.centers,
+        max_ball_size=args.max_ball,
+        workers=args.workers,
+        use_cache=not args.no_cache,
     )
     print(report)
     if args.out:

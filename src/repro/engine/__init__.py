@@ -1,0 +1,39 @@
+"""Shared-ball metric engine: one-pass, parallel, cached evaluation.
+
+All of the paper's large-scale metrics are defined over the same family
+of ball subgraphs.  :class:`MetricEngine` evaluates a *batch* of
+:class:`MetricRequest` objects by growing each center's balls once and
+evaluating every requested metric against the shared subgraph, fanning
+centers across worker processes, and caching finished series on disk.
+The legacy per-metric functions in :mod:`repro.metrics` are thin
+wrappers over this engine.  See ``docs/ENGINE.md``.
+"""
+
+from repro.engine.cache import (
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    SeriesCache,
+    cache_key,
+    graph_fingerprint,
+)
+from repro.engine.core import MetricEngine
+from repro.engine.requests import METRICS, MetricRequest, MetricSpec
+
+
+def engine_metric_names():
+    """Names accepted by :class:`MetricRequest`, sorted."""
+    return sorted(METRICS)
+
+
+__all__ = [
+    "MetricEngine",
+    "MetricRequest",
+    "MetricSpec",
+    "METRICS",
+    "SeriesCache",
+    "cache_key",
+    "graph_fingerprint",
+    "engine_metric_names",
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+]

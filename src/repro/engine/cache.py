@@ -1,0 +1,139 @@
+"""On-disk result cache for metric series.
+
+Finished series are stored as JSON under ``.repro-cache/`` (or any
+directory passed to :class:`MetricEngine`), one file per entry, keyed by
+a content hash of
+
+* the graph (node set + edge set),
+* the metric name,
+* the resolved parameters (including the seed).
+
+Any change to the graph's edges, the metric parameters, or the seed
+produces a different key, so stale hits are impossible; the cache never
+needs invalidation beyond deleting files.  JSON float serialisation uses
+``repr`` round-tripping, so cached series are bitwise-identical to
+freshly computed ones.
+
+Entries involving objects without a stable content representation — a
+``random.Random`` seed or a policy :class:`Relationships` annotation —
+are simply not cached (``cache_key`` returns ``None``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import tempfile
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Tuple
+
+from repro.graph.core import Graph
+
+# Bump when the engine's numeric behaviour changes, so old entries miss.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a graph: its node set and edge set.
+
+    Node identity is taken from ``repr`` so any hashable label works;
+    edges are canonicalised (unordered endpoints, sorted list) so two
+    graphs with the same structure always hash alike regardless of
+    construction order.
+    """
+    digest = hashlib.sha256()
+    for label in sorted(repr(node) for node in graph.nodes()):
+        digest.update(label.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(b"--edges--")
+    edge_labels = []
+    for u, v in graph.iter_edges():
+        a, b = sorted((repr(u), repr(v)))
+        edge_labels.append(f"{a}\x01{b}")
+    for label in sorted(edge_labels):
+        digest.update(label.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def cache_key(
+    fingerprint: str, metric: str, params: Mapping[str, Any]
+) -> Optional[str]:
+    """Stable key for one (graph, metric, params) computation.
+
+    Returns ``None`` when the computation is not cacheable: a live
+    ``random.Random`` seed or a policy relationship annotation has no
+    stable content representation.
+    """
+    if isinstance(params.get("seed"), random.Random):
+        return None
+    if params.get("rels") is not None:
+        return None
+    payload = repr(
+        sorted((k, repr(v)) for k, v in params.items() if k != "rels")
+    )
+    digest = hashlib.sha256()
+    digest.update(f"v{CACHE_VERSION}|{metric}|{fingerprint}|".encode("utf-8"))
+    digest.update(payload.encode("utf-8"))
+    return f"{metric}-{digest.hexdigest()[:40]}"
+
+
+class SeriesCache:
+    """Directory of cached series, one JSON file per key."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root or DEFAULT_CACHE_DIR)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Tuple[float, float]]]:
+        """The cached series for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        return [tuple(point) for point in payload["series"]]
+
+    def put(self, key: str, metric: str, series: List[Tuple]) -> None:
+        """Store ``series``; write is atomic (tmp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "metric": metric,
+            "series": [list(point) for point in series],
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,485 @@
+"""The shared-ball :class:`MetricEngine`.
+
+Every series function in :mod:`repro.metrics` measures quantities on the
+same family of ball subgraphs.  Computed independently, a full report
+re-runs BFS from every center and re-materialises every ball once per
+metric.  The engine instead takes a *batch* of
+:class:`~repro.engine.requests.MetricRequest` objects and
+
+1. grows each center's balls **once**, evaluating all requested per-ball
+   metrics against the shared induced subgraph (and serving distance-only
+   metrics like expansion from the same distance maps),
+2. optionally fans centers out across a ``ProcessPoolExecutor``
+   (``workers=0`` is a serial fallback with identical results), and
+3. caches finished series on disk under ``.repro-cache/`` keyed by a
+   content hash of (edge set, metric name, params, seed) — see
+   :mod:`repro.engine.cache`.
+
+Determinism contract
+--------------------
+Results are a pure function of ``(graph, metric, params, seed)``:
+
+* Ball centers are sampled exactly as the legacy per-metric functions
+  sampled them (including the legacy functions' pre-sampling RNG draws),
+  so the engine visits the same centers for the same seed.
+* Metrics that randomise per ball (resilience's partitioner, distortion's
+  tree heuristics) draw from a per-(metric, center) RNG stream derived
+  from the seed and the center index.  A center's stream does not depend
+  on which other metrics share the pass, on worker count, or on
+  scheduling — so serial and parallel runs, and batched and standalone
+  runs, are bitwise identical.
+* Per-radius averages are accumulated in center order regardless of
+  which worker finished first, so float addition order is fixed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.cache import SeriesCache, cache_key, graph_fingerprint
+from repro.engine.requests import METRICS, MetricRequest, MetricSpec
+from repro.generators.base import make_rng
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+# _policy_ball_from_dag is the canonical Appendix E ball constructor; the
+# engine reuses it so policy balls stay identical to the legacy path.
+from repro.metrics.balls import _policy_ball_from_dag, sample_centers
+from repro.routing.policy import policy_dag
+
+Series = List[Tuple[float, float]]
+
+# Request parameters that shape the pass itself; everything else is
+# forwarded to the per-ball evaluator (e.g. resilience's ``trials``).
+_STRUCTURAL_PARAMS = frozenset(
+    ("num_centers", "centers", "max_ball_size", "min_ball_size", "rels", "seed")
+)
+
+
+@dataclasses.dataclass
+class _Resolved:
+    """A request with its parameters, centers and RNG streams pinned."""
+
+    request: MetricRequest
+    spec: MetricSpec
+    params: Dict[str, Any]
+    centers: List[Any]
+    center_seeds: Optional[List[int]]
+    key: Optional[str] = None
+    series: Optional[Series] = None
+
+
+@dataclasses.dataclass
+class _BallMember:
+    """One ball metric riding a shared group."""
+
+    rid: int  # index into the pending request list
+    name: str
+    eval_params: Dict[str, Any]
+    center_seeds: Optional[List[int]]
+
+
+@dataclasses.dataclass
+class _BallGroup:
+    """Ball metrics that share the exact same ball family."""
+
+    max_ball_size: Optional[int]
+    min_ball_size: int
+    members: List[_BallMember]
+
+
+@dataclasses.dataclass
+class _Plan:
+    """All work sharing one (centers, relationships) pass."""
+
+    centers: List[Any]
+    rels: Any
+    distance_rids: List[int]
+    groups: List[_BallGroup]
+
+
+def _compute_center(graph: Graph, plan: _Plan, ci: int):
+    """Everything ``plan`` needs from one center, in a single pass.
+
+    Returns ``(counts_at, group_contributions)`` where ``counts_at`` is
+    the per-distance node count (``None`` when no distance metric was
+    requested) and ``group_contributions[g]`` is a list of
+    ``(radius, ball_size, {rid: value})`` tuples for ball group ``g``.
+    """
+    center = plan.centers[ci]
+    if plan.rels is not None:
+        dag = policy_dag(graph, plan.rels, center)
+        distances: Dict[Any, int] = {}
+        for (node, _state), d in dag.state_dist.items():
+            if node not in distances or d < distances[node]:
+                distances[node] = d
+    else:
+        dag = None
+        distances = bfs_distances(graph, center)
+    max_radius = max(distances.values()) if distances else 0
+
+    counts_at = None
+    if plan.distance_rids:
+        counts_at = [0] * (max_radius + 1)
+        for d in distances.values():
+            counts_at[d] += 1
+
+    group_contributions: List[List[Tuple[int, int, Dict[int, float]]]] = []
+    if plan.groups:
+        buckets: Optional[List[List[Any]]] = None
+        if dag is None:
+            # Nodes bucketed by distance in BFS discovery order;
+            # concatenating buckets reproduces the legacy members list
+            # (and therefore the exact induced subgraph) at every radius.
+            buckets = [[] for _ in range(max_radius + 1)]
+            for node, d in distances.items():
+                buckets[d].append(node)
+        for group in plan.groups:
+            rngs = {
+                member.rid: (
+                    random.Random(member.center_seeds[ci])
+                    if member.center_seeds is not None
+                    else None
+                )
+                for member in group.members
+            }
+            contributions: List[Tuple[int, int, Dict[int, float]]] = []
+            members: List[Any] = list(buckets[0]) if buckets is not None else []
+            prev_size = 0
+            for radius in range(1, max_radius + 1):
+                if buckets is not None:
+                    members.extend(buckets[radius])
+                    size = len(members)
+                else:
+                    members = [
+                        node for node, d in distances.items() if d <= radius
+                    ]
+                    size = len(members)
+                if size == prev_size:
+                    continue
+                prev_size = size
+                if size < group.min_ball_size:
+                    continue
+                if group.max_ball_size is not None and size > group.max_ball_size:
+                    break
+                if dag is not None:
+                    ball = _policy_ball_from_dag(dag, radius)
+                else:
+                    ball = graph.subgraph(members)
+                values = {
+                    member.rid: METRICS[member.name].evaluator(
+                        ball, rngs[member.rid], member.eval_params
+                    )
+                    for member in group.members
+                }
+                contributions.append((radius, size, values))
+            group_contributions.append(contributions)
+    return counts_at, group_contributions
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  Workers receive the graph and plans once (via
+# the pool initializer) and are then sent only (plan, center) indices.
+# ----------------------------------------------------------------------
+
+_WORKER_GRAPH: Optional[Graph] = None
+_WORKER_PLANS: Optional[List[_Plan]] = None
+
+
+def _pool_init(graph: Graph, plans: List[_Plan]) -> None:
+    global _WORKER_GRAPH, _WORKER_PLANS
+    _WORKER_GRAPH = graph
+    _WORKER_PLANS = plans
+
+
+def _pool_task(task: Tuple[int, int]):
+    pi, ci = task
+    return _compute_center(_WORKER_GRAPH, _WORKER_PLANS[pi], ci)
+
+
+def _expansion_series(
+    n: int,
+    per_center_counts: List[List[int]],
+    num_centers_used: int,
+    max_ball_size: Optional[int],
+) -> List[Tuple[int, float]]:
+    """Fold per-center distance counts into the E(h) series.
+
+    Identical to the legacy :func:`repro.metrics.expansion.expansion`
+    fold: a center whose ball stops growing keeps counting at full reach
+    for larger radii.  ``max_ball_size`` (an engine extension) truncates
+    the series once the average ball exceeds that many nodes.
+    """
+    if not per_center_counts or n == 0 or num_centers_used == 0:
+        return []
+    global_max = max(len(counts) for counts in per_center_counts) - 1
+    reach_counts = [0] * (global_max + 1)
+    for counts_at in per_center_counts:
+        running = 0
+        for h in range(global_max + 1):
+            if h < len(counts_at):
+                running += counts_at[h]
+            reach_counts[h] += running
+    series: List[Tuple[int, float]] = []
+    for h, total in enumerate(reach_counts):
+        if max_ball_size is not None and total / num_centers_used > max_ball_size:
+            break
+        series.append((h, total / (num_centers_used * n)))
+    return series
+
+
+class MetricEngine:
+    """One-pass, parallel, cached evaluation of the paper's metrics.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes to fan ball centers across.  ``0``
+        (the default) computes serially in-process; results are
+        identical either way.
+    use_cache:
+        Store and reuse finished series on disk.
+    cache_dir:
+        Cache directory, ``.repro-cache/`` by default.
+
+    Examples
+    --------
+    >>> from repro.engine import MetricEngine, MetricRequest
+    >>> from repro.generators import kary_tree
+    >>> engine = MetricEngine(use_cache=False)
+    >>> results = engine.compute(kary_tree(3, 5), [
+    ...     MetricRequest("expansion", num_centers=8, seed=1),
+    ...     MetricRequest("resilience", num_centers=4, seed=1),
+    ... ])
+    >>> sorted(results)
+    ['expansion', 'resilience']
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+    ):
+        self.workers = int(workers)
+        self.use_cache = bool(use_cache)
+        self.cache = SeriesCache(cache_dir)
+        self.stats = {"cache_hits": 0, "cache_misses": 0, "centers_computed": 0}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        graph: Graph,
+        requests: Sequence[Union[MetricRequest, str]],
+    ) -> Dict[str, Series]:
+        """Evaluate a batch of metric requests in one shared pass.
+
+        ``requests`` may mix :class:`MetricRequest` objects and bare
+        metric names (which use that metric's default parameters).
+        Returns ``{metric name: series}`` in request order.
+        """
+        reqs = [
+            req if isinstance(req, MetricRequest) else MetricRequest(req)
+            for req in requests
+        ]
+        names = [req.name for req in reqs]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"duplicate metric names in one compute call: {names}"
+            )
+        resolved = [self._resolve(graph, req) for req in reqs]
+
+        if self.use_cache:
+            fingerprint = graph_fingerprint(graph)
+            for res in resolved:
+                res.key = cache_key(fingerprint, res.request.name, res.params)
+                if res.key is None:
+                    continue
+                hit = self.cache.get(res.key)
+                if hit is not None:
+                    res.series = hit
+                    self.stats["cache_hits"] += 1
+                else:
+                    self.stats["cache_misses"] += 1
+
+        pending = [res for res in resolved if res.series is None]
+        if pending:
+            plans = self._build_plans(pending)
+            per_plan_results = self._execute(graph, plans)
+            self._merge(graph, plans, per_plan_results, pending)
+            if self.use_cache:
+                for res in pending:
+                    if res.key is not None:
+                        self.cache.put(res.key, res.request.name, res.series)
+        return {res.request.name: res.series for res in resolved}
+
+    def compute_one(self, graph: Graph, name: str, **params: Any) -> Series:
+        """Convenience wrapper: one metric, parameters as kwargs."""
+        return self.compute(graph, [MetricRequest(name, params)])[name]
+
+    def clear_cache(self) -> int:
+        """Delete every cached series; returns the number removed."""
+        return self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # Resolution and planning
+    # ------------------------------------------------------------------
+    def _resolve(self, graph: Graph, request: MetricRequest) -> _Resolved:
+        spec = METRICS[request.name]
+        params = spec.resolve_params(request.params)
+        rng = make_rng(params["seed"])
+        # Legacy RNG protocol: metrics with a per-ball RNG drew their
+        # stream seed *before* sampling centers; replicating the draw
+        # keeps the engine on the same centers as the legacy functions.
+        master_bits = rng.getrandbits(32) if spec.uses_rng else None
+        centers = params["centers"]
+        if centers is None:
+            centers = sample_centers(graph, params["num_centers"], seed=rng)
+        else:
+            centers = list(centers)
+        center_seeds = None
+        if spec.uses_rng:
+            seeder = random.Random(master_bits)
+            center_seeds = [seeder.getrandbits(64) for _ in centers]
+        return _Resolved(
+            request=request,
+            spec=spec,
+            params=params,
+            centers=centers,
+            center_seeds=center_seeds,
+        )
+
+    def _build_plans(self, pending: List[_Resolved]) -> List[_Plan]:
+        plans: List[_Plan] = []
+        plans_by_key: Dict[Tuple, _Plan] = {}
+        for rid, res in enumerate(pending):
+            rels = res.params["rels"]
+            key = (
+                tuple(res.centers),
+                id(rels) if rels is not None else None,
+            )
+            plan = plans_by_key.get(key)
+            if plan is None:
+                plan = _Plan(
+                    centers=res.centers,
+                    rels=rels,
+                    distance_rids=[],
+                    groups=[],
+                )
+                plans_by_key[key] = plan
+                plans.append(plan)
+            if res.spec.kind == "distance":
+                plan.distance_rids.append(rid)
+                continue
+            gkey = (res.params["max_ball_size"], res.params["min_ball_size"])
+            group = next(
+                (
+                    g
+                    for g in plan.groups
+                    if (g.max_ball_size, g.min_ball_size) == gkey
+                ),
+                None,
+            )
+            if group is None:
+                group = _BallGroup(
+                    max_ball_size=gkey[0], min_ball_size=gkey[1], members=[]
+                )
+                plan.groups.append(group)
+            group.members.append(
+                _BallMember(
+                    rid=rid,
+                    name=res.request.name,
+                    eval_params={
+                        k: v
+                        for k, v in res.params.items()
+                        if k not in _STRUCTURAL_PARAMS
+                    },
+                    center_seeds=res.center_seeds,
+                )
+            )
+        return plans
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, graph: Graph, plans: List[_Plan]):
+        tasks = [
+            (pi, ci)
+            for pi, plan in enumerate(plans)
+            for ci in range(len(plan.centers))
+        ]
+        self.stats["centers_computed"] += len(tasks)
+        if self.workers > 0 and len(tasks) > 1:
+            flat = self._execute_parallel(graph, plans, tasks)
+        else:
+            flat = [
+                _compute_center(graph, plans[pi], ci) for pi, ci in tasks
+            ]
+        per_plan: List[List[Any]] = [[] for _ in plans]
+        for (pi, _ci), result in zip(tasks, flat):
+            # Tasks were generated (and pool.map preserves) center order,
+            # so appending here keeps the merge order deterministic.
+            per_plan[pi].append(result)
+        return per_plan
+
+    def _execute_parallel(self, graph, plans, tasks):
+        max_workers = min(self.workers, len(tasks))
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_pool_init,
+                initargs=(graph, plans),
+            )
+        except (OSError, PermissionError):  # pragma: no cover - sandboxes
+            # Environments that forbid subprocesses fall back to the
+            # serial path; results are identical by construction.
+            return [_compute_center(graph, plans[pi], ci) for pi, ci in tasks]
+        with pool:
+            return list(pool.map(_pool_task, tasks))
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        graph: Graph,
+        plans: List[_Plan],
+        per_plan_results,
+        pending: List[_Resolved],
+    ) -> None:
+        n = graph.number_of_nodes()
+        for plan, center_results in zip(plans, per_plan_results):
+            if plan.distance_rids:
+                per_center_counts = [counts for counts, _groups in center_results]
+                for rid in plan.distance_rids:
+                    res = pending[rid]
+                    res.series = _expansion_series(
+                        n,
+                        per_center_counts,
+                        len(plan.centers),
+                        res.params["max_ball_size"],
+                    )
+            for gi, group in enumerate(plan.groups):
+                accs: Dict[int, Dict[int, List[float]]] = {
+                    member.rid: {} for member in group.members
+                }
+                for _counts, group_results in center_results:
+                    for radius, size, values in group_results[gi]:
+                        for rid, value in values.items():
+                            bucket = accs[rid].setdefault(
+                                radius, [0.0, 0.0, 0]
+                            )
+                            bucket[0] += size
+                            bucket[1] += value
+                            bucket[2] += 1
+                for member in group.members:
+                    acc = accs[member.rid]
+                    series: Series = []
+                    for radius in sorted(acc):
+                        sum_n, sum_value, count = acc[radius]
+                        series.append((sum_n / count, sum_value / count))
+                    pending[member.rid].series = series

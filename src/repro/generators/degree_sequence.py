@@ -19,10 +19,9 @@ from __future__ import annotations
 
 import bisect
 import itertools
-import math
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.generators.base import GenerationError, Seed, giant_component, make_rng
+from repro.generators.base import Seed, giant_component, make_rng
 from repro.graph.core import Graph
 
 
@@ -326,32 +325,10 @@ def rewire_with_method(
     return giant_component(rewired)
 
 
-def degree_ccdf(graph: Graph) -> List[tuple]:
-    """Complementary cumulative degree frequency: (k, P(degree >= k)).
-
-    The quantity plotted in Figures 6 and 12(a).
-    """
-    degrees = sorted((graph.degree(node) for node in graph.nodes()))
-    n = len(degrees)
-    if n == 0:
-        return []
-    points = []
-    distinct = sorted(set(degrees))
-    for k in distinct:
-        at_least = n - bisect.bisect_left(degrees, k)
-        points.append((k, at_least / n))
-    return points
-
-
-def fit_power_law_exponent(graph: Graph, k_min: int = 1) -> float:
-    """Maximum-likelihood (Clauset-style, discrete approx.) exponent fit.
-
-    Used by tests to confirm that the degree-based generators actually
-    produce heavy-tailed degree distributions and the structural ones do
-    not need to.
-    """
-    degrees = [graph.degree(node) for node in graph.nodes() if graph.degree(node) >= k_min]
-    if len(degrees) < 10:
-        raise GenerationError("too few nodes above k_min for a fit")
-    log_sum = sum(math.log(d / (k_min - 0.5)) for d in degrees)
-    return 1.0 + len(degrees) / log_sum
+# Canonical implementations live in repro.metrics.degree (measuring a
+# graph's degree distribution is a metric); re-exported here so the
+# generator-side API keeps working and the two can never drift.
+from repro.metrics.degree import (  # noqa: E402
+    degree_ccdf,
+    fit_power_law_exponent,
+)

@@ -13,6 +13,7 @@ import dataclasses
 from typing import List, Optional, Sequence
 
 from repro.analysis import PAPER_SIGNATURES, signature
+from repro.engine import MetricEngine, MetricRequest
 from repro.graph.core import Graph
 from repro.harness.tables import format_table
 from repro.hierarchy import (
@@ -21,7 +22,6 @@ from repro.hierarchy import (
     link_values,
     normalized_rank_distribution,
 )
-from repro.metrics import distortion, expansion, resilience
 from repro.routing.policy import Relationships
 
 
@@ -57,16 +57,40 @@ def analyse_topology(
     num_centers: int = 8,
     max_ball_size: int = 700,
     seed: int = 1,
+    engine: Optional[MetricEngine] = None,
 ) -> TopologyReport:
-    """Run the three basic metrics (and, when feasible, link values)."""
+    """Run the three basic metrics (and, when feasible, link values).
+
+    The metrics go through one shared :class:`MetricEngine` pass, so
+    resilience and distortion (same centers, same ball cap) grow each
+    ball subgraph once instead of once per metric.
+    """
     graph = item.graph
-    e = expansion(graph, num_centers=max(16, num_centers), rels=None, seed=seed)
-    r = resilience(
-        graph, num_centers=num_centers, max_ball_size=max_ball_size, seed=seed
+    if engine is None:
+        engine = MetricEngine(workers=0, use_cache=False)
+    series = engine.compute(
+        graph,
+        [
+            MetricRequest(
+                "expansion", num_centers=max(16, num_centers), seed=seed
+            ),
+            MetricRequest(
+                "resilience",
+                num_centers=num_centers,
+                max_ball_size=max_ball_size,
+                seed=seed,
+            ),
+            MetricRequest(
+                "distortion",
+                num_centers=num_centers,
+                max_ball_size=max_ball_size,
+                seed=seed,
+            ),
+        ],
     )
-    d = distortion(
-        graph, num_centers=num_centers, max_ball_size=max_ball_size, seed=seed
-    )
+    e = series["expansion"]
+    r = series["resilience"]
+    d = series["distortion"]
     report = TopologyReport(
         name=item.name,
         nodes=graph.number_of_nodes(),
@@ -88,15 +112,26 @@ def generate_report(
     num_centers: int = 8,
     max_ball_size: int = 700,
     seed: int = 1,
+    workers: int = 0,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Markdown report over a set of topologies.
 
     Includes the Figure-1-style inventory, the Section 4.4 signature
     table (with the paper's expectation where the name is known), and
     the Section 5 hierarchy columns where link values were feasible.
+
+    ``workers`` fans ball centers across that many processes per
+    topology; ``use_cache`` reuses finished series from ``cache_dir``
+    (``.repro-cache/`` by default) across calls.
     """
+    engine = MetricEngine(
+        workers=workers, use_cache=use_cache, cache_dir=cache_dir
+    )
     reports = [
-        analyse_topology(item, num_centers, max_ball_size, seed) for item in items
+        analyse_topology(item, num_centers, max_ball_size, seed, engine=engine)
+        for item in items
     ]
     lines: List[str] = []
     lines.append("# Topology comparison report")

@@ -16,11 +16,9 @@ from repro.analysis.classify import (
     ClassifierThresholds,
     signature as metric_signature,
 )
+from repro.engine import MetricEngine, MetricRequest
 from repro.generators.base import Seed
 from repro.graph.core import Graph
-from repro.metrics.distortion import distortion
-from repro.metrics.expansion import expansion
-from repro.metrics.resilience import resilience
 
 
 @dataclasses.dataclass
@@ -43,14 +41,22 @@ def sweep(
     max_ball_size: int = 700,
     thresholds: ClassifierThresholds = ClassifierThresholds(),
     seed: Seed = 5,
+    workers: int = 0,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> List[SweepRow]:
     """Run a generator across parameter sets.
 
     With ``classify``, the three basic metrics are computed on each
-    instance and the L/H signature attached — the Section 4.4 robustness
-    check ("for most parameter values the results are in agreement with
-    what we have presented").
+    instance — in one shared :class:`MetricEngine` pass per instance —
+    and the L/H signature attached: the Section 4.4 robustness check
+    ("for most parameter values the results are in agreement with what
+    we have presented").  ``workers``/``use_cache`` configure the
+    engine's process fan-out and on-disk series cache.
     """
+    engine = MetricEngine(
+        workers=workers, use_cache=use_cache, cache_dir=cache_dir
+    )
     rows: List[SweepRow] = []
     for params in param_sets:
         graph = make(seed=seed, **params)
@@ -61,15 +67,30 @@ def sweep(
             average_degree=round(graph.average_degree(), 2),
         )
         if classify:
-            e = expansion(graph, num_centers=24, seed=seed)
-            r = resilience(
-                graph, num_centers=num_centers, max_ball_size=max_ball_size, seed=seed
-            )
-            d = distortion(
-                graph, num_centers=num_centers, max_ball_size=max_ball_size, seed=seed
+            series = engine.compute(
+                graph,
+                [
+                    MetricRequest("expansion", num_centers=24, seed=seed),
+                    MetricRequest(
+                        "resilience",
+                        num_centers=num_centers,
+                        max_ball_size=max_ball_size,
+                        seed=seed,
+                    ),
+                    MetricRequest(
+                        "distortion",
+                        num_centers=num_centers,
+                        max_ball_size=max_ball_size,
+                        seed=seed,
+                    ),
+                ],
             )
             row.signature = metric_signature(
-                e, r, d, graph.number_of_nodes(), thresholds
+                series["expansion"],
+                series["resilience"],
+                series["distortion"],
+                graph.number_of_nodes(),
+                thresholds,
             )
         rows.append(row)
     return rows

@@ -12,8 +12,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.generators.base import Seed
 from repro.graph.core import Graph
-from repro.graph.components import count_biconnected_components
-from repro.metrics.balls import ball_growing_series
 from repro.routing.policy import Relationships
 
 SeriesPoint = Tuple[float, float]
@@ -27,10 +25,15 @@ def biconnectivity_series(
     rels: Optional[Relationships] = None,
     seed: Seed = None,
 ) -> List[SeriesPoint]:
-    """``[(avg ball size n, avg #biconnected components), ...]``."""
-    return ball_growing_series(
+    """``[(avg ball size n, avg #biconnected components), ...]``.
+
+    Thin wrapper over :class:`repro.engine.MetricEngine`.
+    """
+    from repro.engine import MetricEngine  # deferred: engine builds on metrics
+
+    return MetricEngine(workers=0, use_cache=False).compute_one(
         graph,
-        lambda ball: float(count_biconnected_components(ball)),
+        "biconnectivity",
         num_centers=num_centers,
         centers=centers,
         max_ball_size=max_ball_size,

@@ -14,7 +14,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.generators.base import Seed
 from repro.graph.core import Graph
-from repro.metrics.balls import ball_growing_series
 from repro.routing.policy import Relationships
 
 SeriesPoint = Tuple[float, float]
@@ -54,10 +53,15 @@ def clustering_series(
     rels: Optional[Relationships] = None,
     seed: Seed = None,
 ) -> List[SeriesPoint]:
-    """Figure 10: ``[(avg ball size n, avg clustering coeff), ...]``."""
-    return ball_growing_series(
+    """Figure 10: ``[(avg ball size n, avg clustering coeff), ...]``.
+
+    Thin wrapper over :class:`repro.engine.MetricEngine`.
+    """
+    from repro.engine import MetricEngine  # deferred: engine builds on metrics
+
+    return MetricEngine(workers=0, use_cache=False).compute_one(
         graph,
-        clustering_coefficient,
+        "clustering",
         num_centers=num_centers,
         centers=centers,
         max_ball_size=max_ball_size,

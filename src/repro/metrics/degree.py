@@ -3,17 +3,61 @@
 The complementary cumulative degree frequency confirms "the Faloutsos
 conclusions": the measured networks and the degree-based generators are
 heavy-tailed; the canonical and structural generators are not.
+
+This module is the **canonical** home of :func:`degree_ccdf` and
+:func:`fit_power_law_exponent` (they measure graphs, so they live with
+the metrics); :mod:`repro.generators.degree_sequence` re-exports them so
+generator-side callers keep working and the two packages can never
+drift apart.
 """
 
 from __future__ import annotations
 
-from repro.generators.degree_sequence import (  # re-exported for API locality
-    degree_ccdf,
-    fit_power_law_exponent,
-)
+import bisect
+import math
+from typing import List, Tuple
+
 from repro.graph.core import Graph
 
 __all__ = ["degree_ccdf", "fit_power_law_exponent", "degree_tail_weight"]
+
+
+def degree_ccdf(graph: Graph) -> List[Tuple[int, float]]:
+    """Complementary cumulative degree frequency: (k, P(degree >= k)).
+
+    The quantity plotted in Figures 6 and 12(a).
+    """
+    degrees = sorted(graph.degree(node) for node in graph.nodes())
+    n = len(degrees)
+    if n == 0:
+        return []
+    points = []
+    for k in sorted(set(degrees)):
+        at_least = n - bisect.bisect_left(degrees, k)
+        points.append((k, at_least / n))
+    return points
+
+
+def fit_power_law_exponent(graph: Graph, k_min: int = 1) -> float:
+    """Maximum-likelihood (Clauset-style, discrete approx.) exponent fit.
+
+    Used by tests to confirm that the degree-based generators actually
+    produce heavy-tailed degree distributions and the structural ones do
+    not need to.
+    """
+    # Deferred import: generators.base re-imports this module at package
+    # init time, so a top-level import here would tighten the cycle.
+    from repro.generators.base import GenerationError
+
+    degrees = [
+        graph.degree(node)
+        for node in graph.nodes()
+        if graph.degree(node) >= k_min
+    ]
+    if len(degrees) < 10:
+        raise GenerationError("too few nodes above k_min for a fit")
+    log_sum = sum(math.log(d / (k_min - 0.5)) for d in degrees)
+    return 1.0 + len(degrees) / log_sum
 
 
 def degree_tail_weight(graph: Graph, threshold_factor: float = 4.0) -> float:

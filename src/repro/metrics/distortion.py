@@ -26,11 +26,10 @@ import random
 from collections import deque
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.generators.base import Seed, make_rng
+from repro.generators.base import Seed
 from repro.graph.core import Graph
 from repro.graph.traversal import largest_connected_component
 from repro.graph.trees import bfs_tree, spanning_tree_distortion
-from repro.metrics.balls import ball_growing_series
 from repro.routing.policy import Relationships
 
 Node = Hashable
@@ -218,19 +217,19 @@ def distortion(
 
     With ``rels`` the balls are policy-induced; the paper found the
     measured networks' distortion drops further under policy.
+
+    Thin wrapper over :class:`repro.engine.MetricEngine`; batching
+    distortion with resilience (same centers, same ``max_ball_size``)
+    in one ``engine.compute`` call grows each ball once for both.
     """
-    rng = make_rng(seed)
-    tree_rng = random.Random(rng.getrandbits(32))
+    from repro.engine import MetricEngine  # deferred: engine builds on metrics
 
-    def metric(ball: Graph) -> float:
-        return distortion_of(ball, rng=tree_rng)
-
-    return ball_growing_series(
+    return MetricEngine(workers=0, use_cache=False).compute_one(
         graph,
-        metric,
+        "distortion",
         num_centers=num_centers,
         centers=centers,
         max_ball_size=max_ball_size,
         rels=rels,
-        seed=rng,
+        seed=seed,
     )

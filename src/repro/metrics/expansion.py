@@ -6,17 +6,20 @@ ball of radius h centered at a node in the topology."
 A mesh with N nodes has E(h) ∝ h²/N; a k-ary tree or random graph of
 average degree k has E(h) ∝ k^h/N — the paper classifies the former as
 Low expansion and the latter as High.
+
+This module is a thin wrapper over :class:`repro.engine.MetricEngine`
+(the shared-ball evaluator); requesting expansion together with other
+metrics in one ``engine.compute`` call shares the per-center distance
+maps instead of recomputing them.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.generators.base import Seed, make_rng
+from repro.generators.base import Seed
 from repro.graph.core import Graph
-from repro.graph.traversal import bfs_distances
-from repro.metrics.balls import sample_centers
-from repro.routing.policy import Relationships, policy_distances
+from repro.routing.policy import Relationships
 
 Node = object
 ExpansionPoint = Tuple[int, float]  # (radius h, E(h))
@@ -26,6 +29,7 @@ def expansion(
     graph: Graph,
     num_centers: int = 48,
     centers: Optional[Sequence[Node]] = None,
+    max_ball_size: Optional[int] = None,
     rels: Optional[Relationships] = None,
     seed: Seed = None,
 ) -> List[ExpansionPoint]:
@@ -37,6 +41,11 @@ def expansion(
         Topology to measure.
     num_centers / centers:
         Ball centers; sampled uniformly when not given explicitly.
+    max_ball_size:
+        If given, the series stops once the average ball holds more than
+        this many nodes (the shared series-function contract; expansion
+        itself never materialises ball subgraphs, so the default of
+        ``None`` reports every radius).
     rels:
         If provided, distances are valley-free *policy* distances, giving
         the paper's "AS(Policy)" / "RL(Policy)" curves.
@@ -47,42 +56,17 @@ def expansion(
     where E(h) is normalised by the total number of nodes so graphs of
     different sizes are comparable (footnote 9).
     """
-    n = graph.number_of_nodes()
-    if n == 0:
-        return []
-    rng = make_rng(seed)
-    if centers is None:
-        centers = sample_centers(graph, num_centers, seed=rng)
+    from repro.engine import MetricEngine  # deferred: engine builds on metrics
 
-    # counts_at[d] per center; combined after the global radius is known,
-    # because a center's ball stops growing at its own eccentricity but
-    # must keep counting at larger radii ("stays at full reach").
-    per_center_counts: List[List[int]] = []
-    for center in centers:
-        if rels is not None:
-            dist = policy_distances(graph, rels, center)
-        else:
-            dist = bfs_distances(graph, center)
-        max_d = max(dist.values())
-        counts_at = [0] * (max_d + 1)
-        for d in dist.values():
-            counts_at[d] += 1
-        per_center_counts.append(counts_at)
-
-    global_max = max(len(c) for c in per_center_counts) - 1
-    reach_counts = [0] * (global_max + 1)
-    for counts_at in per_center_counts:
-        running = 0
-        for h in range(global_max + 1):
-            if h < len(counts_at):
-                running += counts_at[h]
-            reach_counts[h] += running
-
-    num_centers_used = len(centers)
-    series: List[ExpansionPoint] = []
-    for h, total in enumerate(reach_counts):
-        series.append((h, total / (num_centers_used * n)))
-    return series
+    return MetricEngine(workers=0, use_cache=False).compute_one(
+        graph,
+        "expansion",
+        num_centers=num_centers,
+        centers=centers,
+        max_ball_size=max_ball_size,
+        rels=rels,
+        seed=seed,
+    )
 
 
 def radius_to_reach(series: Sequence[ExpansionPoint], fraction: float) -> int:

@@ -12,13 +12,13 @@ Mieghem et al. showed is well modelled by random graphs (Section 2).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.generators.base import Seed, make_rng
 from repro.graph.core import Graph
 from repro.graph.flow import Dinic
 from repro.graph.traversal import bfs_distances
-from repro.metrics.balls import ball_growing_series, sample_centers
+from repro.metrics.balls import sample_centers
 from repro.routing.policy import Relationships
 
 Node = Hashable
@@ -43,15 +43,22 @@ def average_ball_path_length(graph: Graph, max_sources: int = 24) -> float:
 def path_length_series(
     graph: Graph,
     num_centers: int = 8,
+    centers: Optional[Sequence[Node]] = None,
     max_ball_size: Optional[int] = 1500,
     rels: Optional[Relationships] = None,
     seed: Seed = None,
 ) -> List[SeriesPoint]:
-    """Footnote 22 metric #1: avg path length within balls of size n."""
-    return ball_growing_series(
+    """Footnote 22 metric #1: avg path length within balls of size n.
+
+    Thin wrapper over :class:`repro.engine.MetricEngine`.
+    """
+    from repro.engine import MetricEngine  # deferred: engine builds on metrics
+
+    return MetricEngine(workers=0, use_cache=False).compute_one(
         graph,
-        average_ball_path_length,
+        "path_length",
         num_centers=num_centers,
+        centers=centers,
         max_ball_size=max_ball_size,
         rels=rels,
         seed=seed,

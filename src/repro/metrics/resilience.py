@@ -17,11 +17,10 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
-from repro.generators.base import Seed, make_rng
+from repro.generators.base import Seed
 from repro.graph.core import Graph
 from repro.graph.partition import bisection_cut_size
 from repro.graph.traversal import largest_connected_component
-from repro.metrics.balls import ball_growing_series
 from repro.routing.policy import Relationships
 
 SeriesPoint = Tuple[float, float]
@@ -54,19 +53,20 @@ def resilience(
     policy "decreases" resilience (paths concentrate on fewer links)
     "although its qualitative behavior ... remains unchanged", which the
     fig2 bench reproduces.
+
+    Thin wrapper over :class:`repro.engine.MetricEngine`; batching
+    resilience with distortion (same centers, same ``max_ball_size``)
+    in one ``engine.compute`` call grows each ball once for both.
     """
-    rng = make_rng(seed)
-    partition_rng = random.Random(rng.getrandbits(32))
+    from repro.engine import MetricEngine  # deferred: engine builds on metrics
 
-    def metric(ball: Graph) -> float:
-        return resilience_of(ball, rng=partition_rng, trials=trials)
-
-    return ball_growing_series(
+    return MetricEngine(workers=0, use_cache=False).compute_one(
         graph,
-        metric,
+        "resilience",
         num_centers=num_centers,
         centers=centers,
         max_ball_size=max_ball_size,
         rels=rels,
-        seed=rng,
+        trials=trials,
+        seed=seed,
     )

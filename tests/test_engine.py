@@ -1,0 +1,281 @@
+"""Tests for the shared-ball MetricEngine (repro.engine).
+
+The determinism contract: engine results are a pure function of
+(graph, metric, params, seed) — identical whether computed serially or
+across workers, standalone or batched with other metrics, fresh or from
+the on-disk cache, and identical to the legacy per-metric functions.
+"""
+
+import pytest
+
+from repro.engine import (
+    MetricEngine,
+    MetricRequest,
+    cache_key,
+    engine_metric_names,
+    graph_fingerprint,
+)
+from repro.generators.canonical import kary_tree, mesh
+from repro.generators.plrg import plrg
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.internet import synthetic_as_graph
+from repro.internet.asgraph import ASGraphParams
+from repro.metrics import (
+    ball_growing_series,
+    biconnectivity_series,
+    clustering_coefficient,
+    clustering_series,
+    distortion,
+    expansion,
+    path_length_series,
+    resilience,
+    vertex_cover_series,
+)
+
+SEED = 7
+BALL_PARAMS = dict(num_centers=4, max_ball_size=200, seed=SEED)
+
+LEGACY_FUNCTIONS = {
+    "resilience": lambda g: resilience(g, **BALL_PARAMS),
+    "distortion": lambda g: distortion(g, **BALL_PARAMS),
+    "vertex_cover": lambda g: vertex_cover_series(g, **BALL_PARAMS),
+    "biconnectivity": lambda g: biconnectivity_series(g, **BALL_PARAMS),
+    "clustering": lambda g: clustering_series(g, **BALL_PARAMS),
+    "path_length": lambda g: path_length_series(g, **BALL_PARAMS),
+    "expansion": lambda g: expansion(g, num_centers=6, seed=SEED),
+}
+
+
+def graphs():
+    return [
+        ("tree", kary_tree(3, 5)),
+        ("mesh", mesh(10)),
+        ("plrg", plrg(250, 2.246, seed=2)),
+    ]
+
+
+def request_for(name):
+    if name == "expansion":
+        return MetricRequest("expansion", num_centers=6, seed=SEED)
+    return MetricRequest(name, **BALL_PARAMS)
+
+
+def engine(**kwargs):
+    kwargs.setdefault("use_cache", False)
+    return MetricEngine(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: engine (serial and parallel) vs legacy functions
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("graph_name,graph", graphs())
+@pytest.mark.parametrize("metric", sorted(LEGACY_FUNCTIONS))
+def test_serial_engine_matches_legacy(graph_name, graph, metric):
+    legacy = LEGACY_FUNCTIONS[metric](graph)
+    via_engine = engine().compute(graph, [request_for(metric)])[metric]
+    assert via_engine == legacy  # bitwise: same floats, same order
+
+
+@pytest.mark.parametrize("graph_name,graph", graphs())
+def test_parallel_engine_matches_legacy(graph_name, graph):
+    # One workers=2 pass computing everything at once must reproduce
+    # every legacy series bitwise.
+    requests = [request_for(name) for name in sorted(LEGACY_FUNCTIONS)]
+    results = engine(workers=2).compute(graph, requests)
+    for metric, legacy_fn in LEGACY_FUNCTIONS.items():
+        assert results[metric] == legacy_fn(graph), metric
+
+
+def test_batched_equals_standalone():
+    graph = plrg(250, 2.246, seed=2)
+    requests = [request_for(name) for name in sorted(LEGACY_FUNCTIONS)]
+    batched = engine().compute(graph, requests)
+    for req in requests:
+        standalone = engine().compute(graph, [req])[req.name]
+        assert batched[req.name] == standalone, req.name
+
+
+def test_engine_matches_raw_ball_growing_series():
+    # Not a tautology: ball_growing_series is the original, untouched
+    # legacy machinery; the engine must reproduce it bitwise for
+    # RNG-free metrics.
+    graph = mesh(12)
+    legacy = ball_growing_series(
+        graph, clustering_coefficient, num_centers=5, max_ball_size=None, seed=3
+    )
+    via_engine = engine().compute_one(
+        graph, "clustering", num_centers=5, max_ball_size=None, seed=3
+    )
+    assert via_engine == legacy
+
+
+def test_engine_policy_balls_match_legacy():
+    as_graph = synthetic_as_graph(ASGraphParams(n=200), seed=4)
+    legacy = ball_growing_series(
+        as_graph.graph,
+        clustering_coefficient,
+        num_centers=4,
+        max_ball_size=150,
+        rels=as_graph.relationships,
+        seed=5,
+    )
+    via_engine = engine().compute_one(
+        as_graph.graph,
+        "clustering",
+        num_centers=4,
+        max_ball_size=150,
+        rels=as_graph.relationships,
+        seed=5,
+    )
+    assert via_engine == legacy
+
+
+def test_expansion_matches_brute_force():
+    # With centers = every node, E(h) is exactly
+    # mean_over_centers(|ball(c, h)|) / n.
+    graph = kary_tree(2, 5)
+    n = graph.number_of_nodes()
+    series = engine().compute_one(graph, "expansion", num_centers=n, seed=0)
+    for h, value in series:
+        total = 0
+        for center in graph.nodes():
+            dist = bfs_distances(graph, center)
+            total += sum(1 for d in dist.values() if d <= h)
+        assert value == pytest.approx(total / (n * n))
+
+
+def test_expansion_max_ball_size_truncates():
+    graph = mesh(12)
+    full = engine().compute_one(graph, "expansion", num_centers=6, seed=1)
+    capped = engine().compute_one(
+        graph, "expansion", num_centers=6, max_ball_size=40, seed=1
+    )
+    assert 0 < len(capped) < len(full)
+    assert capped == full[: len(capped)]
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+
+def test_unknown_metric_rejected():
+    with pytest.raises(KeyError):
+        MetricRequest("modularity")
+
+
+def test_unknown_parameter_rejected():
+    with pytest.raises(TypeError):
+        MetricRequest("resilience", radius=3)
+
+
+def test_duplicate_requests_rejected():
+    with pytest.raises(ValueError):
+        engine().compute(mesh(4), ["expansion", "expansion"])
+
+
+def test_bare_names_accepted():
+    results = engine().compute(kary_tree(2, 4), ["expansion"])
+    assert results["expansion"][-1][1] == pytest.approx(1.0)
+
+
+def test_metric_names_listing():
+    names = engine_metric_names()
+    assert "expansion" in names and "resilience" in names
+    assert names == sorted(names)
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour
+# ----------------------------------------------------------------------
+
+def cached_engine(tmp_path, **kwargs):
+    return MetricEngine(use_cache=True, cache_dir=str(tmp_path), **kwargs)
+
+
+def test_cache_hit_returns_identical_series(tmp_path):
+    graph = plrg(200, 2.246, seed=1)
+    eng = cached_engine(tmp_path)
+    first = eng.compute_one(graph, "resilience", **BALL_PARAMS)
+    assert eng.stats == {
+        "cache_hits": 0, "cache_misses": 1, "centers_computed": 4,
+    }
+    second = eng.compute_one(graph, "resilience", **BALL_PARAMS)
+    assert second == first  # bitwise through the JSON round-trip
+    assert eng.stats["cache_hits"] == 1
+    assert eng.stats["centers_computed"] == 4  # no recomputation
+
+
+def test_cache_shared_between_engine_instances(tmp_path):
+    graph = kary_tree(3, 5)
+    cached_engine(tmp_path).compute_one(graph, "clustering", **BALL_PARAMS)
+    other = cached_engine(tmp_path)
+    other.compute_one(graph, "clustering", **BALL_PARAMS)
+    assert other.stats["cache_hits"] == 1
+    assert other.stats["centers_computed"] == 0
+
+
+def test_param_change_misses_cache(tmp_path):
+    graph = kary_tree(3, 5)
+    eng = cached_engine(tmp_path)
+    eng.compute_one(graph, "resilience", **BALL_PARAMS)
+    eng.compute_one(graph, "resilience", num_centers=4, max_ball_size=200, seed=SEED + 1)
+    eng.compute_one(graph, "resilience", num_centers=5, max_ball_size=200, seed=SEED)
+    assert eng.stats["cache_hits"] == 0
+    assert eng.stats["cache_misses"] == 3
+
+
+def test_edge_change_misses_cache(tmp_path):
+    graph = kary_tree(3, 4)
+    eng = cached_engine(tmp_path)
+    eng.compute_one(graph, "clustering", **BALL_PARAMS)
+    changed = graph.copy()
+    changed.add_edge(1, 2)
+    eng.compute_one(changed, "clustering", **BALL_PARAMS)
+    assert eng.stats["cache_hits"] == 0
+    assert eng.stats["cache_misses"] == 2
+
+
+def test_policy_requests_bypass_cache(tmp_path):
+    as_graph = synthetic_as_graph(ASGraphParams(n=150), seed=4)
+    eng = cached_engine(tmp_path)
+    for _ in range(2):
+        eng.compute_one(
+            as_graph.graph,
+            "clustering",
+            num_centers=3,
+            max_ball_size=100,
+            rels=as_graph.relationships,
+            seed=1,
+        )
+    # Relationships have no stable content hash: never cached.
+    assert eng.stats["cache_hits"] == 0
+    assert eng.stats["cache_misses"] == 0
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_clear_cache(tmp_path):
+    graph = kary_tree(2, 4)
+    eng = cached_engine(tmp_path)
+    eng.compute_one(graph, "clustering", **BALL_PARAMS)
+    assert len(list(tmp_path.glob("*.json"))) == 1
+    assert eng.clear_cache() == 1
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_fingerprint_independent_of_construction_order():
+    a = Graph([(0, 1), (1, 2), (2, 0)])
+    b = Graph([(2, 1), (0, 2), (1, 0)])
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+    c = Graph([(0, 1), (1, 2)])
+    assert graph_fingerprint(a) != graph_fingerprint(c)
+
+
+def test_cache_key_covers_params_and_seed():
+    fp = graph_fingerprint(kary_tree(2, 3))
+    base = {"num_centers": 4, "seed": 1, "rels": None}
+    k1 = cache_key(fp, "resilience", base)
+    k2 = cache_key(fp, "resilience", {**base, "seed": 2})
+    k3 = cache_key(fp, "distortion", base)
+    assert len({k1, k2, k3}) == 3
