@@ -62,6 +62,7 @@ __all__ = [
     "cmd_signature",
     "cmd_hierarchy",
     "cmd_compare",
+    "cmd_selfcheck",
 ]
 
 GENERATORS: Dict[str, Callable[[argparse.Namespace], Graph]] = {
@@ -195,6 +196,25 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-ball", type=int, default=500)
     compare.add_argument("--out", help="also write the markdown report here")
     _add_engine_flags(compare)
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help=(
+            "differential correctness fuzzer: graph routines vs. "
+            "brute-force oracles and networkx, metric invariants, "
+            "engine equivalence, determinism"
+        ),
+    )
+    selfcheck.add_argument(
+        "--rounds", type=int, default=50, help="random inputs per check family"
+    )
+    selfcheck.add_argument("--seed", type=int, default=0)
+    selfcheck.add_argument(
+        "--family",
+        action="append",
+        dest="families",
+        metavar="NAME",
+        help="run only this family (repeatable); default: all",
+    )
     return parser
 
 
@@ -329,6 +349,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    """``selfcheck``: the repro.testing differential/fuzzing harness.
+
+    Exit status is non-zero iff any check failed, so CI can gate on it;
+    ``--rounds``/``--seed`` make every failure reproducible.
+    """
+    from repro.testing.selfcheck import run_selfcheck
+
+    try:
+        report = run_selfcheck(
+            rounds=args.rounds, seed=args.seed, families=args.families
+        )
+    except ValueError as exc:  # unknown --family name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0 if report.ok else 1
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "info": cmd_info,
@@ -336,6 +374,7 @@ COMMANDS = {
     "signature": cmd_signature,
     "hierarchy": cmd_hierarchy,
     "compare": cmd_compare,
+    "selfcheck": cmd_selfcheck,
 }
 
 

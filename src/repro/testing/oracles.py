@@ -1,0 +1,329 @@
+"""Brute-force reference implementations ("oracles") of the core routines.
+
+Every conclusion in the paper flows through a handful of graph
+algorithms: min cuts (Dinic), minimum vertex covers, the balanced
+bipartition behind resilience, BFS ball membership, and spanning-tree
+distortion.  A silent bug in any of them would skew the degree-based vs.
+structural comparison without a test noticing.  This module provides
+small, *obviously correct* implementations of each — exhaustive
+enumeration or fixpoint iteration, no clever data structures — valid on
+graphs of up to :data:`ORACLE_MAX_NODES` nodes, so the production
+implementations can be checked differentially (see
+:mod:`repro.testing.selfcheck` and ``tests/test_property_graph.py``).
+
+Oracles deliberately share no code with the implementations they check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.core import Graph
+
+Node = Hashable
+
+#: Oracles refuse graphs larger than this; enumeration beyond it is
+#: impractical and silently slow checks are worse than loud ones.
+ORACLE_MAX_NODES = 20
+
+
+class OracleSizeError(ValueError):
+    """Raised when an oracle is asked about a graph too large to enumerate."""
+
+
+def _guard(n: int, limit: int = ORACLE_MAX_NODES) -> None:
+    if n > limit:
+        raise OracleSizeError(
+            f"oracle limited to {limit} nodes, got {n}; "
+            "oracles are exhaustive by design"
+        )
+
+
+# ----------------------------------------------------------------------
+# Connectivity and distances
+# ----------------------------------------------------------------------
+
+def oracle_connected_components(graph: Graph) -> List[FrozenSet[Node]]:
+    """Connected components by naive label propagation to a fixpoint.
+
+    Each node starts in its own component; components merge along edges
+    until nothing changes.  Independent of the BFS used by
+    :func:`repro.graph.traversal.connected_components`.
+    """
+    label: Dict[Node, int] = {node: i for i, node in enumerate(graph.nodes())}
+    changed = True
+    while changed:
+        changed = False
+        for u, v in graph.iter_edges():
+            low = min(label[u], label[v])
+            if label[u] != low:
+                label[u] = low
+                changed = True
+            if label[v] != low:
+                label[v] = low
+                changed = True
+    groups: Dict[int, Set[Node]] = {}
+    for node, lab in label.items():
+        groups.setdefault(lab, set()).add(node)
+    return [frozenset(group) for group in groups.values()]
+
+
+def oracle_bfs_distances(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Hop distances by Bellman–Ford-style edge relaxation to a fixpoint.
+
+    No queue, no frontier — just "relax every edge until nothing
+    improves", which is trivially correct for unit weights.
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    INF = graph.number_of_nodes() + 1
+    dist: Dict[Node, int] = {node: INF for node in graph.nodes()}
+    dist[source] = 0
+    changed = True
+    while changed:
+        changed = False
+        for u, v in graph.iter_edges():
+            if dist[u] + 1 < dist[v]:
+                dist[v] = dist[u] + 1
+                changed = True
+            if dist[v] + 1 < dist[u]:
+                dist[u] = dist[v] + 1
+                changed = True
+    return {node: d for node, d in dist.items() if d < INF}
+
+
+def oracle_ball_members(graph: Graph, center: Node, radius: int) -> Set[Node]:
+    """Nodes within ``radius`` hops of ``center`` (the Section 3.2.1 ball)."""
+    dist = oracle_bfs_distances(graph, center)
+    return {node for node, d in dist.items() if d <= radius}
+
+
+# ----------------------------------------------------------------------
+# Cuts
+# ----------------------------------------------------------------------
+
+def oracle_min_st_cut(
+    num_nodes: int,
+    arcs: Sequence[Tuple[int, int, float]],
+    source: int,
+    sink: int,
+) -> float:
+    """Minimum s–t cut of a directed capacity graph by subset enumeration.
+
+    Enumerates every vertex set ``S`` with ``source in S, sink not in S``
+    and returns the smallest total capacity of arcs leaving ``S``.  By
+    max-flow/min-cut duality this must equal
+    :meth:`repro.graph.flow.Dinic.max_flow`.
+    """
+    _guard(num_nodes, 16)
+    others = [v for v in range(num_nodes) if v not in (source, sink)]
+    best = float("inf")
+    for mask in range(1 << len(others)):
+        in_s = {source}
+        for i, v in enumerate(others):
+            if mask >> i & 1:
+                in_s.add(v)
+        cut = sum(cap for u, v, cap in arcs if u in in_s and v not in in_s)
+        if cut < best:
+            best = cut
+    return best
+
+
+def oracle_balanced_bipartition_cut(
+    graph: Graph, max_side: Optional[int] = None
+) -> int:
+    """Exact minimum balanced-bipartition cut by enumerating every split.
+
+    The resilience metric's inner problem (Section 3.2.1): split the
+    nodes into two non-empty sides, each of at most ``max_side`` nodes,
+    minimising the number of crossing edges.  ``max_side`` defaults to
+    :func:`heuristic_balance_bound`, the exact balance envelope the
+    production partitioner operates under, so the heuristic's answer can
+    never legitimately be smaller than this oracle's.
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    _guard(n, 16)
+    if n < 2:
+        return 0
+    if max_side is None:
+        max_side = heuristic_balance_bound(n)
+    edges = graph.edges()
+    best: Optional[int] = None
+    # Fix nodes[0] on side A to halve the enumeration (sides are unordered).
+    anchor, rest = nodes[0], nodes[1:]
+    for mask in range(1 << len(rest)):
+        side_a = {anchor}
+        for i, node in enumerate(rest):
+            if mask >> i & 1:
+                side_a.add(node)
+        size_a = len(side_a)
+        if size_a > max_side or (n - size_a) > max_side or size_a == n:
+            continue
+        cut = sum(1 for u, v in edges if (u in side_a) != (v in side_a))
+        if best is None or cut < best:
+            best = cut
+    assert best is not None  # max_side >= ceil(n/2) always admits a split
+    return best
+
+
+def heuristic_balance_bound(n: int, balance_slack: float = 0.05) -> int:
+    """Largest side size the production partitioner may return.
+
+    Mirrors the FM balance constraint in :mod:`repro.graph.partition`
+    for unit node weights and no coarsening (always the case at oracle
+    sizes, which sit far below the coarsening threshold): each side's
+    weight is capped at ``min(n - 1, n/2 + max(1, slack * n))``.
+    """
+    import math
+
+    return min(n - 1, math.floor(n / 2 + max(1.0, balance_slack * n)))
+
+
+def count_crossing_edges(graph: Graph, side_a: Iterable[Node]) -> int:
+    """Number of edges with exactly one endpoint in ``side_a``.
+
+    An independent recount used to validate cut sizes *reported* by the
+    partitioner against the split it actually returned.
+    """
+    members = set(side_a)
+    return sum(1 for u, v in graph.iter_edges() if (u in members) != (v in members))
+
+
+# ----------------------------------------------------------------------
+# Vertex covers
+# ----------------------------------------------------------------------
+
+def oracle_min_vertex_cover_size(graph: Graph) -> int:
+    """Exact minimum unweighted vertex cover size by branch and bound.
+
+    Classic branching: pick any uncovered edge ``(u, v)``; some minimum
+    cover contains ``u`` or contains ``v``, so recurse on both choices.
+    """
+    _guard(graph.number_of_nodes())
+    edges = graph.edges()
+
+    def solve(remaining: Tuple[Tuple[Node, Node], ...], budget: int) -> int:
+        if not remaining:
+            return 0
+        if budget == 0:
+            return ORACLE_MAX_NODES + 1  # prune: cannot cover anything more
+        u, v = remaining[0]
+        without_u = tuple(e for e in remaining if u not in e)
+        take_u = 1 + solve(without_u, budget - 1)
+        without_v = tuple(e for e in remaining if v not in e)
+        take_v = 1 + solve(without_v, budget - 1)
+        return min(take_u, take_v)
+
+    return solve(tuple(edges), graph.number_of_nodes())
+
+
+def oracle_bipartite_vertex_cover_weight(
+    left_weights: Dict[Node, float],
+    right_weights: Dict[Node, float],
+    pairs: Sequence[Tuple[Node, Node]],
+) -> float:
+    """Exact minimum *weighted* bipartite vertex cover by left-subset scan.
+
+    For every subset of the left side taken into the cover, the right
+    vertices of the still-uncovered pairs are forced; the minimum over
+    all ``2^|left|`` subsets is the optimum.  The Section 5 link-value
+    solver (:func:`repro.graph.flow.bipartite_vertex_cover_weight`,
+    exact via min-cut) must agree with this.
+    """
+    left = list(left_weights)
+    _guard(len(left), 14)
+    best = float("inf")
+    for mask in range(1 << len(left)):
+        chosen = {left[i] for i in range(len(left)) if mask >> i & 1}
+        weight = sum(left_weights[v] for v in chosen)
+        forced = {v for u, v in pairs if u not in chosen}
+        weight += sum(right_weights[v] for v in forced)
+        if weight < best:
+            best = weight
+    return best
+
+
+# ----------------------------------------------------------------------
+# Spanning trees and distortion
+# ----------------------------------------------------------------------
+
+def oracle_tree_distance(
+    parent: Dict[Node, Optional[Node]], u: Node, v: Node
+) -> int:
+    """Hop distance between ``u`` and ``v`` on a rooted tree, by BFS.
+
+    Materialises the parent map as an undirected graph and runs the
+    fixpoint-relaxation distance oracle on it — no LCA, no binary
+    lifting, nothing shared with :class:`repro.graph.trees.TreeIndex`.
+    """
+    tree = Graph()
+    for node, par in parent.items():
+        tree.add_node(node)
+        if par is not None:
+            tree.add_edge(node, par)
+    return oracle_bfs_distances(tree, u)[v]
+
+
+def oracle_spanning_tree_distortion(
+    graph: Graph, parent: Dict[Node, Optional[Node]]
+) -> float:
+    """Average tree distance between endpoints of every graph edge.
+
+    The paper's per-tree distortion, computed with
+    :func:`oracle_tree_distance` per edge instead of a preprocessed LCA
+    index.
+    """
+    edges = graph.edges()
+    if not edges:
+        return 0.0
+    tree = Graph()
+    for node, par in parent.items():
+        tree.add_node(node)
+        if par is not None:
+            tree.add_edge(node, par)
+    total = 0
+    for u, v in edges:
+        total += oracle_bfs_distances(tree, u)[v]
+    return total / len(edges)
+
+
+def _is_spanning_tree(nodes: Sequence[Node], edges: Sequence[Tuple[Node, Node]]) -> bool:
+    if len(edges) != len(nodes) - 1:
+        return False
+    tree = Graph()
+    tree.add_nodes_from(nodes)
+    tree.add_edges_from(edges)
+    return len(oracle_connected_components(tree)) == 1
+
+
+def oracle_exact_distortion(graph: Graph) -> float:
+    """Exact distortion: the minimum over *all* spanning trees.
+
+    Section 3.2.1 defines distortion as the smallest per-tree average
+    over every possible spanning tree; the production code (like the
+    paper) only tries a handful of heuristic trees, so its value must be
+    ``>=`` this oracle's.  Enumeration over edge subsets limits use to
+    connected graphs with at most ~12 edges.
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    _guard(graph.number_of_edges(), 14)
+    edges = graph.edges()
+    if not edges:
+        return 0.0
+    best = float("inf")
+    for subset in itertools.combinations(edges, n - 1):
+        if not _is_spanning_tree(nodes, subset):
+            continue
+        tree = Graph()
+        tree.add_nodes_from(nodes)
+        tree.add_edges_from(subset)
+        total = 0
+        for u, v in edges:
+            total += oracle_bfs_distances(tree, u)[v]
+        best = min(best, total / len(edges))
+    if best == float("inf"):
+        raise ValueError("graph is not connected; it has no spanning tree")
+    return best

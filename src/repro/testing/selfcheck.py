@@ -1,0 +1,497 @@
+"""The ``repro selfcheck`` differential/fuzzing harness.
+
+Runs five families of checks over seeded random inputs and reports a
+single pass/fail verdict, so one command answers "are the metric
+implementations still trustworthy?":
+
+``oracle-diff``
+    Production routines vs. the exhaustive oracles in
+    :mod:`repro.testing.oracles` — Dinic max-flow vs. subset-enumerated
+    min cut, exact bipartite cover vs. left-subset scan, heuristic
+    vertex covers bounded by the exact optimum, and the resilience
+    partitioner validated three ways (reported cut == recounted cut,
+    balance bound respected, cut >= exact balanced optimum, with an
+    aggregate optimality-rate gate).
+``networkx-diff``
+    Components, BFS distances, min s-t cuts, biconnected components,
+    articulation points and spanning-tree distances vs. networkx
+    reference implementations (skipped when networkx is absent).
+``invariants``
+    The metamorphic checks of :mod:`repro.testing.invariants` on random
+    graphs: Graph consistency, E(h)/R(n)/D(n) paper-level facts,
+    relabelling invariance.
+``engine-equivalence``
+    ``MetricEngine`` serial == parallel == cached == legacy (run on a
+    subsample of rounds; each check spins up a process pool).
+``determinism``
+    Same seed -> bitwise-identical generators, metrics and engine runs.
+
+The harness doubles as a fuzzer: ``--rounds N`` draws N random inputs
+per family from ``--seed``, so CI can run a deep nightly sweep while the
+default stays fast.  Exit status is non-zero iff any check failed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.graph import partition as partition_mod
+from repro.graph.core import Graph
+from repro.graph.flow import Dinic, bipartite_vertex_cover, bipartite_vertex_cover_weight
+from repro.graph.components import articulation_points, biconnected_components
+from repro.graph.cover import cover_is_valid, vertex_cover_size
+from repro.graph.traversal import (
+    bfs_distances,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.trees import bfs_tree, spanning_tree_distortion
+# ``repro.metrics.resilience`` (the module) is shadowed on the package by
+# the series function of the same name; bind the module itself so tests
+# can monkeypatch ``resilience_mod.resilience_of``.
+import importlib
+
+resilience_mod = importlib.import_module("repro.metrics.resilience")
+from repro.metrics.distortion import distortion_of
+from repro.testing import invariants as invariants_mod
+from repro.testing import oracles
+
+try:  # pragma: no cover - availability depends on the environment
+    import networkx as nx
+except ImportError:  # pragma: no cover
+    nx = None
+
+#: Minimum fraction of oracle-diff rounds on which the resilience
+#: heuristic must hit the exact balanced optimum.  The multilevel/FM
+#: partitioner is a heuristic, so an occasional suboptimal cut on an
+#: adversarial small graph is legitimate — but a systematic bias (e.g.
+#: an off-by-one) drives the rate to zero and fails the run.
+OPTIMALITY_RATE_FLOOR = 0.7
+
+
+@dataclasses.dataclass
+class CheckFailure:
+    family: str
+    round_index: int
+    message: str
+
+
+@dataclasses.dataclass
+class FamilyReport:
+    """Outcome of one check family across all rounds."""
+
+    family: str
+    checks: int = 0
+    failures: List[CheckFailure] = dataclasses.field(default_factory=list)
+    skipped: Optional[str] = None  # reason, when the family could not run
+    # oracle-diff bookkeeping for the aggregate optimality-rate gate.
+    resilience_rounds: int = 0
+    optimal_rounds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclasses.dataclass
+class SelfCheckReport:
+    seed: int
+    rounds: int
+    families: List[FamilyReport] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(f.ok for f in self.families)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(f.checks for f in self.families)
+
+    @property
+    def total_failures(self) -> int:
+        return sum(len(f.failures) for f in self.families)
+
+
+# ----------------------------------------------------------------------
+# Random inputs (plain random.Random: selfcheck must not need hypothesis)
+# ----------------------------------------------------------------------
+
+def random_connected_graph(
+    rng: random.Random, min_nodes: int = 4, max_nodes: int = 12
+) -> Graph:
+    """Random tree plus random chords; always connected."""
+    n = rng.randint(min_nodes, max_nodes)
+    g = Graph(name="selfcheck")
+    g.add_node(0)
+    for i in range(1, n):
+        g.add_edge(i, rng.randrange(i))
+    extra = rng.randint(0, max(1, n))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        g.add_edge(u, v)  # self-loops/dupes collapse away
+    return g
+
+
+def random_graph(rng: random.Random, min_nodes: int = 2, max_nodes: int = 12) -> Graph:
+    """Possibly disconnected: union of 1-2 connected blobs."""
+    g = random_connected_graph(rng, min_nodes, max_nodes)
+    if rng.random() < 0.4:
+        other = random_connected_graph(rng, 2, 6)
+        offset = g.number_of_nodes()
+        g.add_edges_from((u + offset, v + offset) for u, v in other.iter_edges())
+    return g
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+
+def _check_oracle_diff(rng: random.Random, report: FamilyReport) -> None:
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    # --- Dinic max-flow vs. subset-enumerated min s-t cut -------------
+    report.checks += 1
+    n = rng.randint(3, 7)
+    arcs = []
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.5:
+                arcs.append((u, v, float(rng.randint(0, 5))))
+    dinic = Dinic(n)
+    for u, v, cap in arcs:
+        dinic.add_edge(u, v, cap)
+    flow = dinic.max_flow(0, n - 1)
+    want = oracles.oracle_min_st_cut(n, arcs, 0, n - 1)
+    if flow != want:
+        fail(f"Dinic max_flow {flow} != oracle min cut {want} on {arcs}")
+
+    # --- exact bipartite weighted cover vs. left-subset scan ----------
+    report.checks += 1
+    n_left, n_right = rng.randint(1, 6), rng.randint(1, 6)
+    left = {f"l{i}": float(rng.randint(1, 9)) for i in range(n_left)}
+    right = {f"r{i}": float(rng.randint(1, 9)) for i in range(n_right)}
+    pairs = [
+        (u, v) for u in left for v in right if rng.random() < 0.5
+    ] or [(next(iter(left)), next(iter(right)))]
+    got = bipartite_vertex_cover_weight(left, right, pairs)
+    want = oracles.oracle_bipartite_vertex_cover_weight(left, right, pairs)
+    if got != want:
+        fail(f"bipartite cover weight {got} != oracle {want} on {pairs}")
+    weight, cover = bipartite_vertex_cover(left, right, pairs)
+    if weight != want:
+        fail(f"bipartite_vertex_cover weight {weight} != oracle {want}")
+    if not cover_is_valid(set(cover), pairs):
+        fail(f"bipartite_vertex_cover returned an invalid cover {cover}")
+
+    # --- heuristic unweighted cover bounded by the exact optimum ------
+    report.checks += 1
+    g = random_graph(rng)
+    exact = oracles.oracle_min_vertex_cover_size(g)
+    heuristic = vertex_cover_size(g)
+    if not exact <= heuristic <= 2 * exact:
+        fail(
+            f"vertex_cover_size {heuristic} outside [opt, 2*opt] = "
+            f"[{exact}, {2 * exact}]"
+        )
+
+    # --- resilience partitioner: identity, validity, lower bound ------
+    report.checks += 1
+    g = random_connected_graph(rng)
+    n = g.number_of_nodes()
+    stream = rng.getrandbits(32)
+    cut, (side_a, side_b) = partition_mod.balanced_bipartition(
+        g, rng=random.Random(stream), trials=3
+    )
+    value = resilience_mod.resilience_of(g, rng=random.Random(stream), trials=3)
+    if value != float(cut):
+        fail(
+            f"resilience_of {value} != balanced_bipartition cut {cut} "
+            "for the same RNG stream"
+        )
+    if side_a | side_b != set(g.nodes()) or side_a & side_b:
+        fail("balanced_bipartition sides do not partition the node set")
+    recount = oracles.count_crossing_edges(g, side_a)
+    if cut != recount:
+        fail(
+            f"balanced_bipartition reported cut {cut} but its sides "
+            f"cut {recount} edges"
+        )
+    bound = oracles.heuristic_balance_bound(n)
+    if max(len(side_a), len(side_b)) > bound:
+        fail(
+            f"balanced_bipartition sides {len(side_a)}/{len(side_b)} "
+            f"exceed the balance bound {bound} for n={n}"
+        )
+    optimum = oracles.oracle_balanced_bipartition_cut(g)
+    if cut < optimum:
+        fail(
+            f"heuristic cut {cut} beats the exact balanced optimum "
+            f"{optimum} — impossible unless a cut is miscounted"
+        )
+    report.optimal_rounds += cut == optimum
+    report.resilience_rounds += 1
+
+    # --- distortion heuristic bounded by the exact optimum ------------
+    if g.number_of_edges() <= 12:
+        report.checks += 1
+        exact_d = oracles.oracle_exact_distortion(g)
+        heur_d = distortion_of(g, rng=random.Random(stream))
+        if heur_d < exact_d - 1e-9:
+            fail(
+                f"distortion heuristic {heur_d} beats the exact optimum "
+                f"{exact_d} over all spanning trees"
+            )
+        if heur_d < 1.0:
+            fail(f"distortion {heur_d} below 1 on a graph with edges")
+
+
+def _finish_oracle_diff(report: FamilyReport) -> None:
+    rounds = report.resilience_rounds
+    if not rounds:
+        return
+    rate = report.optimal_rounds / rounds
+    report.checks += 1
+    if rate < OPTIMALITY_RATE_FLOOR:
+        report.failures.append(
+            CheckFailure(
+                report.family,
+                -1,
+                f"resilience heuristic matched the exact optimum on only "
+                f"{rate:.0%} of {rounds} rounds (floor "
+                f"{OPTIMALITY_RATE_FLOOR:.0%}) — systematic bias",
+            )
+        )
+
+
+def _check_networkx_diff(rng: random.Random, report: FamilyReport) -> None:
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    g = random_graph(rng)
+    nx_g = nx.Graph()
+    nx_g.add_nodes_from(g.nodes())
+    nx_g.add_edges_from(g.iter_edges())
+
+    # Components.
+    report.checks += 1
+    ours = {frozenset(c) for c in connected_components(g)}
+    theirs = {frozenset(c) for c in nx.connected_components(nx_g)}
+    if ours != theirs:
+        fail(f"connected components differ: {ours} vs networkx {theirs}")
+
+    # BFS distances from a random source.
+    report.checks += 1
+    source = rng.choice(g.nodes())
+    ours_d = bfs_distances(g, source)
+    theirs_d = nx.single_source_shortest_path_length(nx_g, source)
+    if ours_d != dict(theirs_d):
+        fail(f"BFS distances from {source} differ from networkx")
+
+    # Min s-t cut on a connected pair, unit capacities.
+    component = largest_connected_component(g)
+    comp_nodes = component.nodes()
+    if len(comp_nodes) >= 2:
+        report.checks += 1
+        s, t = rng.sample(comp_nodes, 2)
+        dinic = Dinic(g.number_of_nodes())
+        index = {node: i for i, node in enumerate(g.nodes())}
+        for u, v in g.iter_edges():
+            dinic.add_edge(index[u], index[v], 1.0)
+            dinic.add_edge(index[v], index[u], 1.0)
+        ours_cut = dinic.max_flow(index[s], index[t])
+        for u, v in nx_g.edges:
+            nx_g[u][v]["capacity"] = 1.0
+        theirs_cut = nx.minimum_cut_value(nx_g, s, t)
+        if ours_cut != theirs_cut:
+            fail(f"min {s}-{t} cut {ours_cut} != networkx {theirs_cut}")
+
+    # Biconnected components and articulation points.
+    report.checks += 1
+    ours_bicomp = {
+        frozenset(frozenset(e) for e in comp) for comp in biconnected_components(g)
+    }
+    theirs_bicomp = {
+        frozenset(frozenset(e) for e in comp)
+        for comp in nx.biconnected_component_edges(nx_g)
+    }
+    if ours_bicomp != theirs_bicomp:
+        fail("biconnected components differ from networkx")
+    if articulation_points(g) != set(nx.articulation_points(nx_g)):
+        fail("articulation points differ from networkx")
+
+    # Spanning-tree distances: TreeIndex LCA machinery vs. networkx
+    # shortest paths on the materialised tree.
+    report.checks += 1
+    root = rng.choice(comp_nodes)
+    parent = bfs_tree(component, root)
+    ours_distortion = spanning_tree_distortion(component, parent)
+    tree_g = nx.Graph()
+    tree_g.add_nodes_from(parent)
+    tree_g.add_edges_from((u, p) for u, p in parent.items() if p is not None)
+    if component.number_of_edges():
+        total = 0
+        for u, v in component.iter_edges():
+            total += nx.shortest_path_length(tree_g, u, v)
+        theirs_distortion = total / component.number_of_edges()
+        if abs(ours_distortion - theirs_distortion) > 1e-9:
+            fail(
+                f"spanning-tree distortion {ours_distortion} != networkx "
+                f"{theirs_distortion}"
+            )
+
+
+def _check_invariants(rng: random.Random, report: FamilyReport) -> None:
+    def collect(problems: List[str]) -> None:
+        for problem in problems:
+            report.failures.append(CheckFailure(report.family, report.checks, problem))
+
+    g = random_graph(rng)
+    report.checks += 1
+    collect(invariants_mod.check_graph_invariants(g))
+
+    connected = random_connected_graph(rng)
+    from repro.engine import MetricEngine
+
+    engine = MetricEngine(workers=0, use_cache=False)
+    for metric in ("expansion", "resilience", "distortion"):
+        report.checks += 1
+        params = {"num_centers": 4, "seed": rng.getrandbits(16)}
+        if metric != "expansion":
+            params["max_ball_size"] = None
+        series = engine.compute_one(connected, metric, **params)
+        collect(invariants_mod.check_series_invariants(metric, series, connected))
+
+    report.checks += 1
+    collect(
+        invariants_mod.check_relabeling_invariance(connected, seed=rng.getrandbits(16))
+    )
+
+
+def _check_engine_equivalence(rng: random.Random, report: FamilyReport) -> None:
+    g = random_connected_graph(rng, 6, 14)
+    report.checks += 1
+    for problem in invariants_mod.check_engine_equivalence(
+        g, seed=rng.getrandbits(16)
+    ):
+        report.failures.append(CheckFailure(report.family, report.checks, problem))
+
+
+def _check_determinism(rng: random.Random, report: FamilyReport) -> None:
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    from repro.engine import MetricEngine
+    from repro.generators.plrg import plrg
+
+    seed = rng.getrandbits(16)
+
+    # Generators: same seed, same edge set (and same iteration order).
+    report.checks += 1
+    g1 = plrg(60, 2.246, seed=seed)
+    g2 = plrg(60, 2.246, seed=seed)
+    if g1.edges() != g2.edges() or g1.nodes() != g2.nodes():
+        fail(f"plrg(seed={seed}) not reproducible")
+
+    # Randomised metric primitives: same RNG stream, same value.
+    report.checks += 1
+    g = random_connected_graph(rng)
+    a = resilience_mod.resilience_of(g, rng=random.Random(seed), trials=3)
+    b = resilience_mod.resilience_of(g, rng=random.Random(seed), trials=3)
+    if a != b:
+        fail(f"resilience_of not deterministic for a fixed RNG: {a} != {b}")
+    da = distortion_of(g, rng=random.Random(seed))
+    db = distortion_of(g, rng=random.Random(seed))
+    if da != db:
+        fail(f"distortion_of not deterministic for a fixed RNG: {da} != {db}")
+
+    # Engine: two fresh computations, bitwise identical.
+    report.checks += 1
+    engine = MetricEngine(workers=0, use_cache=False)
+    r1 = engine.compute(g1, ["expansion", "resilience"])
+    r2 = engine.compute(g1, ["expansion", "resilience"])
+    if r1 != r2:
+        fail("engine.compute not deterministic across identical calls")
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+#: family name -> (per-round check, rounds divisor).  The divisor thins
+#: expensive families: engine-equivalence spins up a process pool per
+#: round, so it runs ceil(rounds / divisor) times.
+_FAMILIES: Dict[str, tuple] = {
+    "oracle-diff": (_check_oracle_diff, 1),
+    "networkx-diff": (_check_networkx_diff, 1),
+    "invariants": (_check_invariants, 2),
+    "engine-equivalence": (_check_engine_equivalence, 10),
+    "determinism": (_check_determinism, 2),
+}
+
+
+def run_selfcheck(
+    rounds: int = 50,
+    seed: int = 0,
+    families: Optional[List[str]] = None,
+    out: Callable[[str], None] = None,
+) -> SelfCheckReport:
+    """Run the selfcheck harness and return its report.
+
+    Each family draws its inputs from an independent RNG stream derived
+    from ``seed``, so adding a family never perturbs another's inputs
+    and any failure is reproducible from ``(seed, rounds)`` alone.
+    """
+    out = out or (lambda line: print(line))
+    selected = families or list(_FAMILIES)
+    unknown = set(selected) - set(_FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown selfcheck families {sorted(unknown)}; "
+            f"available: {sorted(_FAMILIES)}"
+        )
+    report = SelfCheckReport(seed=seed, rounds=rounds)
+    for family in selected:
+        check, divisor = _FAMILIES[family]
+        fam_report = FamilyReport(family=family)
+        report.families.append(fam_report)
+        if family == "networkx-diff" and nx is None:
+            fam_report.skipped = "networkx not installed"
+            out(f"[{family}] SKIPPED ({fam_report.skipped})")
+            continue
+        fam_rounds = max(1, rounds // divisor)
+        rng = random.Random(f"selfcheck:{seed}:{family}")
+        for _ in range(fam_rounds):
+            check(rng, fam_report)
+        if family == "oracle-diff":
+            _finish_oracle_diff(fam_report)
+        status = "ok" if fam_report.ok else f"{len(fam_report.failures)} FAILED"
+        out(
+            f"[{family}] {fam_rounds} rounds, {fam_report.checks} checks: "
+            f"{status}"
+        )
+    verdict = "OK" if report.ok else "FAILED"
+    out(
+        f"selfcheck: {len(report.families)} families, "
+        f"{report.total_checks} checks, {report.total_failures} failures "
+        f"— {verdict} (seed={seed}, rounds={rounds})"
+    )
+    if not report.ok:
+        out("")
+        for failure in [f for fam in report.families for f in fam.failures][:20]:
+            out(f"  {failure.family}[round {failure.round_index}]: {failure.message}")
+    return report
+
+
+def main(rounds: int = 50, seed: int = 0, families: Optional[List[str]] = None) -> int:
+    """CLI entry: run and convert the report to an exit code."""
+    report = run_selfcheck(rounds=rounds, seed=seed, families=families)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

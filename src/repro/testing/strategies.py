@@ -1,0 +1,193 @@
+"""Hypothesis strategies generating :class:`repro.graph.core.Graph` inputs.
+
+The property suites (``tests/test_property_graph.py``,
+``tests/test_property_metrics.py``) draw graphs from here instead of
+hand-picking examples: random connected graphs, trees, meshes,
+power-law-ish multigraph collapses, and the adversarial shapes that have
+historically broken graph code — bridges, self-loops, parallel edges,
+and disconnected graphs.
+
+This module requires ``hypothesis`` (a dev dependency); import it only
+from test code or guard the import.  Everything returns plain ``Graph``
+instances with integer node labels, small enough for the oracles in
+:mod:`repro.testing.oracles`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.graph.core import Graph
+
+
+@st.composite
+def trees(draw, min_nodes: int = 2, max_nodes: int = 12) -> Graph:
+    """Uniform-ish random labelled trees: node ``i`` attaches below ``i``."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    g = Graph(name="strategy-tree")
+    g.add_node(0)
+    for i in range(1, n):
+        g.add_edge(i, draw(st.integers(0, i - 1)))
+    return g
+
+
+@st.composite
+def connected_graphs(
+    draw, min_nodes: int = 2, max_nodes: int = 12, max_extra_edges: int = 10
+) -> Graph:
+    """Connected graphs: a random tree plus a few random chords."""
+    g = draw(trees(min_nodes, max_nodes))
+    n = g.number_of_nodes()
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n) if not g.has_edge(i, j)]
+    if pairs:
+        extra = draw(
+            st.lists(
+                st.sampled_from(pairs),
+                unique=True,
+                max_size=min(max_extra_edges, len(pairs)),
+            )
+        )
+        g.add_edges_from(extra)
+    g.name = "strategy-connected"
+    return g
+
+
+@st.composite
+def graphs(draw, min_nodes: int = 1, max_nodes: int = 12) -> Graph:
+    """Arbitrary (possibly disconnected, possibly edgeless) graphs."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    g = Graph(name="strategy-any")
+    g.add_nodes_from(range(n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if pairs:
+        edges = draw(
+            st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+        )
+        g.add_edges_from(edges)
+    return g
+
+
+@st.composite
+def disconnected_graphs(draw, max_nodes_per_part: int = 6) -> Graph:
+    """Two connected components with disjoint label ranges."""
+    a = draw(connected_graphs(2, max_nodes_per_part))
+    b = draw(connected_graphs(2, max_nodes_per_part))
+    offset = a.number_of_nodes()
+    g = Graph(name="strategy-disconnected")
+    g.add_edges_from(a.iter_edges())
+    g.add_edges_from((u + offset, v + offset) for u, v in b.iter_edges())
+    return g
+
+
+@st.composite
+def bridge_graphs(draw, max_nodes_per_part: int = 6) -> Graph:
+    """Two connected blobs joined by exactly one bridge edge.
+
+    Bridges are the classic stressor for biconnectivity, min-cut and
+    partitioning code: the minimum cut is forced through a single edge.
+    """
+    a = draw(connected_graphs(2, max_nodes_per_part))
+    b = draw(connected_graphs(2, max_nodes_per_part))
+    offset = a.number_of_nodes()
+    g = Graph(name="strategy-bridge")
+    g.add_edges_from(a.iter_edges())
+    g.add_edges_from((u + offset, v + offset) for u, v in b.iter_edges())
+    left = draw(st.integers(0, offset - 1))
+    right = draw(st.integers(offset, offset + b.number_of_nodes() - 1))
+    g.add_edge(left, right)
+    return g
+
+
+@st.composite
+def multigraph_edge_lists(
+    draw, min_nodes: int = 2, max_nodes: int = 10
+) -> Tuple[int, List[Tuple[int, int]]]:
+    """Raw edge lists with self-loops and parallel edges.
+
+    Models the PLRG construction's multigraph output before collapse
+    ("we ignore these superfluous links in our graphs"): feed these to
+    ``Graph`` and check the collapse invariants.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=4 * n,
+        )
+    )
+    return n, edges
+
+
+@st.composite
+def power_law_ish_graphs(draw, min_nodes: int = 6, max_nodes: int = 14) -> Graph:
+    """Collapsed power-law-ish multigraphs (a miniature PLRG).
+
+    Degree targets drawn from a heavy-tailed-ish distribution, stubs
+    paired off at random and collapsed into a simple graph — the same
+    construction the paper applies at scale.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**16))
+    rng = random.Random(seed)
+    stubs: List[int] = []
+    for node in range(n):
+        # Mostly degree 1-2 with an occasional hub, like a power law tail.
+        stubs.extend([node] * rng.choice([1, 1, 1, 2, 2, 3, n // 2 or 1]))
+    rng.shuffle(stubs)
+    g = Graph(name="strategy-plrg")
+    g.add_nodes_from(range(n))
+    for i in range(0, len(stubs) - 1, 2):
+        g.add_edge(stubs[i], stubs[i + 1])  # self-loops/dupes collapse
+    return g
+
+
+@st.composite
+def meshes(draw, min_side: int = 2, max_side: int = 4) -> Graph:
+    """Small square meshes (the paper's canonical Low-expansion shape)."""
+    from repro.generators.canonical import mesh
+
+    return mesh(draw(st.integers(min_side, max_side)))
+
+
+@st.composite
+def weighted_bipartite_instances(draw, max_side: int = 6):
+    """Instances for the Section 5 weighted bipartite cover solvers.
+
+    Returns ``(left_weights, right_weights, pairs)`` with small integer
+    weights (so flow arithmetic stays exact in floats).
+    """
+    n_left = draw(st.integers(1, max_side))
+    n_right = draw(st.integers(1, max_side))
+    left = {f"l{i}": float(draw(st.integers(1, 9))) for i in range(n_left)}
+    right = {f"r{i}": float(draw(st.integers(1, 9))) for i in range(n_right)}
+    all_pairs = [(u, v) for u in left for v in right]
+    pairs = draw(
+        st.lists(st.sampled_from(all_pairs), unique=True, min_size=1)
+    )
+    return left, right, pairs
+
+
+def relabelled_copy(graph: Graph, seed: int) -> Tuple[Graph, dict]:
+    """A structurally identical graph under a random label permutation.
+
+    Both the node labels and the insertion order are shuffled, so any
+    hidden dependence on dict ordering shows up too.  Returns the new
+    graph and the old-label -> new-label mapping.
+    """
+    rng = random.Random(seed)
+    nodes = graph.nodes()
+    new_labels = list(range(len(nodes)))
+    rng.shuffle(new_labels)
+    mapping = {old: new for old, new in zip(nodes, new_labels)}
+    relabelled = Graph(name=graph.name)
+    insertion = list(nodes)
+    rng.shuffle(insertion)
+    for node in insertion:
+        relabelled.add_node(mapping[node])
+    edges = [(mapping[u], mapping[v]) for u, v in graph.iter_edges()]
+    rng.shuffle(edges)
+    relabelled.add_edges_from(edges)
+    return relabelled, mapping

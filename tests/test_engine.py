@@ -156,6 +156,24 @@ def test_expansion_max_ball_size_truncates():
     assert capped == full[: len(capped)]
 
 
+@pytest.mark.parametrize("graph_name,graph", graphs())
+def test_equivalence_sweep_serial_parallel_cached(graph_name, graph, tmp_path):
+    """The full contract on every graph shape: serial == parallel ==
+    cached (cold and warm) across all seven engine series at once."""
+    requests = [request_for(name) for name in sorted(LEGACY_FUNCTIONS)]
+    serial = engine().compute(graph, requests)
+    parallel = engine(workers=2).compute(graph, requests)
+    assert parallel == serial
+
+    cached = MetricEngine(use_cache=True, cache_dir=str(tmp_path))
+    cold = cached.compute(graph, requests)
+    assert cold == serial
+    assert cached.stats["cache_misses"] == len(requests)
+    warm = cached.compute(graph, requests)
+    assert warm == serial  # bitwise through the JSON round-trip
+    assert cached.stats["cache_hits"] == len(requests)
+
+
 # ----------------------------------------------------------------------
 # Request validation
 # ----------------------------------------------------------------------

@@ -1,0 +1,283 @@
+"""Property tests: graph substrate routines vs. the brute-force oracles.
+
+Every algorithm the paper's metrics rest on — BFS, components, Dinic
+min cut, vertex covers, the balanced bipartition, tree distances — is
+checked here against the exhaustive reference implementations in
+``repro.testing.oracles`` over Hypothesis-generated graphs, including
+the adversarial shapes (bridges, self-loops, parallel edges,
+disconnected inputs).  Example counts are bounded by the profile in
+``tests/conftest.py`` so tier-1 stays fast; ``repro selfcheck`` runs
+the open-ended randomized sweep.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.components import (
+    articulation_points,
+    biconnected_components,
+    is_biconnected,
+)
+from repro.graph.core import Graph
+from repro.graph.cover import (
+    cover_is_valid,
+    greedy_vertex_cover,
+    matching_vertex_cover,
+    vertex_cover_size,
+)
+from repro.graph.flow import Dinic, bipartite_vertex_cover, bipartite_vertex_cover_weight
+from repro.graph.partition import balanced_bipartition
+from repro.graph.traversal import bfs_distances, connected_components, is_connected
+from repro.graph.trees import TreeIndex, bfs_tree, spanning_tree_distortion
+from repro.metrics.balls import ball_nodes
+from repro.testing import (
+    count_crossing_edges,
+    heuristic_balance_bound,
+    oracle_balanced_bipartition_cut,
+    oracle_ball_members,
+    oracle_bfs_distances,
+    oracle_bipartite_vertex_cover_weight,
+    oracle_connected_components,
+    oracle_min_st_cut,
+    oracle_min_vertex_cover_size,
+    oracle_spanning_tree_distortion,
+    oracle_tree_distance,
+)
+from repro.testing.invariants import check_graph_invariants
+from repro.testing.strategies import (
+    bridge_graphs,
+    connected_graphs,
+    disconnected_graphs,
+    graphs,
+    multigraph_edge_lists,
+    power_law_ish_graphs,
+    trees,
+)
+
+
+# ----------------------------------------------------------------------
+# Substrate consistency under hostile construction input
+# ----------------------------------------------------------------------
+
+@given(multigraph_edge_lists())
+def test_multigraph_collapse_invariants(n_and_edges):
+    """Self-loops and parallel edges must collapse cleanly (PLRG input)."""
+    n, edges = n_and_edges
+    g = Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    assert check_graph_invariants(g) == []
+    simple = {frozenset(e) for e in edges if e[0] != e[1]}
+    assert {frozenset(e) for e in g.iter_edges()} == simple
+
+
+@given(graphs())
+def test_subgraph_and_relabel_consistency(g):
+    assert check_graph_invariants(g) == []
+    nodes = g.nodes()[: max(1, g.number_of_nodes() // 2)]
+    sub = g.subgraph(nodes)
+    assert check_graph_invariants(sub) == []
+    assert all(g.has_edge(u, v) for u, v in sub.iter_edges())
+    relabelled, index = g.relabeled()
+    assert check_graph_invariants(relabelled) == []
+    assert relabelled.number_of_edges() == g.number_of_edges()
+    assert all(
+        relabelled.has_edge(index[u], index[v]) for u, v in g.iter_edges()
+    )
+
+
+# ----------------------------------------------------------------------
+# Traversal: BFS, balls, components
+# ----------------------------------------------------------------------
+
+@given(graphs(min_nodes=2), st.integers(0, 2**16))
+def test_bfs_distances_match_oracle(g, pick):
+    source = g.nodes()[pick % g.number_of_nodes()]
+    assert bfs_distances(g, source) == oracle_bfs_distances(g, source)
+
+
+@given(connected_graphs(), st.integers(0, 2**16), st.integers(0, 4))
+def test_ball_membership_matches_oracle(g, pick, radius):
+    center = g.nodes()[pick % g.number_of_nodes()]
+    assert set(ball_nodes(g, center, radius)) == oracle_ball_members(
+        g, center, radius
+    )
+
+
+@given(disconnected_graphs())
+def test_components_match_oracle_on_disconnected(g):
+    ours = {frozenset(c) for c in connected_components(g)}
+    assert ours == set(oracle_connected_components(g))
+    assert not is_connected(g)
+
+
+@given(graphs())
+def test_components_match_oracle(g):
+    ours = {frozenset(c) for c in connected_components(g)}
+    assert ours == set(oracle_connected_components(g))
+
+
+# ----------------------------------------------------------------------
+# Min cut (Dinic)
+# ----------------------------------------------------------------------
+
+@st.composite
+def capacity_digraphs(draw):
+    n = draw(st.integers(3, 6))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.integers(0, 5),
+            ),
+            max_size=2 * n * n,
+        )
+    )
+    arcs = [(u, v, float(c)) for u, v, c in arcs if u != v]
+    return n, arcs
+
+
+@given(capacity_digraphs())
+def test_dinic_max_flow_matches_subset_min_cut(n_and_arcs):
+    n, arcs = n_and_arcs
+    dinic = Dinic(n)
+    for u, v, cap in arcs:
+        dinic.add_edge(u, v, cap)
+    assert dinic.max_flow(0, n - 1) == oracle_min_st_cut(n, arcs, 0, n - 1)
+
+
+@given(bridge_graphs())
+def test_min_cut_across_a_bridge_is_one(g):
+    """A single bridge between two blobs forces an s-t min cut of 1."""
+    index = {node: i for i, node in enumerate(g.nodes())}
+    dinic = Dinic(g.number_of_nodes())
+    for u, v in g.iter_edges():
+        dinic.add_edge(index[u], index[v], 1.0)
+        dinic.add_edge(index[v], index[u], 1.0)
+    # Node 0 lives in the first blob, the last node in the second.
+    assert dinic.max_flow(0, index[g.nodes()[-1]]) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Vertex covers
+# ----------------------------------------------------------------------
+
+@given(graphs())
+def test_heuristic_covers_are_valid_and_bounded(g):
+    edges = g.edges()
+    exact = oracle_min_vertex_cover_size(g)
+    for cover in (matching_vertex_cover(g), greedy_vertex_cover(g)):
+        assert cover_is_valid(cover, edges)
+    heuristic = vertex_cover_size(g)
+    assert exact <= heuristic <= 2 * exact
+
+
+@given(st.data())
+def test_bipartite_cover_weight_matches_oracle(data):
+    from repro.testing.strategies import weighted_bipartite_instances
+
+    left, right, pairs = data.draw(weighted_bipartite_instances())
+    want = oracle_bipartite_vertex_cover_weight(left, right, pairs)
+    assert bipartite_vertex_cover_weight(left, right, pairs) == want
+    weight, cover = bipartite_vertex_cover(left, right, pairs)
+    assert weight == want
+    assert cover_is_valid(set(cover), pairs)
+    # The returned cover's own weight matches the reported optimum.
+    weights = {**left, **right}
+    assert sum(weights[v] for v in cover) == want
+
+
+# ----------------------------------------------------------------------
+# Balanced bipartition (the resilience solver)
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=15)
+def test_balanced_bipartition_valid_and_bounded_by_oracle(g, stream):
+    import random
+
+    cut, (side_a, side_b) = balanced_bipartition(
+        g, rng=random.Random(stream), trials=3
+    )
+    assert side_a | side_b == set(g.nodes())
+    assert not side_a & side_b
+    assert cut == count_crossing_edges(g, side_a)
+    n = g.number_of_nodes()
+    bound = heuristic_balance_bound(n)
+    assert max(len(side_a), len(side_b)) <= bound
+    assert cut >= oracle_balanced_bipartition_cut(g)
+
+
+@given(trees(max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=15)
+def test_balanced_bipartition_of_tree_cuts_one_edge_optimum(g, stream):
+    """On a tree the exact balanced optimum is tiny; the heuristic's cut
+    still must be a real, recountable cut no smaller than it."""
+    import random
+
+    cut, (side_a, _side_b) = balanced_bipartition(
+        g, rng=random.Random(stream), trials=3
+    )
+    optimum = oracle_balanced_bipartition_cut(g)
+    assert optimum >= 1  # connected: every split cuts something
+    assert cut >= optimum
+    assert cut == count_crossing_edges(g, side_a)
+
+
+# ----------------------------------------------------------------------
+# Trees: LCA index vs. naive walking
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_nodes=9), st.integers(0, 2**16))
+def test_tree_index_distances_match_oracle(g, pick):
+    root = g.nodes()[pick % g.number_of_nodes()]
+    parent = bfs_tree(g, root)
+    index = TreeIndex(parent)
+    for u, v in itertools.combinations(g.nodes(), 2):
+        assert index.distance(u, v) == oracle_tree_distance(parent, u, v)
+
+
+@given(connected_graphs(max_nodes=9), st.integers(0, 2**16))
+def test_spanning_tree_distortion_matches_oracle(g, pick):
+    root = g.nodes()[pick % g.number_of_nodes()]
+    parent = bfs_tree(g, root)
+    ours = spanning_tree_distortion(g, parent)
+    assert ours == pytest.approx(oracle_spanning_tree_distortion(g, parent))
+
+
+# ----------------------------------------------------------------------
+# Biconnectivity
+# ----------------------------------------------------------------------
+
+@given(graphs())
+def test_biconnected_components_partition_edges(g):
+    components = biconnected_components(g)
+    seen = [frozenset(e) for comp in components for e in comp]
+    assert len(seen) == g.number_of_edges()
+    assert set(seen) == {frozenset(e) for e in g.iter_edges()}
+
+
+@given(bridge_graphs())
+def test_bridge_is_its_own_biconnected_component(g):
+    """The bridge edge must form a singleton component and create
+    articulation points (unless an endpoint has degree 1)."""
+    singletons = [
+        comp for comp in biconnected_components(g) if len(comp) == 1
+    ]
+    assert singletons  # at least the bridge
+    assert not is_biconnected(g)
+
+
+@given(power_law_ish_graphs())
+def test_articulation_points_disconnect(g):
+    """Removing any articulation point increases the component count."""
+    before = len(connected_components(g))
+    for node in articulation_points(g):
+        pruned = g.copy()
+        pruned.remove_node(node)
+        assert len(connected_components(pruned)) > before

@@ -1,0 +1,140 @@
+"""Property tests: metric series invariants and engine equivalences.
+
+Encodes the paper-level facts every correct implementation must honour
+— E(h) monotone and reaching 1 on connected graphs, R(n) >= 1 and
+D(n) >= 1 on connected balls, relabelling invariance — plus the
+distortion heuristic's bound against the exact all-spanning-trees
+oracle and the engine's batched == standalone determinism contract,
+all over Hypothesis-generated topologies.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import MetricEngine, MetricRequest
+from repro.metrics.distortion import distortion_of
+from repro.metrics.resilience import resilience_of
+from repro.testing import (
+    oracle_balanced_bipartition_cut,
+    oracle_exact_distortion,
+)
+from repro.testing.invariants import (
+    check_relabeling_invariance,
+    check_series_invariants,
+)
+from repro.testing.strategies import connected_graphs, meshes, power_law_ish_graphs, trees
+
+
+def engine():
+    return MetricEngine(workers=0, use_cache=False)
+
+
+def series_for(graph, metric, seed=0, num_centers=4):
+    params = {"num_centers": num_centers, "seed": seed}
+    if metric != "expansion":
+        params["max_ball_size"] = None
+    return engine().compute_one(graph, metric, **params)
+
+
+# ----------------------------------------------------------------------
+# Series invariants (Section 3.2.1 facts)
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(), st.integers(0, 2**16))
+@settings(max_examples=15)
+def test_expansion_invariants(g, seed):
+    series = series_for(g, "expansion", seed=seed)
+    assert check_series_invariants("expansion", series, g) == []
+
+
+@given(connected_graphs(max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=10)
+def test_resilience_and_distortion_invariants(g, seed):
+    for metric in ("resilience", "distortion"):
+        series = series_for(g, metric, seed=seed)
+        assert check_series_invariants(metric, series, g) == []
+
+
+@given(meshes(), st.integers(0, 2**16))
+@settings(max_examples=5)
+def test_secondary_metric_invariants_on_meshes(g, seed):
+    for metric in ("vertex_cover", "biconnectivity", "clustering", "path_length"):
+        series = series_for(g, metric, seed=seed)
+        assert check_series_invariants(metric, series, g) == []
+
+
+@given(trees(min_nodes=4, max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=10)
+def test_tree_distortion_is_exactly_one(g, seed):
+    """Paper calibration: a tree's only spanning tree is itself, so
+    D(n) = 1 exactly (no float slack allowed)."""
+    assert distortion_of(g, rng=random.Random(seed)) == 1.0
+    assert resilience_of(g, rng=random.Random(seed), trials=3) >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Heuristics bounded by their exact oracles
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_nodes=8, max_extra_edges=4), st.integers(0, 2**16))
+@settings(max_examples=10)
+def test_distortion_heuristic_never_beats_exact_optimum(g, seed):
+    hypothesis.assume(g.number_of_edges() <= 11)
+    exact = oracle_exact_distortion(g)
+    heuristic = distortion_of(g, rng=random.Random(seed))
+    assert heuristic >= exact - 1e-9
+    assert heuristic >= 1.0
+
+
+@given(connected_graphs(max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=10)
+def test_resilience_never_beats_exact_balanced_optimum(g, seed):
+    value = resilience_of(g, rng=random.Random(seed), trials=3)
+    assert value >= oracle_balanced_bipartition_cut(g)
+
+
+# ----------------------------------------------------------------------
+# Relabelling invariance
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=10)
+def test_relabeling_invariance(g, seed):
+    assert check_relabeling_invariance(g, seed=seed) == []
+
+
+@given(power_law_ish_graphs(), st.integers(0, 2**16))
+@settings(max_examples=5)
+def test_relabeling_invariance_power_law(g, seed):
+    assert check_relabeling_invariance(g, seed=seed) == []
+
+
+# ----------------------------------------------------------------------
+# Engine contract
+# ----------------------------------------------------------------------
+
+@given(connected_graphs(max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=10)
+def test_engine_batched_equals_standalone(g, seed):
+    """Sharing one pass across metrics must not perturb any of them."""
+    requests = [
+        MetricRequest("expansion", num_centers=4, seed=seed),
+        MetricRequest("resilience", num_centers=4, max_ball_size=None, seed=seed),
+        MetricRequest("clustering", num_centers=4, max_ball_size=None, seed=seed),
+    ]
+    batched = engine().compute(g, requests)
+    for request in requests:
+        standalone = engine().compute(g, [request])[request.name]
+        assert batched[request.name] == standalone
+
+
+@given(connected_graphs(max_nodes=10), st.integers(0, 2**16))
+@settings(max_examples=10)
+def test_engine_same_seed_is_bitwise_deterministic(g, seed):
+    first = engine().compute_one(g, "resilience", num_centers=4, seed=seed)
+    second = engine().compute_one(g, "resilience", num_centers=4, seed=seed)
+    assert first == second

@@ -1,0 +1,158 @@
+"""Tests for the ``repro selfcheck`` harness itself.
+
+The most important ones are the *mutation* tests: seeding a deliberate
+off-by-one into a production routine must flip the harness to a failing
+verdict.  A selfcheck that cannot catch a planted bug is worthless.
+"""
+
+import random
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.testing import (
+    OracleSizeError,
+    oracle_balanced_bipartition_cut,
+    oracle_bfs_distances,
+    oracle_exact_distortion,
+    oracle_min_st_cut,
+    oracle_min_vertex_cover_size,
+    run_selfcheck,
+)
+from repro.testing import selfcheck as selfcheck_mod
+from repro.generators import kary_tree, mesh
+
+
+# ----------------------------------------------------------------------
+# Oracle sanity on known-value inputs
+# ----------------------------------------------------------------------
+
+def triangle():
+    from repro.graph.core import Graph
+
+    g = Graph()
+    g.add_edges_from([(0, 1), (1, 2), (0, 2)])
+    return g
+
+
+def test_oracle_known_values():
+    tri = triangle()
+    # Min vertex cover of a triangle is any 2 nodes.
+    assert oracle_min_vertex_cover_size(tri) == 2
+    # Dropping any triangle edge stretches it to a 2-path: mean 4/3.
+    assert oracle_exact_distortion(tri) == pytest.approx(4 / 3)
+    # Both balanced splits of a triangle cut 2 edges.
+    assert oracle_balanced_bipartition_cut(tri) == 2
+    # Star K_{1,4}: cover is the hub, balanced cut moves >= 2 leaves.
+    star = kary_tree(4, 1)
+    assert oracle_min_vertex_cover_size(star) == 1
+    assert oracle_balanced_bipartition_cut(star) == 2
+    assert oracle_bfs_distances(star, star.nodes()[0])[star.nodes()[-1]] == 1
+
+
+def test_oracle_min_st_cut_parallel_arcs():
+    # Two parallel unit arcs 0->1 sum to capacity 2.
+    assert oracle_min_st_cut(2, [(0, 1, 1.0), (0, 1, 1.0)], 0, 1) == 2.0
+    # No path at all: cut 0.
+    assert oracle_min_st_cut(3, [(1, 2, 5.0)], 0, 2) == 0.0
+
+
+def test_oracles_refuse_oversized_inputs():
+    big = mesh(40)
+    with pytest.raises(OracleSizeError):
+        oracle_min_vertex_cover_size(big)
+    with pytest.raises(OracleSizeError):
+        oracle_balanced_bipartition_cut(big)
+
+
+# ----------------------------------------------------------------------
+# Harness behaviour
+# ----------------------------------------------------------------------
+
+def test_run_selfcheck_passes_and_reports_all_families():
+    lines = []
+    report = run_selfcheck(rounds=4, seed=1, out=lines.append)
+    assert report.ok
+    assert report.total_failures == 0
+    names = [fam.family for fam in report.families]
+    assert names == [
+        "oracle-diff",
+        "networkx-diff",
+        "invariants",
+        "engine-equivalence",
+        "determinism",
+    ]
+    assert all(fam.checks > 0 or fam.skipped for fam in report.families)
+    assert any("— OK" in line for line in lines)
+
+
+def test_run_selfcheck_is_reproducible():
+    first = run_selfcheck(rounds=3, seed=7, families=["oracle-diff"], out=lambda _: None)
+    second = run_selfcheck(rounds=3, seed=7, families=["oracle-diff"], out=lambda _: None)
+    assert first.total_checks == second.total_checks
+    assert first.families[0].optimal_rounds == second.families[0].optimal_rounds
+
+
+def test_family_selection_and_unknown_family():
+    report = run_selfcheck(rounds=2, seed=0, families=["determinism"], out=lambda _: None)
+    assert [fam.family for fam in report.families] == ["determinism"]
+    with pytest.raises(ValueError):
+        run_selfcheck(rounds=1, families=["no-such-family"], out=lambda _: None)
+
+
+def test_cli_selfcheck_exit_codes():
+    assert cli_main(["selfcheck", "--rounds", "2", "--seed", "1"]) == 0
+    assert (
+        cli_main(
+            ["selfcheck", "--rounds", "2", "--family", "determinism", "--family", "invariants"]
+        )
+        == 0
+    )
+
+
+# ----------------------------------------------------------------------
+# Mutation tests: planted bugs must be caught
+# ----------------------------------------------------------------------
+
+def test_selfcheck_catches_partition_cut_off_by_one(monkeypatch):
+    from repro.graph import partition as partition_mod
+
+    real = partition_mod._cut_size
+
+    def off_by_one(*args, **kwargs):
+        return real(*args, **kwargs) + 1
+
+    monkeypatch.setattr(partition_mod, "_cut_size", off_by_one)
+    report = run_selfcheck(
+        rounds=10, seed=0, families=["oracle-diff"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "cut" in messages
+
+
+def test_selfcheck_catches_inflated_resilience(monkeypatch):
+    real = selfcheck_mod.resilience_mod.resilience_of
+
+    def inflated(graph, **kwargs):
+        return real(graph, **kwargs) + 1.0
+
+    monkeypatch.setattr(selfcheck_mod.resilience_mod, "resilience_of", inflated)
+    report = run_selfcheck(
+        rounds=5, seed=0, families=["oracle-diff"], out=lambda _: None
+    )
+    assert not report.ok
+
+
+def test_selfcheck_catches_nondeterministic_metric(monkeypatch):
+    real = selfcheck_mod.resilience_mod.resilience_of
+    jitter = random.Random(99)
+
+    def noisy(graph, **kwargs):
+        return real(graph, **kwargs) + jitter.random() * 1e-6
+
+    monkeypatch.setattr(selfcheck_mod.resilience_mod, "resilience_of", noisy)
+    report = run_selfcheck(
+        rounds=4, seed=0, families=["determinism"], out=lambda _: None
+    )
+    assert not report.ok

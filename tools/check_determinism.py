@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""CI determinism gate: the same CLI invocation must produce the same
+report, byte for byte.
+
+Generates two small topologies, runs ``repro compare`` on them twice
+(cache disabled, fresh process each time so no in-process state can
+leak), and diffs the two reports.  Any drift — RNG seeded off the
+clock, dict-ordering leaks, float nondeterminism — fails the build.
+
+Usage: python tools/check_determinism.py [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_cli(args: list[str], cwd: str) -> None:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    subprocess.run(
+        [sys.executable, "-m", "repro", *args], cwd=cwd, env=env, check=True
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0)
+    opts = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
+        tree, plrg = os.path.join(tmp, "tree.edges"), os.path.join(tmp, "plrg.edges")
+        run_cli(["generate", "tree", "--k", "3", "--depth", "5", "--out", tree], tmp)
+        run_cli(
+            ["generate", "plrg", "--n", "300", "--seed", "5", "--out", plrg], tmp
+        )
+
+        reports = []
+        for i in (1, 2):
+            out = os.path.join(tmp, f"report{i}.md")
+            run_cli(
+                [
+                    "compare", tree, plrg,
+                    "--centers", "4", "--max-ball", "200",
+                    "--workers", str(opts.workers),
+                    "--no-cache", "--out", out,
+                ],
+                tmp,
+            )
+            with open(out) as fh:
+                reports.append(fh.read())
+
+    if reports[0] != reports[1]:
+        sys.stderr.write("determinism check FAILED: reports differ\n\n")
+        sys.stderr.writelines(
+            difflib.unified_diff(
+                reports[0].splitlines(keepends=True),
+                reports[1].splitlines(keepends=True),
+                fromfile="report1.md",
+                tofile="report2.md",
+            )
+        )
+        return 1
+
+    print(
+        "determinism check OK: identical reports "
+        f"({len(reports[0])} bytes, workers={opts.workers})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
