@@ -9,20 +9,31 @@ on their own edge lists, and classify graphs — without writing Python:
     python -m repro signature plrg.edges --workers 4
     python -m repro hierarchy plrg.edges
 
-Metric-computing commands (``metric``, ``signature``, ``compare``) run
-on the shared-ball :class:`repro.engine.MetricEngine`: ``--workers N``
-fans ball centers across N processes and finished series are cached
-under ``.repro-cache/`` (disable with ``--no-cache``).
+Metric-computing commands (``metric``, ``signature``, ``compare``,
+``report``, ``sweep``) run on the shared-ball
+:class:`repro.engine.MetricEngine`: ``--workers N`` fans ball centers
+across N processes and finished series are cached under
+``.repro-cache/`` (disable with ``--no-cache``).  ``--deadline`` /
+``--retries`` enable the supervised fault-tolerant runtime; ``sweep``
+and ``report`` checkpoint to a ``--journal`` so a killed run restarted
+with ``--resume`` recomputes nothing already finished (see
+docs/ROBUSTNESS.md).
+
+Unreadable or malformed graph files exit with status 2 and a one-line
+``error: <file>: <reason>`` diagnostic instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import signature as metric_signature
 from repro.engine import MetricEngine, MetricRequest
+from repro.runtime import RuntimePolicy
+from repro.runtime import faults as _faults
 from repro.generators import (
     TiersParams,
     TransitStubParams,
@@ -41,7 +52,7 @@ from repro.generators import (
 )
 from repro.graph.core import Graph
 from repro.graph.io import read_edgelist, write_edgelist
-from repro.harness import format_series, format_table
+from repro.harness import SWEEP_GRIDS, format_series, format_table
 from repro.hierarchy import (
     classify_hierarchy,
     link_value_degree_correlation,
@@ -54,6 +65,7 @@ __all__ = [
     "GENERATORS",
     "METRIC_CHOICES",
     "COMMANDS",
+    "CLIError",
     "build_parser",
     "main",
     "cmd_generate",
@@ -62,8 +74,26 @@ __all__ = [
     "cmd_signature",
     "cmd_hierarchy",
     "cmd_compare",
+    "cmd_report",
+    "cmd_sweep",
     "cmd_selfcheck",
 ]
+
+
+class CLIError(Exception):
+    """A user-facing failure: printed as one line, exit status 2."""
+
+
+def _load_graph(path: str) -> Graph:
+    """Read an edge list, converting failures into a :class:`CLIError`
+    naming the file (missing files, permissions, malformed lines)."""
+    try:
+        return read_edgelist(path)
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        message = str(exc) or exc.__class__.__name__
+        if str(path) not in message:
+            message = f"{path}: {message}"
+        raise CLIError(message) from exc
 
 GENERATORS: Dict[str, Callable[[argparse.Namespace], Graph]] = {
     "tree": lambda a: kary_tree(a.k, a.depth),
@@ -141,10 +171,51 @@ def _add_engine_flags(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="do not read or write the .repro-cache/ series cache",
     )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help=(
+            "per-center deadline in seconds; enables the supervised "
+            "fault-tolerant runtime (retries, pool respawn, degradation)"
+        ),
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per center before degrading (enables the runtime)",
+    )
 
 
-def _make_engine(args: argparse.Namespace) -> MetricEngine:
-    return MetricEngine(workers=args.workers, use_cache=not args.no_cache)
+def _runtime_policy(args: argparse.Namespace) -> Optional[RuntimePolicy]:
+    """The supervised-runtime policy implied by the CLI flags.
+
+    Enabled by ``--deadline``/``--retries`` or a ``REPRO_FAULTS``
+    environment (injected faults only make sense under supervision);
+    otherwise the plain executor runs.
+    """
+    deadline = getattr(args, "deadline", None)
+    retries = getattr(args, "retries", None)
+    if deadline is None and retries is None and not os.environ.get(_faults.ENV_VAR):
+        return None
+    policy = RuntimePolicy()
+    if deadline is not None:
+        policy.deadline = deadline
+    if retries is not None:
+        policy.retries = retries
+    return policy
+
+
+def _make_engine(
+    args: argparse.Namespace, journal: Optional[str] = None
+) -> MetricEngine:
+    return MetricEngine(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        runtime=_runtime_policy(args),
+        journal=journal,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,6 +267,63 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-ball", type=int, default=500)
     compare.add_argument("--out", help="also write the markdown report here")
     _add_engine_flags(compare)
+    report_p = sub.add_parser(
+        "report",
+        help=(
+            "markdown comparison report with checkpoint/resume: a killed "
+            "run restarted with --resume recomputes nothing finished"
+        ),
+    )
+    report_p.add_argument("edgelists", nargs="+", help="edge-list files")
+    report_p.add_argument("--centers", type=int, default=8)
+    report_p.add_argument("--max-ball", type=int, default=700)
+    report_p.add_argument("--seed", type=int, default=1)
+    report_p.add_argument("--out", help="also write the markdown report here")
+    report_p.add_argument(
+        "--journal",
+        default=".repro-report.jsonl",
+        help="checkpoint journal path (JSONL, append-only)",
+    )
+    report_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload the journal and skip already-completed work",
+    )
+    _add_engine_flags(report_p)
+    sweep_p = sub.add_parser(
+        "sweep",
+        help=(
+            "Appendix C parameter sweep with checkpoint/resume "
+            "(--classify attaches L/H signatures)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--generator",
+        action="append",
+        dest="generators",
+        choices=sorted(SWEEP_GRIDS),
+        metavar="NAME",
+        help="sweep only this generator (repeatable); default: all",
+    )
+    sweep_p.add_argument(
+        "--classify",
+        action="store_true",
+        help="compute expansion/resilience/distortion signatures",
+    )
+    sweep_p.add_argument("--centers", type=int, default=6)
+    sweep_p.add_argument("--max-ball", type=int, default=700)
+    sweep_p.add_argument("--seed", type=int, default=5)
+    sweep_p.add_argument(
+        "--journal",
+        default=".repro-sweep.jsonl",
+        help="checkpoint journal path (JSONL, append-only)",
+    )
+    sweep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload the journal and skip already-completed work",
+    )
+    _add_engine_flags(sweep_p)
     selfcheck = sub.add_parser(
         "selfcheck",
         help=(
@@ -231,7 +359,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_info(args: argparse.Namespace) -> int:
     """``info``: node/edge/degree summary of an edge list."""
-    graph = read_edgelist(args.edgelist)
+    graph = _load_graph(args.edgelist)
     degrees = sorted(graph.degrees().values())
     rows = [
         ["nodes", graph.number_of_nodes()],
@@ -246,7 +374,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_metric(args: argparse.Namespace) -> int:
     """``metric``: one metric series for an edge list."""
-    graph = read_edgelist(args.edgelist)
+    graph = _load_graph(args.edgelist)
     engine_name = METRIC_CHOICES[args.metric_name]
     if engine_name is None:
         print(format_series("degree CCDF", degree_ccdf(graph), "k", "P(>=k)"))
@@ -266,7 +394,7 @@ def cmd_signature(args: argparse.Namespace) -> int:
     All three basic metrics come from one shared engine pass, so
     resilience and distortion grow each ball once between them.
     """
-    graph = read_edgelist(args.edgelist)
+    graph = _load_graph(args.edgelist)
     series = _make_engine(args).compute(
         graph,
         [
@@ -309,7 +437,7 @@ def cmd_signature(args: argparse.Namespace) -> int:
 
 def cmd_hierarchy(args: argparse.Namespace) -> int:
     """``hierarchy``: Section 5 link values and hierarchy class."""
-    graph = read_edgelist(args.edgelist)
+    graph = _load_graph(args.edgelist)
     if graph.number_of_nodes() > 900:
         print(
             "warning: link values are quadratic in nodes; this may take "
@@ -334,18 +462,108 @@ def cmd_compare(args: argparse.Namespace) -> int:
     items = []
     for path in args.edgelists:
         name = os.path.splitext(os.path.basename(path))[0]
-        items.append(ReportInput(name, read_edgelist(path)))
+        items.append(ReportInput(name, _load_graph(path)))
     report = generate_report(
         items,
         num_centers=args.centers,
         max_ball_size=args.max_ball,
         workers=args.workers,
         use_cache=not args.no_cache,
+        runtime=_runtime_policy(args),
     )
     print(report)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: checkpointed markdown report over edge lists.
+
+    Every finished topology (and every finished metric center) is
+    appended to ``--journal``; rerunning with ``--resume`` after a crash
+    or Ctrl-C skips everything already journaled.
+    """
+    import os as _os
+
+    from repro.harness import ReportInput, generate_report
+
+    items = []
+    for path in args.edgelists:
+        name = _os.path.splitext(_os.path.basename(path))[0]
+        items.append(ReportInput(name, _load_graph(path)))
+    report = generate_report(
+        items,
+        num_centers=args.centers,
+        max_ball_size=args.max_ball,
+        seed=args.seed,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        runtime=_runtime_policy(args),
+        journal=args.journal,
+        resume=args.resume,
+    )
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``sweep``: the Appendix C parameter sweep, checkpointed.
+
+    All selected generators share one ``--journal``, so the journal is
+    reset once here (unless ``--resume``) and passed to :func:`sweep` as
+    an owned instance.
+    """
+    from repro.harness import SweepRow, sweep
+    from repro.runtime import Journal
+
+    names = args.generators or sorted(SWEEP_GRIDS)
+    journal = Journal(args.journal)
+    if not args.resume:
+        journal.reset()
+    engine = _make_engine(args, journal=journal)
+    rows: List[SweepRow] = []
+    for name in names:
+        make, grid = SWEEP_GRIDS[name]
+        rows.extend(
+            sweep(
+                name,
+                make,
+                grid,
+                classify=args.classify,
+                num_centers=args.centers,
+                max_ball_size=args.max_ball,
+                seed=args.seed,
+                journal=journal,
+                resume=args.resume,
+                engine=engine,
+            )
+        )
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.generator,
+                row.params,
+                row.nodes,
+                f"{row.average_degree:.2f}",
+                row.signature or "-",
+                (row.status or "-") + (" (resumed)" if row.resumed else ""),
+            ]
+        )
+    print(
+        format_table(
+            ["generator", "params", "nodes", "avg deg", "signature", "status"],
+            table_rows,
+        )
+    )
+    resumed = sum(1 for row in rows if row.resumed)
+    if resumed:
+        print(f"{resumed}/{len(rows)} rows restored from {args.journal}")
     return 0
 
 
@@ -374,6 +592,8 @@ COMMANDS = {
     "signature": cmd_signature,
     "hierarchy": cmd_hierarchy,
     "compare": cmd_compare,
+    "report": cmd_report,
+    "sweep": cmd_sweep,
     "selfcheck": cmd_selfcheck,
 }
 
@@ -381,7 +601,11 @@ COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

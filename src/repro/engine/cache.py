@@ -1,4 +1,4 @@
-"""On-disk result cache for metric series.
+"""On-disk result cache for metric series — self-healing.
 
 Finished series are stored as JSON under ``.repro-cache/`` (or any
 directory passed to :class:`MetricEngine`), one file per entry, keyed by
@@ -17,6 +17,18 @@ freshly computed ones.
 Entries involving objects without a stable content representation — a
 ``random.Random`` seed or a policy :class:`Relationships` annotation —
 are simply not cached (``cache_key`` returns ``None``).
+
+Durability contract (see ``docs/ROBUSTNESS.md``):
+
+* **Writes are atomic and durable** — tmp file in the same directory,
+  fsync, then ``os.replace``; a process killed mid-write can never leave
+  a half-written entry under a live key.
+* **Every entry carries a content checksum** over its series, verified
+  on read.
+* **Corruption heals instead of raising** — an unparsable, truncated or
+  checksum-mismatched entry is moved to ``<cache>/quarantine/`` (for
+  post-mortem) and reported as a miss, so the series is recomputed and
+  rewritten; one flipped byte can no longer poison later runs.
 """
 
 from __future__ import annotations
@@ -27,14 +39,23 @@ import os
 import random
 import tempfile
 from pathlib import Path
-from typing import Any, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.graph.core import Graph
 
 # Bump when the engine's numeric behaviour changes, so old entries miss.
-CACHE_VERSION = 1
+# v2: entries carry a content checksum (self-healing cache).
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory (inside the cache root) where corrupt entries are moved.
+QUARANTINE_DIR = "quarantine"
+
+
+def _series_checksum(series) -> str:
+    payload = repr([(float(x), float(y)) for x, y in series])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -83,33 +104,84 @@ def cache_key(
 
 
 class SeriesCache:
-    """Directory of cached series, one JSON file per key."""
+    """Directory of cached series, one JSON file per key.
+
+    Corrupt entries (truncated writes, flipped bytes, checksum
+    mismatches) are quarantined on read and reported as misses — see the
+    module docstring.  ``stats`` counts ``hits``/``misses``/
+    ``quarantined`` for observability.
+    """
 
     def __init__(self, root: Optional[str] = None):
         self.root = Path(root or DEFAULT_CACHE_DIR)
+        self.stats = {"hits": 0, "misses": 0, "quarantined": 0}
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside so it is recomputed, not raised."""
+        self.stats["quarantined"] += 1
+        target_dir = self.root / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Quarantine is best-effort; worst case delete the entry.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, key: str) -> Optional[List[Tuple[float, float]]]:
-        """The cached series for ``key``, or ``None`` on a miss."""
+        """The cached series for ``key``, or ``None`` on a miss.
+
+        A corrupt or checksum-mismatched entry is quarantined and
+        treated as a miss (the caller recomputes and rewrites it).
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            self.stats["misses"] += 1
+            return None
+        except ValueError:
+            self._quarantine(path, "unparsable JSON")
+            self.stats["misses"] += 1
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "not a JSON object")
+            self.stats["misses"] += 1
             return None
         if payload.get("version") != CACHE_VERSION:
+            # Old-format entries are stale, not corrupt: plain miss.
+            self.stats["misses"] += 1
             return None
-        return [tuple(point) for point in payload["series"]]
+        try:
+            series = [
+                (point[0], point[1]) for point in payload["series"]
+            ]
+            checksum_ok = payload.get("checksum") == _series_checksum(series)
+        except (KeyError, TypeError, IndexError, ValueError):
+            self._quarantine(path, "malformed series")
+            self.stats["misses"] += 1
+            return None
+        if not checksum_ok:
+            self._quarantine(path, "checksum mismatch")
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return series
 
     def put(self, key: str, metric: str, series: List[Tuple]) -> None:
-        """Store ``series``; write is atomic (tmp file + rename)."""
+        """Store ``series``; atomic (tmp + fsync + rename) and checksummed."""
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": CACHE_VERSION,
             "metric": metric,
             "series": [list(point) for point in series],
+            "checksum": _series_checksum(series),
         }
         fd, tmp = tempfile.mkstemp(
             dir=str(self.root), prefix=".tmp-", suffix=".json"
@@ -117,6 +189,11 @@ class SeriesCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
+                handle.flush()
+                try:
+                    os.fsync(handle.fileno())
+                except OSError:  # pragma: no cover - exotic filesystems
+                    pass
             os.replace(tmp, self.path_for(key))
         except BaseException:
             try:
@@ -124,6 +201,22 @@ class SeriesCache:
             except OSError:
                 pass
             raise
+
+    def verify(self) -> Dict[str, int]:
+        """Scan every entry, quarantining corrupt ones.
+
+        Returns ``{"ok": n, "quarantined": n}``.  Useful after an
+        unclean shutdown: a single pass leaves only entries that will
+        load cleanly.
+        """
+        before = self.stats["quarantined"]
+        ok = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.json")):
+                key = path.stem
+                if self.get(key) is not None:
+                    ok += 1
+        return {"ok": ok, "quarantined": self.stats["quarantined"] - before}
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

@@ -35,6 +35,8 @@ Results are a pure function of ``(graph, metric, params, seed)``:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -48,6 +50,10 @@ from repro.graph.traversal import bfs_distances
 # engine reuses it so policy balls stay identical to the legacy path.
 from repro.metrics.balls import _policy_ball_from_dag, sample_centers
 from repro.routing.policy import policy_dag
+from repro.runtime import faults as _faults
+from repro.runtime.journal import Journal, as_journal
+from repro.runtime.status import CenterStatus, RunReport, SeriesStatus
+from repro.runtime.supervisor import RuntimePolicy, Supervisor
 
 Series = List[Tuple[float, float]]
 
@@ -243,6 +249,23 @@ class MetricEngine:
         Store and reuse finished series on disk.
     cache_dir:
         Cache directory, ``.repro-cache/`` by default.
+    runtime:
+        A :class:`repro.runtime.RuntimePolicy` enabling the supervised
+        fault-tolerant executor (deadlines, retries, pool respawn,
+        graceful degradation).  ``None`` keeps the plain executor —
+        unless the ``REPRO_FAULTS`` environment variable is set, which
+        auto-enables a default policy so injected faults are supervised.
+        Fault-free supervised runs are bitwise identical to plain runs.
+    journal:
+        A :class:`repro.runtime.Journal` (or path) checkpointing every
+        completed (graph, plan, center) task; a later engine given the
+        same journal skips those tasks entirely (``--resume``).
+
+    After every :meth:`compute`, :attr:`last_run` holds a
+    :class:`repro.runtime.RunReport` with the per-center
+    ``ok|retried|timeout|failed`` status block of each metric; a metric
+    whose retries were exhausted returns a *partial* series (surviving
+    centers only) instead of raising.
 
     Examples
     --------
@@ -262,11 +285,24 @@ class MetricEngine:
         workers: int = 0,
         use_cache: bool = True,
         cache_dir: Optional[str] = None,
+        runtime: Optional[RuntimePolicy] = None,
+        journal: Optional[Union[Journal, str]] = None,
     ):
         self.workers = int(workers)
         self.use_cache = bool(use_cache)
         self.cache = SeriesCache(cache_dir)
-        self.stats = {"cache_hits": 0, "cache_misses": 0, "centers_computed": 0}
+        if runtime is None and os.environ.get(_faults.ENV_VAR):
+            # Injected faults only make sense under supervision.
+            runtime = RuntimePolicy()
+        self.runtime = runtime
+        self.journal = as_journal(journal)
+        self.last_run = RunReport()
+        self.stats = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "centers_computed": 0,
+            "journal_skipped": 0,
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -306,15 +342,31 @@ class MetricEngine:
                 else:
                     self.stats["cache_misses"] += 1
 
+        report = RunReport()
+        for res in resolved:
+            if res.series is not None:
+                report.metrics[res.request.name] = SeriesStatus(
+                    metric=res.request.name, source="cache"
+                )
+
         pending = [res for res in resolved if res.series is None]
         if pending:
             plans = self._build_plans(pending)
-            per_plan_results = self._execute(graph, plans)
+            per_plan_results, per_plan_statuses = self._execute(
+                graph, plans, pending
+            )
             self._merge(graph, plans, per_plan_results, pending)
+            self._attach_statuses(plans, per_plan_statuses, pending, report)
             if self.use_cache:
                 for res in pending:
-                    if res.key is not None:
+                    # Partial (degraded) series must never be served as
+                    # complete later: only fully-ok series are cached.
+                    if (
+                        res.key is not None
+                        and report.metrics[res.request.name].complete
+                    ):
                         self.cache.put(res.key, res.request.name, res.series)
+        self.last_run = report
         return {res.request.name: res.series for res in resolved}
 
     def compute_one(self, graph: Graph, name: str, **params: Any) -> Series:
@@ -406,25 +458,41 @@ class MetricEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _execute(self, graph: Graph, plans: List[_Plan]):
+    def _execute(self, graph: Graph, plans: List[_Plan], pending: List[_Resolved]):
+        """Run every (plan, center) task; returns per-plan result lists
+        (aligned with center order, ``None`` for failed centers) and
+        per-plan :class:`CenterStatus` lists (``None`` without runtime).
+        """
         tasks = [
             (pi, ci)
             for pi, plan in enumerate(plans)
             for ci in range(len(plan.centers))
         ]
-        self.stats["centers_computed"] += len(tasks)
-        if self.workers > 0 and len(tasks) > 1:
-            flat = self._execute_parallel(graph, plans, tasks)
+        task_statuses: Optional[List[CenterStatus]] = None
+        if self.runtime is not None:
+            flat, task_statuses = self._execute_supervised(
+                graph, plans, tasks, pending
+            )
         else:
-            flat = [
-                _compute_center(graph, plans[pi], ci) for pi, ci in tasks
-            ]
+            self.stats["centers_computed"] += len(tasks)
+            if self.workers > 0 and len(tasks) > 1:
+                flat = self._execute_parallel(graph, plans, tasks)
+            else:
+                flat = [
+                    _compute_center(graph, plans[pi], ci) for pi, ci in tasks
+                ]
         per_plan: List[List[Any]] = [[] for _ in plans]
-        for (pi, _ci), result in zip(tasks, flat):
-            # Tasks were generated (and pool.map preserves) center order,
-            # so appending here keeps the merge order deterministic.
+        per_plan_statuses: Optional[List[List[CenterStatus]]] = (
+            [[] for _ in plans] if task_statuses is not None else None
+        )
+        for ti, ((pi, _ci), result) in enumerate(zip(tasks, flat)):
+            # Tasks were generated (and execution preserves) center
+            # order, so appending here keeps the merge order
+            # deterministic.
             per_plan[pi].append(result)
-        return per_plan
+            if per_plan_statuses is not None:
+                per_plan_statuses[pi].append(task_statuses[ti])
+        return per_plan, per_plan_statuses
 
     def _execute_parallel(self, graph, plans, tasks):
         max_workers = min(self.workers, len(tasks))
@@ -438,8 +506,176 @@ class MetricEngine:
             # Environments that forbid subprocesses fall back to the
             # serial path; results are identical by construction.
             return [_compute_center(graph, plans[pi], ci) for pi, ci in tasks]
-        with pool:
-            return list(pool.map(_pool_task, tasks))
+        try:
+            with pool:
+                return list(pool.map(_pool_task, tasks))
+        except BaseException:
+            # An interrupted run (Ctrl-C, a worker exception) must not
+            # orphan workers: cancel queued tasks and stop without
+            # waiting on whatever is still executing.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+    def _execute_supervised(self, graph, plans, tasks, pending):
+        """The fault-tolerant path: journal preload + supervised run."""
+        metric_names = [
+            self._plan_metric_names(plan, pending) for plan in plans
+        ]
+        task_keys: List[Optional[str]] = [None] * len(tasks)
+        preloaded: Dict[int, Any] = {}
+        if self.journal is not None:
+            fingerprint = graph_fingerprint(graph)
+            plan_sigs = [
+                self._plan_signature(fingerprint, plan, pending)
+                for plan in plans
+            ]
+            for ti, (pi, ci) in enumerate(tasks):
+                if plan_sigs[pi] is None:
+                    continue
+                task_keys[ti] = f"center|{plan_sigs[pi]}|{ci}"
+                stored = self.journal.get(task_keys[ti])
+                if stored is not None:
+                    decoded = self._decode_center_result(plans[pi], stored)
+                    if decoded is not None:
+                        preloaded[ti] = decoded
+        self.stats["centers_computed"] += len(tasks) - len(preloaded)
+        self.stats["journal_skipped"] += len(preloaded)
+
+        def on_done(ti: int, result) -> None:
+            if self.journal is not None and task_keys[ti] is not None:
+                pi = tasks[ti][0]
+                self.journal.append(
+                    task_keys[ti],
+                    self._encode_center_result(plans[pi], result),
+                )
+
+        supervisor = Supervisor(self.runtime, self.workers, _compute_center)
+        return supervisor.run(
+            graph, plans, tasks, metric_names, preloaded, on_done
+        )
+
+    # ------------------------------------------------------------------
+    # Journal plumbing: plan signatures and center-result codecs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plan_metric_names(plan: _Plan, pending: List[_Resolved]) -> Tuple[str, ...]:
+        names = [pending[rid].request.name for rid in plan.distance_rids]
+        for group in plan.groups:
+            names.extend(member.name for member in group.members)
+        return tuple(sorted(names))
+
+    @staticmethod
+    def _plan_signature(
+        fingerprint: str, plan: _Plan, pending: List[_Resolved]
+    ) -> Optional[str]:
+        """Content hash identifying one plan across runs, or ``None``
+        when the plan is not journalable (policy relationships have no
+        stable content representation, exactly as in the series cache).
+        """
+        if plan.rels is not None:
+            return None
+        members: List[Tuple] = []
+        for rid in plan.distance_rids:
+            res = pending[rid]
+            members.append(
+                (
+                    "distance",
+                    res.request.name,
+                    repr(sorted((k, repr(v)) for k, v in res.params.items())),
+                )
+            )
+        for group in plan.groups:
+            for member in group.members:
+                members.append(
+                    (
+                        "ball",
+                        member.name,
+                        repr(sorted(
+                            (k, repr(v)) for k, v in member.eval_params.items()
+                        )),
+                        group.min_ball_size,
+                        group.max_ball_size,
+                    )
+                )
+        payload = repr(
+            (fingerprint, [repr(c) for c in plan.centers], sorted(members))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    @staticmethod
+    def _encode_center_result(plan: _Plan, result) -> Dict[str, Any]:
+        """JSON-able form of one center result.  Per-ball values are
+        keyed by *metric name* (stable across runs) rather than request
+        index (which depends on what the cache already served).
+        """
+        counts_at, group_contributions = result
+        encoded_groups = []
+        for group, contributions in zip(plan.groups, group_contributions):
+            rid_to_name = {m.rid: m.name for m in group.members}
+            encoded_groups.append(
+                [
+                    [
+                        radius,
+                        size,
+                        [[rid_to_name[rid], value] for rid, value in values.items()],
+                    ]
+                    for radius, size, values in contributions
+                ]
+            )
+        return {"counts": counts_at, "groups": encoded_groups}
+
+    @staticmethod
+    def _decode_center_result(plan: _Plan, stored) -> Optional[Tuple]:
+        """Inverse of :meth:`_encode_center_result`; ``None`` if the
+        stored payload does not match the current plan shape."""
+        try:
+            counts_at = stored["counts"]
+            encoded_groups = stored["groups"]
+            if len(encoded_groups) != len(plan.groups):
+                return None
+            group_contributions = []
+            for group, contributions in zip(plan.groups, encoded_groups):
+                name_to_rid = {m.name: m.rid for m in group.members}
+                decoded = []
+                for radius, size, values in contributions:
+                    decoded.append(
+                        (
+                            int(radius),
+                            int(size),
+                            {name_to_rid[name]: value for name, value in values},
+                        )
+                    )
+                group_contributions.append(decoded)
+        except (KeyError, TypeError, ValueError):
+            return None
+        return counts_at, group_contributions
+
+    def _attach_statuses(
+        self,
+        plans: List[_Plan],
+        per_plan_statuses: Optional[List[List[CenterStatus]]],
+        pending: List[_Resolved],
+        report: RunReport,
+    ) -> None:
+        rid_to_plan: Dict[int, int] = {}
+        for pi, plan in enumerate(plans):
+            for rid in plan.distance_rids:
+                rid_to_plan[rid] = pi
+            for group in plan.groups:
+                for member in group.members:
+                    rid_to_plan[member.rid] = pi
+        for rid, res in enumerate(pending):
+            name = res.request.name
+            if per_plan_statuses is None:
+                report.metrics[name] = SeriesStatus(metric=name, source="legacy")
+                continue
+            statuses = per_plan_statuses[rid_to_plan[rid]]
+            report.metrics[name] = SeriesStatus(
+                metric=name,
+                source="computed",
+                states=[status.state for status in statuses],
+                errors=[status.error for status in statuses],
+            )
 
     # ------------------------------------------------------------------
     # Merging
@@ -453,21 +689,28 @@ class MetricEngine:
     ) -> None:
         n = graph.number_of_nodes()
         for plan, center_results in zip(plans, per_plan_results):
+            # Centers whose retries were exhausted under the supervised
+            # runtime arrive as None: the series is averaged over the
+            # surviving centers (the per-center status block records the
+            # gap).  Without the runtime every result is present and
+            # this filter is the identity, keeping legacy runs bitwise
+            # identical.
+            surviving = [result for result in center_results if result is not None]
             if plan.distance_rids:
-                per_center_counts = [counts for counts, _groups in center_results]
+                per_center_counts = [counts for counts, _groups in surviving]
                 for rid in plan.distance_rids:
                     res = pending[rid]
                     res.series = _expansion_series(
                         n,
                         per_center_counts,
-                        len(plan.centers),
+                        len(surviving),
                         res.params["max_ball_size"],
                     )
             for gi, group in enumerate(plan.groups):
                 accs: Dict[int, Dict[int, List[float]]] = {
                     member.rid: {} for member in group.members
                 }
-                for _counts, group_results in center_results:
+                for _counts, group_results in surviving:
                     for radius, size, values in group_results[gi]:
                         for rid, value in values.items():
                             bucket = accs[rid].setdefault(

@@ -19,7 +19,7 @@ from repro.harness.export import (
 )
 from repro.harness.plots import ascii_plot
 from repro.harness.tables import format_series, format_table
-from repro.harness.sweep import SweepRow, sweep
+from repro.harness.sweep import SWEEP_GRIDS, SweepRow, sweep
 from repro.harness.report import (
     ReportInput,
     TopologyReport,
@@ -43,6 +43,7 @@ __all__ = [
     "write_series_json",
     "format_series",
     "format_table",
+    "SWEEP_GRIDS",
     "SweepRow",
     "sweep",
     "ReportInput",

@@ -50,8 +50,15 @@ def write_series_json(
     series: Dict[str, Series],
     path: PathLike,
     metadata: Dict[str, object] = None,
+    status: Dict[str, object] = None,
 ) -> None:
-    """Write named series (plus optional metadata) as JSON."""
+    """Write named series (plus optional metadata) as JSON.
+
+    ``status`` attaches a per-metric runtime status block — typically
+    ``engine.last_run.to_payload()`` — so downstream plots can tell a
+    complete series from one that lost centers to exhausted retries
+    (``"complete": false``).  Readers that predate the field ignore it.
+    """
     payload = {
         "metadata": metadata or {},
         "series": {
@@ -59,6 +66,8 @@ def write_series_json(
             for name, points in series.items()
         },
     }
+    if status is not None:
+        payload["status"] = status
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
 

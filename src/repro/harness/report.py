@@ -1,19 +1,27 @@
-"""One-call report generation.
+"""One-call report generation — resumable, with runtime provenance.
 
 ``generate_report`` re-runs the paper's headline analyses (Figure 1
 table, Section 4.4 signatures, Section 5.1 hierarchy classes, Figure 5
 correlations) on any set of topologies and renders a markdown report —
 the programmatic counterpart of EXPERIMENTS.md, usable on a user's own
 graphs.
+
+Reports over many topologies checkpoint like sweeps do: with a
+``journal`` every finished topology (and, through the engine, every
+finished metric center) is journaled, so a crashed or interrupted
+``repro report`` rerun with ``--resume`` recomputes nothing already
+done.  Under a ``runtime`` policy, topologies whose metrics had to drop
+centers get an explicit per-metric status line in the report instead of
+silently averaging over fewer centers.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis import PAPER_SIGNATURES, signature
-from repro.engine import MetricEngine, MetricRequest
+from repro.engine import MetricEngine, MetricRequest, graph_fingerprint
 from repro.graph.core import Graph
 from repro.harness.tables import format_table
 from repro.hierarchy import (
@@ -23,6 +31,7 @@ from repro.hierarchy import (
     normalized_rank_distribution,
 )
 from repro.routing.policy import Relationships
+from repro.runtime import Journal, RuntimePolicy, as_journal
 
 
 @dataclasses.dataclass
@@ -47,6 +56,11 @@ class TopologyReport:
     signature: str
     hierarchy_class: Optional[str] = None
     correlation: Optional[float] = None
+    #: Per-metric runtime status ("ok", or e.g. "resilience: 5 ok, 1
+    #: failed") — non-"ok" means the signature rests on partial series.
+    status: str = "ok"
+    #: True when restored from a resume journal instead of recomputed.
+    resumed: bool = False
 
 
 MAX_LINK_VALUE_NODES = 700
@@ -58,16 +72,33 @@ def analyse_topology(
     max_ball_size: int = 700,
     seed: int = 1,
     engine: Optional[MetricEngine] = None,
+    journal: Optional[Journal] = None,
+    resume: bool = False,
 ) -> TopologyReport:
     """Run the three basic metrics (and, when feasible, link values).
 
     The metrics go through one shared :class:`MetricEngine` pass, so
     resilience and distortion (same centers, same ball cap) grow each
-    ball subgraph once instead of once per metric.
+    ball subgraph once instead of once per metric.  With ``journal``,
+    the finished report is checkpointed (keyed by the graph's content
+    fingerprint, so renamed or edited inputs never resume stale rows);
+    with ``resume`` a journaled report is returned without recomputing.
     """
     graph = item.graph
     if engine is None:
         engine = MetricEngine(workers=0, use_cache=False)
+    key = None
+    if journal is not None:
+        key = (
+            f"reportrow|{item.name}|{graph_fingerprint(graph)[:16]}"
+            f"|centers={num_centers}|ball={max_ball_size}|seed={seed}"
+        )
+        if resume:
+            stored = journal.get(key)
+            if stored is not None:
+                report = TopologyReport(**stored)
+                report.resumed = True
+                return report
     series = engine.compute(
         graph,
         [
@@ -98,12 +129,22 @@ def analyse_topology(
         average_degree=graph.average_degree(),
         signature=signature(e, r, d, graph.number_of_nodes()),
     )
+    run = engine.last_run
+    if not run.ok:
+        report.status = "; ".join(
+            f"{name}: {run.metrics[name].summary()}"
+            for name in run.degraded_metrics
+        )
     lv_graph = item.link_value_graph or graph
     if lv_graph.number_of_nodes() <= MAX_LINK_VALUE_NODES:
         values = link_values(lv_graph, seed=seed)
         dist = normalized_rank_distribution(values, lv_graph.number_of_nodes())
         report.hierarchy_class = classify_hierarchy(dist)
         report.correlation = link_value_degree_correlation(lv_graph, values)
+    if journal is not None:
+        payload = dataclasses.asdict(report)
+        payload["resumed"] = False
+        journal.append(key, payload)
     return report
 
 
@@ -115,6 +156,9 @@ def generate_report(
     workers: int = 0,
     use_cache: bool = False,
     cache_dir: Optional[str] = None,
+    runtime: Optional[RuntimePolicy] = None,
+    journal: Optional[Union[Journal, str]] = None,
+    resume: bool = False,
 ) -> str:
     """Markdown report over a set of topologies.
 
@@ -124,13 +168,29 @@ def generate_report(
 
     ``workers`` fans ball centers across that many processes per
     topology; ``use_cache`` reuses finished series from ``cache_dir``
-    (``.repro-cache/`` by default) across calls.
+    (``.repro-cache/`` by default) across calls.  ``runtime`` supervises
+    the metric passes (deadlines/retries/degradation; see
+    ``docs/ROBUSTNESS.md``); ``journal``+``resume`` checkpoint per
+    topology and per center so an interrupted report picks up where it
+    died.  A path ``journal`` is owned here (truncated unless
+    ``resume``); a :class:`Journal` instance is used as-is.
     """
+    owns_journal = journal is not None and not isinstance(journal, Journal)
+    journal = as_journal(journal)
+    if owns_journal and not resume:
+        journal.reset()
     engine = MetricEngine(
-        workers=workers, use_cache=use_cache, cache_dir=cache_dir
+        workers=workers,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        runtime=runtime,
+        journal=journal,
     )
     reports = [
-        analyse_topology(item, num_centers, max_ball_size, seed, engine=engine)
+        analyse_topology(
+            item, num_centers, max_ball_size, seed,
+            engine=engine, journal=journal, resume=resume,
+        )
         for item in items
     ]
     lines: List[str] = []
@@ -178,6 +238,26 @@ def generate_report(
     if internet_like:
         lines.append(
             f"Internet-like (HHL) topologies: {', '.join(internet_like)}."
+        )
+    degraded = [rep for rep in reports if rep.status != "ok"]
+    if degraded:
+        lines.append("")
+        lines.append("## Runtime status")
+        lines.append("")
+        lines.append(
+            "The following topologies completed with partial series "
+            "(failed centers were excluded from the averages; see "
+            "docs/ROBUSTNESS.md):"
+        )
+        lines.append("")
+        for rep in degraded:
+            lines.append(f"- **{rep.name}**: {rep.status}")
+    resumed = [rep.name for rep in reports if rep.resumed]
+    if resumed:
+        lines.append("")
+        lines.append(
+            f"Restored from checkpoint journal (not recomputed): "
+            f"{', '.join(resumed)}."
         )
     lines.append("")
     return "\n".join(lines)

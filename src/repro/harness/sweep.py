@@ -1,24 +1,36 @@
-"""Parameter-space exploration (Appendix C / Figure 11).
+"""Parameter-space exploration (Appendix C / Figure 11) — resumable.
 
 The paper lists, for each generator, the parameter vectors explored and
 the resulting node count and average degree, and reports (Section 4.4)
 that the conclusions hold across the sweep except in deliberately
 extreme regimes.  This module drives the same sweeps at reproduction
 scale and can attach the L/H signature of each instance.
+
+Sweeps are long; they now checkpoint.  Given a ``journal`` (a
+:class:`repro.runtime.Journal` or a path), every finished row is
+appended to the journal — and, through the engine, every finished
+(graph, metric, center) task as well — so a run killed mid-sweep and
+restarted with ``resume=True`` skips all journaled rows and resumes the
+interrupted row at the first uncomputed center.  A ``runtime`` policy
+additionally supervises the metric computations (deadlines, retries,
+degradation); each row then carries the engine's per-center status
+summary.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.classify import (
     ClassifierThresholds,
     signature as metric_signature,
 )
 from repro.engine import MetricEngine, MetricRequest
+from repro.generators import barabasi_albert, erdos_renyi, glp, plrg, waxman
 from repro.generators.base import Seed
 from repro.graph.core import Graph
+from repro.runtime import Journal, RuntimePolicy, as_journal
 
 
 @dataclasses.dataclass
@@ -30,6 +42,57 @@ class SweepRow:
     nodes: int
     average_degree: float
     signature: Optional[str] = None
+    #: Engine status summary ("ok", "resilience: 5 ok, 1 failed", ...);
+    #: ``None`` when the row was not classified.
+    status: Optional[str] = None
+    #: True when this row was restored from a resume journal.
+    resumed: bool = False
+
+
+#: Default parameter grids for ``repro sweep``: a reproduction-scale
+#: slice of Appendix C's vectors for each degree-based / random
+#: generator (structural generators take dataclass params; drive those
+#: through :func:`sweep` directly).
+SWEEP_GRIDS: Dict[str, Tuple[Callable[..., Graph], List[Dict]]] = {
+    "plrg": (
+        plrg,
+        [
+            {"n": 400, "exponent": 2.246},
+            {"n": 900, "exponent": 2.246},
+            {"n": 900, "exponent": 2.1},
+        ],
+    ),
+    "ba": (
+        barabasi_albert,
+        [{"n": 400, "m": 2}, {"n": 900, "m": 2}, {"n": 900, "m": 3}],
+    ),
+    "glp": (glp, [{"n": 400}, {"n": 900}]),
+    "waxman": (
+        waxman,
+        [
+            {"n": 400, "alpha": 0.06, "beta": 0.3},
+            {"n": 900, "alpha": 0.025, "beta": 0.3},
+        ],
+    ),
+    "random": (
+        erdos_renyi,
+        [{"n": 400, "p": 0.011}, {"n": 900, "p": 0.0047}],
+    ),
+}
+
+
+def _row_key(
+    generator_name: str,
+    params_text: str,
+    classify: bool,
+    num_centers: int,
+    max_ball_size: int,
+    seed,
+) -> str:
+    return (
+        f"sweeprow|{generator_name}|{params_text}|classify={classify}"
+        f"|centers={num_centers}|ball={max_ball_size}|seed={seed!r}"
+    )
 
 
 def sweep(
@@ -44,6 +107,10 @@ def sweep(
     workers: int = 0,
     use_cache: bool = False,
     cache_dir: Optional[str] = None,
+    runtime: Optional[RuntimePolicy] = None,
+    journal: Optional[Union[Journal, str]] = None,
+    resume: bool = False,
+    engine: Optional[MetricEngine] = None,
 ) -> List[SweepRow]:
     """Run a generator across parameter sets.
 
@@ -53,16 +120,43 @@ def sweep(
     ("for most parameter values the results are in agreement with what
     we have presented").  ``workers``/``use_cache`` configure the
     engine's process fan-out and on-disk series cache.
+
+    ``journal``+``resume`` checkpoint the sweep (see module docstring).
+    When ``journal`` is a path, this function owns its lifecycle and
+    truncates it unless ``resume`` is set; a :class:`Journal` instance
+    is used as-is (the caller owns truncation).  ``engine`` may inject a
+    preconfigured engine (it should share the same journal).
     """
-    engine = MetricEngine(
-        workers=workers, use_cache=use_cache, cache_dir=cache_dir
-    )
+    owns_journal = journal is not None and not isinstance(journal, Journal)
+    journal = as_journal(journal)
+    if owns_journal and not resume:
+        journal.reset()
+    if engine is None:
+        engine = MetricEngine(
+            workers=workers,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            runtime=runtime,
+            journal=journal,
+        )
     rows: List[SweepRow] = []
     for params in param_sets:
+        params_text = ", ".join(f"{k}={v}" for k, v in params.items())
+        key = _row_key(
+            generator_name, params_text, classify, num_centers,
+            max_ball_size, seed,
+        )
+        if resume and journal is not None:
+            stored = journal.get(key)
+            if stored is not None:
+                row = SweepRow(**stored)
+                row.resumed = True
+                rows.append(row)
+                continue
         graph = make(seed=seed, **params)
         row = SweepRow(
             generator=generator_name,
-            params=", ".join(f"{k}={v}" for k, v in params.items()),
+            params=params_text,
             nodes=graph.number_of_nodes(),
             average_degree=round(graph.average_degree(), 2),
         )
@@ -92,5 +186,14 @@ def sweep(
                 graph.number_of_nodes(),
                 thresholds,
             )
+            run = engine.last_run
+            row.status = "ok" if run.ok else "; ".join(
+                f"{name}: {run.metrics[name].summary()}"
+                for name in run.degraded_metrics
+            )
+        if journal is not None:
+            payload = dataclasses.asdict(row)
+            payload["resumed"] = False
+            journal.append(key, payload)
         rows.append(row)
     return rows

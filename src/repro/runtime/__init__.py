@@ -1,0 +1,71 @@
+"""Fault-tolerant runtime: supervision, checkpointing, fault injection.
+
+Long metric sweeps die in boring ways — a hung resilience cut, an
+OOM-killed worker, a truncated cache file, a Ctrl-C at hour three.  This
+package makes :class:`repro.engine.MetricEngine` (and the sweep/report
+harness on top of it) survive partial failure and resume instead of
+restarting:
+
+* :class:`Supervisor` / :class:`RuntimePolicy` — per-center deadlines,
+  retry with exponential backoff, ``BrokenProcessPool`` respawn, and
+  degradation of repeat offenders to serial execution;
+* :class:`Journal` — an append-only checksummed JSONL checkpoint of
+  completed (graph, metric, center) results powering ``--resume``;
+* :class:`FaultPlan` / ``REPRO_FAULTS`` — deterministic fault injection
+  (crash / hang / garbage) so every recovery path is exercised in tests
+  and CI chaos runs;
+* :class:`RunReport` / :class:`SeriesStatus` — per-center
+  ``ok|retried|timeout|failed`` provenance attached to every computed
+  series, surfaced in reports and exports.
+
+See ``docs/ROBUSTNESS.md`` for the full semantics.
+"""
+
+from repro.runtime.faults import (
+    ENV_VAR as FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedHang,
+    apply_fault,
+    plan_from_env,
+)
+from repro.runtime.journal import Journal, as_journal
+from repro.runtime.status import (
+    CenterStatus,
+    RunReport,
+    SeriesStatus,
+    STATE_FAILED,
+    STATE_OK,
+    STATE_RETRIED,
+    STATE_TIMEOUT,
+)
+from repro.runtime.supervisor import (
+    GarbageResultError,
+    RuntimePolicy,
+    Supervisor,
+    validate_center_result,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedHang",
+    "apply_fault",
+    "plan_from_env",
+    "Journal",
+    "as_journal",
+    "CenterStatus",
+    "RunReport",
+    "SeriesStatus",
+    "STATE_OK",
+    "STATE_RETRIED",
+    "STATE_TIMEOUT",
+    "STATE_FAILED",
+    "GarbageResultError",
+    "RuntimePolicy",
+    "Supervisor",
+    "validate_center_result",
+]

@@ -1,0 +1,190 @@
+"""Deterministic fault injection for the supervised runtime.
+
+A :class:`FaultPlan` makes chosen (metric, center) tasks misbehave on
+purpose — crash the worker, hang past the deadline, or return garbage —
+so every recovery path in :mod:`repro.runtime.supervisor` is exercised
+by ordinary tests instead of waiting for a real OOM-kill to find the
+bugs.  Faults are **deterministic**: a spec fires on exactly the
+attempts below its ``times`` threshold, so a retried task observes the
+fault-free behaviour and the chaos suite can assert bitwise-identical
+recovery.
+
+Plans come from two places:
+
+* programmatically, as ``RuntimePolicy(faults=FaultPlan([...]))``;
+* the ``REPRO_FAULTS`` environment variable, which the engine also uses
+  to auto-enable the supervised runtime.  The format is a
+  semicolon-separated list of ``kind[@seconds]:metric:center[:times]``
+  tokens, e.g. ::
+
+      REPRO_FAULTS="crash:resilience:0;hang@5:*:2;garbage:distortion:*:3"
+
+  ``metric``/``center`` accept ``*`` for "any"; ``times`` defaults to 1
+  (fire on the first attempt only; ``times=N`` fires on attempts
+  ``0..N-1``).
+
+The environment variable is inherited by worker processes, and the
+supervisor additionally ships the parsed plan through its pool
+initializer, so injection behaves identically in serial and parallel
+execution — except that a parallel ``crash`` is a hard ``os._exit``
+(indistinguishable from an OOM-kill, breaking the pool) while a serial
+crash raises :class:`InjectedCrash`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import List, Optional, Sequence
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Recognised fault kinds.
+KINDS = ("crash", "hang", "garbage")
+
+#: Exit status used for injected worker crashes (visible in CI logs).
+CRASH_EXIT_CODE = 86
+
+#: What a "garbage" fault returns in place of a center result.  The
+#: shape is deliberately wrong (a NaN where per-distance integer counts
+#: belong, a string where group contributions belong) so it trips every
+#: check in the supervisor's result validator.
+GARBAGE_RESULT = ([float("nan")], "garbage")
+
+
+class InjectedCrash(RuntimeError):
+    """A serial-mode injected crash (parallel crashes ``os._exit``)."""
+
+
+class InjectedHang(RuntimeError):
+    """A serial-mode injected hang, raised after sleeping.
+
+    Serial execution cannot be preempted, so a serial hang sleeps its
+    ``seconds`` and then raises; the supervisor records it as a
+    ``timeout`` exactly like a parallel deadline expiry.
+    """
+
+
+@dataclasses.dataclass
+class FaultSpec:
+    """One injected fault: what to do, where, and how many times."""
+
+    kind: str
+    metric: str = "*"  # metric name, or "*" for any
+    center: Optional[int] = None  # center index, or None for any
+    times: int = 1  # fire on attempts 0..times-1
+    seconds: float = 30.0  # hang duration
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+
+    def matches(
+        self, metrics: Sequence[str], center_index: int, attempt: int
+    ) -> bool:
+        """Does this spec fire for a task computing ``metrics`` at
+        ``center_index`` on its ``attempt``-th try?"""
+        if attempt >= self.times:
+            return False
+        if self.metric != "*" and self.metric not in metrics:
+            return False
+        if self.center is not None and self.center != center_index:
+            return False
+        return True
+
+    def to_token(self) -> str:
+        kind = self.kind
+        if self.kind == "hang":
+            kind = f"hang@{self.seconds:g}"
+        center = "*" if self.center is None else str(self.center)
+        return f"{kind}:{self.metric}:{center}:{self.times}"
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """An ordered list of :class:`FaultSpec`; first match wins."""
+
+    specs: List[FaultSpec] = dataclasses.field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` format (see module docstring)."""
+        specs: List[FaultSpec] = []
+        for token in text.split(";"):
+            token = token.strip()
+            if not token:
+                continue
+            parts = token.split(":")
+            if len(parts) < 1 or len(parts) > 4:
+                raise ValueError(
+                    f"bad fault token {token!r}; expected "
+                    "kind[@seconds]:metric:center[:times]"
+                )
+            kind = parts[0]
+            seconds = 30.0
+            if "@" in kind:
+                kind, _, secs = kind.partition("@")
+                seconds = float(secs)
+            metric = parts[1] if len(parts) > 1 else "*"
+            center_text = parts[2] if len(parts) > 2 else "*"
+            center = None if center_text == "*" else int(center_text)
+            times = int(parts[3]) if len(parts) > 3 else 1
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    metric=metric or "*",
+                    center=center,
+                    times=times,
+                    seconds=seconds,
+                )
+            )
+        return cls(specs)
+
+    def to_text(self) -> str:
+        """Round-trippable ``REPRO_FAULTS`` representation."""
+        return ";".join(spec.to_token() for spec in self.specs)
+
+    def find(
+        self, metrics: Sequence[str], center_index: int, attempt: int
+    ) -> Optional[FaultSpec]:
+        """The first spec firing for this (task, attempt), if any."""
+        for spec in self.specs:
+            if spec.matches(metrics, center_index, attempt):
+                return spec
+        return None
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """The :class:`FaultPlan` from ``REPRO_FAULTS``, or ``None``."""
+    text = os.environ.get(ENV_VAR, "").strip()
+    if not text:
+        return None
+    return FaultPlan.parse(text)
+
+
+def apply_fault(spec: FaultSpec, in_worker: bool):
+    """Enact ``spec``.  Returns :data:`GARBAGE_RESULT` for garbage
+    faults; crashes or raises otherwise.
+
+    A hang in a worker sleeps and then *returns None* (letting the task
+    proceed): if the supervisor's deadline is shorter than the hang the
+    pool is killed first, and if no deadline is set the task merely
+    finishes late — both are exactly what a real stall does.
+    """
+    if spec.kind == "garbage":
+        return GARBAGE_RESULT
+    if spec.kind == "crash":
+        if in_worker:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash(f"injected crash ({spec.to_token()})")
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)
+        if not in_worker:
+            raise InjectedHang(
+                f"injected hang of {spec.seconds:g}s ({spec.to_token()})"
+            )
+        return None
+    raise AssertionError(f"unreachable fault kind {spec.kind!r}")

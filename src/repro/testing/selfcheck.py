@@ -1,6 +1,6 @@
 """The ``repro selfcheck`` differential/fuzzing harness.
 
-Runs five families of checks over seeded random inputs and reports a
+Runs six families of checks over seeded random inputs and reports a
 single pass/fail verdict, so one command answers "are the metric
 implementations still trustworthy?":
 
@@ -25,6 +25,12 @@ implementations still trustworthy?":
     subsample of rounds; each check spins up a process pool).
 ``determinism``
     Same seed -> bitwise-identical generators, metrics and engine runs.
+``faults``
+    The fault-tolerant runtime (:mod:`repro.runtime`): injected crashes
+    and garbage results are retried to a bitwise-identical run,
+    exhausted retries degrade only the faulted metric, checkpoint
+    journals resume with zero recomputation, and corrupted cache
+    entries are quarantined and healed.
 
 The harness doubles as a fuzzer: ``--rounds N`` draws N random inputs
 per family from ``--seed``, so CI can run a deep nightly sweep while the
@@ -418,6 +424,121 @@ def _check_determinism(rng: random.Random, report: FamilyReport) -> None:
         fail("engine.compute not deterministic across identical calls")
 
 
+def _check_faults(rng: random.Random, report: FamilyReport) -> None:
+    """Differential checks on the supervised runtime (repro.runtime).
+
+    The fault injector is the probe: a run that crashes and retries must
+    converge to the exact result of an unfaulted run, and every recovery
+    path (retry, degradation, journal resume, cache quarantine) must be
+    visible in the statuses it reports.
+    """
+    import os
+    import tempfile
+
+    from repro.engine import MetricEngine, MetricRequest
+    from repro.runtime import (
+        STATE_FAILED,
+        STATE_RETRIED,
+        FaultPlan,
+        RuntimePolicy,
+    )
+
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    g = random_connected_graph(rng, 8, 14)
+    seed = rng.getrandbits(16)
+    # Different center counts force separate engine plans, so a fault
+    # aimed at one metric cannot touch the other through a shared task.
+    requests = [
+        MetricRequest("expansion", num_centers=5, seed=seed),
+        MetricRequest("resilience", num_centers=4, max_ball_size=None, seed=seed),
+    ]
+    # Explicit empty plans keep these runs fault-free even when the
+    # harness itself runs under a REPRO_FAULTS environment.
+    no_faults = lambda: RuntimePolicy(backoff=0.0, faults=FaultPlan([]))
+    baseline = MetricEngine(
+        workers=0, use_cache=False, runtime=no_faults()
+    ).compute(g, requests)
+
+    # --- injected crash + garbage: retried to a bitwise-equal run -----
+    report.checks += 1
+    plan = FaultPlan.parse("crash:resilience:0;garbage:expansion:1")
+    engine = MetricEngine(
+        workers=0,
+        use_cache=False,
+        runtime=RuntimePolicy(retries=2, backoff=0.0, faults=plan),
+    )
+    healed = engine.compute(g, requests)
+    run = engine.last_run
+    if healed != baseline:
+        fail("crash+garbage recovery did not reproduce the unfaulted run")
+    if not run.ok:
+        fail(f"recovered run reported degraded metrics: {run.summary()}")
+    retried = sum(
+        st.states.count(STATE_RETRIED) for st in run.metrics.values()
+    )
+    if retried != 2:
+        fail(f"expected 2 retried centers (crash + garbage), saw {retried}")
+
+    # --- exhausted retries: only the faulted metric degrades ----------
+    report.checks += 1
+    engine = MetricEngine(
+        workers=0,
+        use_cache=False,
+        runtime=RuntimePolicy(
+            retries=1, backoff=0.0, faults=FaultPlan.parse("crash:resilience:1:99")
+        ),
+    )
+    partial = engine.compute(g, requests)
+    run = engine.last_run
+    if run.ok:
+        fail("a persistently crashing center should degrade the run")
+    if run.metrics["resilience"].states.count(STATE_FAILED) != 1:
+        fail(
+            "expected exactly one failed resilience center, states: "
+            f"{run.metrics['resilience'].states}"
+        )
+    if partial["expansion"] != baseline["expansion"]:
+        fail("a resilience-only fault perturbed the expansion series")
+
+    # --- checkpoint journal: resume recomputes nothing, bitwise -------
+    report.checks += 1
+    with tempfile.TemporaryDirectory() as tmp:
+        jpath = os.path.join(tmp, "journal.jsonl")
+        first = MetricEngine(
+            workers=0, use_cache=False, runtime=no_faults(), journal=jpath
+        ).compute(g, requests)
+        engine = MetricEngine(
+            workers=0, use_cache=False, runtime=no_faults(), journal=jpath
+        )
+        second = engine.compute(g, requests)
+        if second != first:
+            fail("journal-resumed run differs from the original")
+        if engine.stats["centers_computed"] != 0:
+            fail(
+                f"resume recomputed {engine.stats['centers_computed']} "
+                "centers despite a complete journal"
+            )
+
+    # --- self-healing cache: corrupt entries quarantined, healed ------
+    report.checks += 1
+    with tempfile.TemporaryDirectory() as tmp:
+        first_engine = MetricEngine(workers=0, use_cache=True, cache_dir=tmp)
+        first = first_engine.compute(g, requests)
+        for name in os.listdir(tmp):
+            path = os.path.join(tmp, name)
+            if os.path.isfile(path):
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write("~corrupt~")
+        engine = MetricEngine(workers=0, use_cache=True, cache_dir=tmp)
+        healed = engine.compute(g, requests)
+        if healed != first:
+            fail("recompute after cache corruption differs from original")
+        if engine.cache.stats["quarantined"] == 0:
+            fail("corrupted cache entries were read without quarantine")
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -431,6 +552,7 @@ _FAMILIES: Dict[str, tuple] = {
     "invariants": (_check_invariants, 2),
     "engine-equivalence": (_check_engine_equivalence, 10),
     "determinism": (_check_determinism, 2),
+    "faults": (_check_faults, 3),
 }
 
 

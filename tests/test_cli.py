@@ -99,3 +99,85 @@ def test_compare_command(tmp_path, capsys):
     text = capsys.readouterr().out
     assert "tree" in text and "plrg" in text
     assert out.read_text().startswith("# Topology comparison report")
+
+
+# ----------------------------------------------------------------------
+# Hardening: bad input files exit 2 with a one-line diagnostic
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["info", "{path}"],
+        ["metric", "{path}", "expansion"],
+        ["signature", "{path}", "--centers", "3"],
+        ["hierarchy", "{path}"],
+        ["compare", "{path}"],
+    ],
+    ids=["info", "metric", "signature", "hierarchy", "compare"],
+)
+def test_missing_graph_file_exits_2_naming_the_file(tmp_path, capsys, argv):
+    path = str(tmp_path / "does-not-exist.edges")
+    code = main([arg.format(path=path) for arg in argv])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "does-not-exist.edges" in err
+    assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+
+def test_malformed_graph_file_exits_2_naming_the_file(tmp_path, capsys):
+    path = tmp_path / "broken.edges"
+    path.write_text("0 1\nnot an edge\n2 3\n")
+    code = main(["metric", str(path), "expansion"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "broken.edges" in err
+
+
+def test_compare_reports_bad_file_even_after_good_ones(tmp_path, capsys):
+    good = tmp_path / "good.edges"
+    write_edgelist(kary_tree(2, 3), good)
+    bad = tmp_path / "bad.edges"
+    bad.write_text("1 2\n7\n")  # short line: not an edge
+    code = main(["compare", str(good), str(bad)])
+    assert code == 2
+    assert "bad.edges" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# sweep / report commands with checkpoint + resume
+# ----------------------------------------------------------------------
+
+def test_sweep_command_runs_and_resumes(tmp_path, capsys):
+    journal = str(tmp_path / "sweep.jsonl")
+    argv = [
+        "sweep", "--generator", "glp", "--centers", "3",
+        "--max-ball", "200", "--journal", journal,
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "glp" in first
+
+    assert main(argv + ["--resume"]) == 0
+    resumed = capsys.readouterr().out
+    assert "(resumed)" in resumed
+    assert "restored from" in resumed
+
+
+def test_report_command_writes_markdown_and_resumes(tmp_path, capsys):
+    edges = tmp_path / "g.edges"
+    write_edgelist(plrg(250, 2.246, seed=4), edges)
+    out = tmp_path / "report.md"
+    journal = str(tmp_path / "report.jsonl")
+    argv = [
+        "report", str(edges), "--centers", "3", "--max-ball", "150",
+        "--journal", journal, "--out", str(out), "--no-cache",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert out.read_text().startswith("# Topology comparison report")
+
+    assert main(argv + ["--resume"]) == 0
+    assert "Restored from checkpoint journal" in capsys.readouterr().out

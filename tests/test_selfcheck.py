@@ -81,6 +81,7 @@ def test_run_selfcheck_passes_and_reports_all_families():
         "invariants",
         "engine-equivalence",
         "determinism",
+        "faults",
     ]
     assert all(fam.checks > 0 or fam.skipped for fam in report.families)
     assert any("— OK" in line for line in lines)
