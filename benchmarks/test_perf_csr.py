@@ -1,0 +1,170 @@
+"""CSR kernels vs. the dict-of-sets oracle: BFS sweep and expansion.
+
+The CSR refactor's claim is that the frontier-at-a-time numpy kernels
+make the ball-growing hot path several times faster without changing a
+single output bit.  This bench measures both halves of that claim on
+PLRGs of three sizes:
+
+* **BFS sweep** — single-source distances from a fixed sample of
+  sources, ``repro.graph.kernels.bfs_levels`` vs. the dict BFS
+  ``repro.graph.traversal.bfs_distances``;
+* **Expansion series** — the engine's full ball-growing expansion
+  computation, ``MetricEngine(use_csr=True)`` vs. the dict oracle
+  engine (``use_csr=False``), serial, single process, identical bits.
+
+The numbers land in ``BENCH_csr.json``.  The acceptance gate is the
+largest size: on the 10k-node PLRG the CSR expansion series must be at
+least 5x faster than the dict path.
+
+Timing methodology matches ``test_perf_engine.py``: CPU seconds with
+the GC paused, interleaved rounds with alternating order.
+
+Run explicitly (excluded from quick runs by the markers):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_csr.py -m perf
+"""
+
+import gc
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import MetricEngine, MetricRequest
+from repro.generators.plrg import plrg
+from repro.graph import kernels
+from repro.graph.traversal import bfs_distances
+
+pytestmark = [pytest.mark.slow, pytest.mark.perf]
+
+SIZES = [2500, 5000, 10000]
+EXPONENT = 2.246
+GRAPH_SEED = 3
+SEED = 1
+EXPANSION_CENTERS = 24
+BFS_SOURCES = 32
+ROUNDS = 3
+
+OUTPUT = "BENCH_csr.json"
+
+#: Required CSR-over-dict speedup for the expansion series at the
+#: largest size (the PR's acceptance gate).
+MIN_EXPANSION_SPEEDUP_AT_10K = 5.0
+
+
+def _timed(fn):
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        result = fn()
+        return time.process_time() - start, result
+    finally:
+        gc.enable()
+
+
+def _interleaved(run_a, run_b, rounds=ROUNDS):
+    """Summed CPU seconds of both runners over alternating rounds."""
+    seconds_a = seconds_b = 0.0
+    for round_idx in range(rounds):
+        if round_idx % 2 == 0:
+            ta, _ = _timed(run_a)
+            tb, _ = _timed(run_b)
+        else:
+            tb, _ = _timed(run_b)
+            ta, _ = _timed(run_a)
+        seconds_a += ta
+        seconds_b += tb
+    return seconds_a, seconds_b
+
+
+def _bench_bfs(graph, csr):
+    nodes = graph.nodes()
+    step = max(1, len(nodes) // BFS_SOURCES)
+    sources = nodes[::step][:BFS_SOURCES]
+    source_idx = [csr.index_of(s) for s in sources]
+
+    def run_dict():
+        return [bfs_distances(graph, s) for s in sources]
+
+    def run_csr():
+        return kernels.multi_source_distances(csr, source_idx)
+
+    # Equivalence before timing: same distances, to the last node.
+    dict_result = run_dict()
+    csr_result = run_csr()
+    for want, row in zip(dict_result, csr_result):
+        got = {
+            csr.node_at(i): int(d)
+            for i, d in enumerate(row)
+            if d != kernels.UNREACHED
+        }
+        assert got == want
+
+    dict_seconds, csr_seconds = _interleaved(run_dict, run_csr)
+    return {
+        "sources": len(sources),
+        "dict_seconds": round(dict_seconds, 4),
+        "csr_seconds": round(csr_seconds, 4),
+        "speedup": round(dict_seconds / csr_seconds, 3),
+    }
+
+
+def _bench_expansion(graph, csr):
+    # Each side computes from its native representation: the CSR engine
+    # from the once-frozen graph (freezing is per-graph, not per-call),
+    # the dict engine from the mutable graph it operates on.
+    request = [MetricRequest("expansion", num_centers=EXPANSION_CENTERS, seed=SEED)]
+
+    def run_dict():
+        return MetricEngine(workers=0, use_cache=False, use_csr=False).compute(
+            graph, request
+        )
+
+    def run_csr():
+        return MetricEngine(workers=0, use_cache=False).compute(csr, request)
+
+    # Bitwise equivalence (also warms both paths).
+    assert run_csr() == run_dict()
+
+    dict_seconds, csr_seconds = _interleaved(run_dict, run_csr)
+    return {
+        "centers": EXPANSION_CENTERS,
+        "dict_seconds": round(dict_seconds, 4),
+        "csr_seconds": round(csr_seconds, 4),
+        "speedup": round(dict_seconds / csr_seconds, 3),
+    }
+
+
+def test_perf_csr_kernels_beat_dict_bfs():
+    record = {
+        "graphs": f"plrg(n, exponent={EXPONENT}, seed={GRAPH_SEED})",
+        "timing": f"summed CPU seconds over {ROUNDS} interleaved rounds",
+        "min_expansion_speedup_at_largest": MIN_EXPANSION_SPEEDUP_AT_10K,
+        "sizes": [],
+    }
+    for n in SIZES:
+        graph = plrg(n, EXPONENT, seed=GRAPH_SEED)
+        csr = graph.freeze()
+        entry = {
+            "n": n,
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "bfs_sweep": _bench_bfs(graph, csr),
+            "expansion_series": _bench_expansion(graph, csr),
+        }
+        record["sizes"].append(entry)
+
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    # CSR must win everywhere, and by >= 5x on the 10k expansion series.
+    for entry in record["sizes"]:
+        assert entry["bfs_sweep"]["speedup"] > 1.0, entry
+        assert entry["expansion_series"]["speedup"] > 1.0, entry
+    largest = record["sizes"][-1]
+    assert (
+        largest["expansion_series"]["speedup"] >= MIN_EXPANSION_SPEEDUP_AT_10K
+    ), largest

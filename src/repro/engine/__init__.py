@@ -12,6 +12,7 @@ wrappers over this engine.  See ``docs/ENGINE.md``.
 from repro.engine.cache import (
     CACHE_VERSION,
     DEFAULT_CACHE_DIR,
+    REPRESENTATION_VERSION,
     SeriesCache,
     cache_key,
     graph_fingerprint,
@@ -35,5 +36,6 @@ __all__ = [
     "graph_fingerprint",
     "engine_metric_names",
     "CACHE_VERSION",
+    "REPRESENTATION_VERSION",
     "DEFAULT_CACHE_DIR",
 ]

@@ -42,10 +42,21 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.graph.core import Graph
+from repro.graph.csr import CSR_LAYOUT_VERSION
 
 # Bump when the engine's numeric behaviour changes, so old entries miss.
 # v2: entries carry a content checksum (self-healing cache).
-CACHE_VERSION = 2
+# v3: CSR-era results — balls are induced in canonical (ascending node
+#     index) member order on the thawed frozen graph, which moves the
+#     low bits of order-sensitive evaluators; v2 entries must not be
+#     served for them.
+CACHE_VERSION = 3
+
+#: The graph-representation schema cache keys are computed against:
+#: ``(cache version, CSR layout version)``.  A change to the frozen
+#: layout (:data:`repro.graph.csr.CSR_LAYOUT_VERSION`) re-keys every
+#: entry even when the cache format itself is unchanged.
+REPRESENTATION_VERSION = f"v{CACHE_VERSION}.csr{CSR_LAYOUT_VERSION}"
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -64,7 +75,8 @@ def graph_fingerprint(graph: Graph) -> str:
     Node identity is taken from ``repr`` so any hashable label works;
     edges are canonicalised (unordered endpoints, sorted list) so two
     graphs with the same structure always hash alike regardless of
-    construction order.
+    construction order.  Accepts either representation — a graph and
+    its frozen :class:`~repro.graph.csr.CSRGraph` fingerprint alike.
     """
     digest = hashlib.sha256()
     for label in sorted(repr(node) for node in graph.nodes()):
@@ -98,7 +110,9 @@ def cache_key(
         sorted((k, repr(v)) for k, v in params.items() if k != "rels")
     )
     digest = hashlib.sha256()
-    digest.update(f"v{CACHE_VERSION}|{metric}|{fingerprint}|".encode("utf-8"))
+    digest.update(
+        f"{REPRESENTATION_VERSION}|{metric}|{fingerprint}|".encode("utf-8")
+    )
     digest.update(payload.encode("utf-8"))
     return f"{metric}-{digest.hexdigest()[:40]}"
 

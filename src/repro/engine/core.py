@@ -30,6 +30,21 @@ Results are a pure function of ``(graph, metric, params, seed)``:
   runs, are bitwise identical.
 * Per-radius averages are accumulated in center order regardless of
   which worker finished first, so float addition order is fixed.
+
+Representation
+--------------
+The engine freezes the input graph once per :meth:`compute` into a
+:class:`~repro.graph.csr.CSRGraph` (accepting either representation)
+and runs BFS through the vectorized kernels in
+:mod:`repro.graph.kernels`; worker processes are initialised with the
+compact CSR arrays instead of re-pickling the dict-of-sets graph.  Ball
+subgraphs are induced on the *canonical thawed* graph (``csr.thaw()``),
+so member ordering — and therefore every downstream float — is a pure
+function of graph content, independent of adjacency-set insertion
+history.  ``MetricEngine(use_csr=False)`` swaps the BFS producer for
+the legacy dict implementation while sharing all other code: the dict
+path is the oracle the CSR kernels are tested bitwise-equal against
+(``repro selfcheck --family csr``).
 """
 
 from __future__ import annotations
@@ -41,10 +56,14 @@ import random
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.engine.cache import SeriesCache, cache_key, graph_fingerprint
 from repro.engine.requests import METRICS, MetricRequest, MetricSpec
 from repro.generators.base import make_rng
+from repro.graph import kernels
 from repro.graph.core import Graph
+from repro.graph.csr import CSRGraph, csr_from_graph
 from repro.graph.traversal import bfs_distances
 # _policy_ball_from_dag is the canonical Appendix E ball constructor; the
 # engine reuses it so policy balls stay identical to the legacy path.
@@ -106,7 +125,61 @@ class _Plan:
     groups: List[_BallGroup]
 
 
-def _compute_center(graph: Graph, plan: _Plan, ci: int):
+class _ComputeContext:
+    """A frozen graph plus its lazily-thawed canonical form.
+
+    The context is what execution paths (serial, pool, supervisor) pass
+    around instead of the raw graph: pickling it ships only the compact
+    CSR arrays, and each worker thaws the canonical ``Graph`` at most
+    once.  ``use_csr=False`` selects the dict-of-sets BFS oracle; every
+    other step is shared, so a CSR/dict mismatch isolates the kernel.
+    """
+
+    __slots__ = ("csr", "use_csr", "_graph")
+
+    def __init__(self, csr: CSRGraph, use_csr: bool = True):
+        self.csr = csr
+        self.use_csr = bool(use_csr)
+        self._graph: Optional[Graph] = None
+
+    @property
+    def graph(self) -> Graph:
+        """The canonical thawed graph (built on first use)."""
+        if self._graph is None:
+            self._graph = self.csr.thaw()
+        return self._graph
+
+    def __reduce__(self):
+        return (_ComputeContext, (self.csr, self.use_csr))
+
+
+def _center_distances(ctx: _ComputeContext, plan: _Plan, ci: int):
+    """Distance vector (and policy DAG, if any) for one center.
+
+    Returns ``(dist, dag)``: ``dist`` is a dense int32 array over node
+    indices (``-1`` = unreached); ``dag`` is the policy DAG for policy
+    plans, else ``None``.  The CSR kernel and the dict oracle fill the
+    same array shape, so everything downstream is representation-blind.
+    """
+    center = plan.centers[ci]
+    csr = ctx.csr
+    if plan.rels is not None:
+        dag = policy_dag(ctx.graph, plan.rels, center)
+        dist = np.full(csr.number_of_nodes(), -1, dtype=np.int32)
+        for (node, _state), d in dag.state_dist.items():
+            i = csr.index_of(node)
+            if dist[i] < 0 or d < dist[i]:
+                dist[i] = d
+        return dist, dag
+    if ctx.use_csr:
+        return kernels.bfs_levels(csr, csr.index_of(center)), None
+    dist = np.full(csr.number_of_nodes(), -1, dtype=np.int32)
+    for node, d in bfs_distances(ctx.graph, center).items():
+        dist[csr.index_of(node)] = d
+    return dist, None
+
+
+def _compute_center(ctx: _ComputeContext, plan: _Plan, ci: int):
     """Everything ``plan`` needs from one center, in a single pass.
 
     Returns ``(counts_at, group_contributions)`` where ``counts_at`` is
@@ -114,34 +187,19 @@ def _compute_center(graph: Graph, plan: _Plan, ci: int):
     requested) and ``group_contributions[g]`` is a list of
     ``(radius, ball_size, {rid: value})`` tuples for ball group ``g``.
     """
-    center = plan.centers[ci]
-    if plan.rels is not None:
-        dag = policy_dag(graph, plan.rels, center)
-        distances: Dict[Any, int] = {}
-        for (node, _state), d in dag.state_dist.items():
-            if node not in distances or d < distances[node]:
-                distances[node] = d
-    else:
-        dag = None
-        distances = bfs_distances(graph, center)
-    max_radius = max(distances.values()) if distances else 0
+    dist, dag = _center_distances(ctx, plan, ci)
+    per_level = kernels.level_counts(dist)
+    max_radius = len(per_level) - 1
 
     counts_at = None
     if plan.distance_rids:
-        counts_at = [0] * (max_radius + 1)
-        for d in distances.values():
-            counts_at[d] += 1
+        counts_at = [int(c) for c in per_level]
 
     group_contributions: List[List[Tuple[int, int, Dict[int, float]]]] = []
     if plan.groups:
-        buckets: Optional[List[List[Any]]] = None
-        if dag is None:
-            # Nodes bucketed by distance in BFS discovery order;
-            # concatenating buckets reproduces the legacy members list
-            # (and therefore the exact induced subgraph) at every radius.
-            buckets = [[] for _ in range(max_radius + 1)]
-            for node, d in distances.items():
-                buckets[d].append(node)
+        cumulative = np.cumsum(per_level)
+        nodes = ctx.csr.node_list()
+        graph = ctx.graph
         for group in plan.groups:
             rngs = {
                 member.rid: (
@@ -152,17 +210,9 @@ def _compute_center(graph: Graph, plan: _Plan, ci: int):
                 for member in group.members
             }
             contributions: List[Tuple[int, int, Dict[int, float]]] = []
-            members: List[Any] = list(buckets[0]) if buckets is not None else []
             prev_size = 0
             for radius in range(1, max_radius + 1):
-                if buckets is not None:
-                    members.extend(buckets[radius])
-                    size = len(members)
-                else:
-                    members = [
-                        node for node, d in distances.items() if d <= radius
-                    ]
-                    size = len(members)
+                size = int(cumulative[radius])
                 if size == prev_size:
                     continue
                 prev_size = size
@@ -173,7 +223,11 @@ def _compute_center(graph: Graph, plan: _Plan, ci: int):
                 if dag is not None:
                     ball = _policy_ball_from_dag(dag, radius)
                 else:
-                    ball = graph.subgraph(members)
+                    # Canonical members: ascending node index.  The
+                    # induced subgraph (and so every evaluator float) is
+                    # a pure function of graph content.
+                    members = kernels.ball_members(dist, radius)
+                    ball = graph.subgraph([nodes[i] for i in members])
                 values = {
                     member.rid: METRICS[member.name].evaluator(
                         ball, rngs[member.rid], member.eval_params
@@ -186,23 +240,24 @@ def _compute_center(graph: Graph, plan: _Plan, ci: int):
 
 
 # ----------------------------------------------------------------------
-# Process-pool plumbing.  Workers receive the graph and plans once (via
-# the pool initializer) and are then sent only (plan, center) indices.
+# Process-pool plumbing.  Workers receive the compute context (compact
+# CSR arrays, thawed lazily in-worker) and plans once via the pool
+# initializer and are then sent only (plan, center) indices.
 # ----------------------------------------------------------------------
 
-_WORKER_GRAPH: Optional[Graph] = None
+_WORKER_CTX: Optional[_ComputeContext] = None
 _WORKER_PLANS: Optional[List[_Plan]] = None
 
 
-def _pool_init(graph: Graph, plans: List[_Plan]) -> None:
-    global _WORKER_GRAPH, _WORKER_PLANS
-    _WORKER_GRAPH = graph
+def _pool_init(ctx: _ComputeContext, plans: List[_Plan]) -> None:
+    global _WORKER_CTX, _WORKER_PLANS
+    _WORKER_CTX = ctx
     _WORKER_PLANS = plans
 
 
 def _pool_task(task: Tuple[int, int]):
     pi, ci = task
-    return _compute_center(_WORKER_GRAPH, _WORKER_PLANS[pi], ci)
+    return _compute_center(_WORKER_CTX, _WORKER_PLANS[pi], ci)
 
 
 def _expansion_series(
@@ -245,6 +300,10 @@ class MetricEngine:
         Number of worker processes to fan ball centers across.  ``0``
         (the default) computes serially in-process; results are
         identical either way.
+    use_csr:
+        Run BFS through the vectorized CSR kernels (the default).
+        ``False`` swaps in the legacy dict-of-sets BFS — the oracle
+        path; results are bitwise identical either way.
     use_cache:
         Store and reuse finished series on disk.
     cache_dir:
@@ -287,9 +346,11 @@ class MetricEngine:
         cache_dir: Optional[str] = None,
         runtime: Optional[RuntimePolicy] = None,
         journal: Optional[Union[Journal, str]] = None,
+        use_csr: bool = True,
     ):
         self.workers = int(workers)
         self.use_cache = bool(use_cache)
+        self.use_csr = bool(use_csr)
         self.cache = SeriesCache(cache_dir)
         if runtime is None and os.environ.get(_faults.ENV_VAR):
             # Injected faults only make sense under supervision.
@@ -309,13 +370,15 @@ class MetricEngine:
     # ------------------------------------------------------------------
     def compute(
         self,
-        graph: Graph,
+        graph: Union[Graph, CSRGraph],
         requests: Sequence[Union[MetricRequest, str]],
     ) -> Dict[str, Series]:
         """Evaluate a batch of metric requests in one shared pass.
 
-        ``requests`` may mix :class:`MetricRequest` objects and bare
-        metric names (which use that metric's default parameters).
+        ``graph`` may be a mutable :class:`Graph` or an already-frozen
+        :class:`~repro.graph.csr.CSRGraph`; it is frozen (once) either
+        way.  ``requests`` may mix :class:`MetricRequest` objects and
+        bare metric names (which use that metric's default parameters).
         Returns ``{metric name: series}`` in request order.
         """
         reqs = [
@@ -328,6 +391,7 @@ class MetricEngine:
                 f"duplicate metric names in one compute call: {names}"
             )
         resolved = [self._resolve(graph, req) for req in reqs]
+        ctx = _ComputeContext(csr_from_graph(graph), use_csr=self.use_csr)
 
         if self.use_cache:
             fingerprint = graph_fingerprint(graph)
@@ -353,9 +417,9 @@ class MetricEngine:
         if pending:
             plans = self._build_plans(pending)
             per_plan_results, per_plan_statuses = self._execute(
-                graph, plans, pending
+                ctx, plans, pending
             )
-            self._merge(graph, plans, per_plan_results, pending)
+            self._merge(ctx, plans, per_plan_results, pending)
             self._attach_statuses(plans, per_plan_statuses, pending, report)
             if self.use_cache:
                 for res in pending:
@@ -369,7 +433,9 @@ class MetricEngine:
         self.last_run = report
         return {res.request.name: res.series for res in resolved}
 
-    def compute_one(self, graph: Graph, name: str, **params: Any) -> Series:
+    def compute_one(
+        self, graph: Union[Graph, CSRGraph], name: str, **params: Any
+    ) -> Series:
         """Convenience wrapper: one metric, parameters as kwargs."""
         return self.compute(graph, [MetricRequest(name, params)])[name]
 
@@ -380,7 +446,9 @@ class MetricEngine:
     # ------------------------------------------------------------------
     # Resolution and planning
     # ------------------------------------------------------------------
-    def _resolve(self, graph: Graph, request: MetricRequest) -> _Resolved:
+    def _resolve(
+        self, graph: Union[Graph, CSRGraph], request: MetricRequest
+    ) -> _Resolved:
         spec = METRICS[request.name]
         params = spec.resolve_params(request.params)
         rng = make_rng(params["seed"])
@@ -458,7 +526,9 @@ class MetricEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _execute(self, graph: Graph, plans: List[_Plan], pending: List[_Resolved]):
+    def _execute(
+        self, ctx: _ComputeContext, plans: List[_Plan], pending: List[_Resolved]
+    ):
         """Run every (plan, center) task; returns per-plan result lists
         (aligned with center order, ``None`` for failed centers) and
         per-plan :class:`CenterStatus` lists (``None`` without runtime).
@@ -471,15 +541,15 @@ class MetricEngine:
         task_statuses: Optional[List[CenterStatus]] = None
         if self.runtime is not None:
             flat, task_statuses = self._execute_supervised(
-                graph, plans, tasks, pending
+                ctx, plans, tasks, pending
             )
         else:
             self.stats["centers_computed"] += len(tasks)
             if self.workers > 0 and len(tasks) > 1:
-                flat = self._execute_parallel(graph, plans, tasks)
+                flat = self._execute_parallel(ctx, plans, tasks)
             else:
                 flat = [
-                    _compute_center(graph, plans[pi], ci) for pi, ci in tasks
+                    _compute_center(ctx, plans[pi], ci) for pi, ci in tasks
                 ]
         per_plan: List[List[Any]] = [[] for _ in plans]
         per_plan_statuses: Optional[List[List[CenterStatus]]] = (
@@ -494,18 +564,18 @@ class MetricEngine:
                 per_plan_statuses[pi].append(task_statuses[ti])
         return per_plan, per_plan_statuses
 
-    def _execute_parallel(self, graph, plans, tasks):
+    def _execute_parallel(self, ctx, plans, tasks):
         max_workers = min(self.workers, len(tasks))
         try:
             pool = ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_pool_init,
-                initargs=(graph, plans),
+                initargs=(ctx, plans),
             )
         except (OSError, PermissionError):  # pragma: no cover - sandboxes
             # Environments that forbid subprocesses fall back to the
             # serial path; results are identical by construction.
-            return [_compute_center(graph, plans[pi], ci) for pi, ci in tasks]
+            return [_compute_center(ctx, plans[pi], ci) for pi, ci in tasks]
         try:
             with pool:
                 return list(pool.map(_pool_task, tasks))
@@ -516,7 +586,7 @@ class MetricEngine:
             pool.shutdown(wait=False, cancel_futures=True)
             raise
 
-    def _execute_supervised(self, graph, plans, tasks, pending):
+    def _execute_supervised(self, ctx, plans, tasks, pending):
         """The fault-tolerant path: journal preload + supervised run."""
         metric_names = [
             self._plan_metric_names(plan, pending) for plan in plans
@@ -524,7 +594,7 @@ class MetricEngine:
         task_keys: List[Optional[str]] = [None] * len(tasks)
         preloaded: Dict[int, Any] = {}
         if self.journal is not None:
-            fingerprint = graph_fingerprint(graph)
+            fingerprint = graph_fingerprint(ctx.csr)
             plan_sigs = [
                 self._plan_signature(fingerprint, plan, pending)
                 for plan in plans
@@ -551,7 +621,7 @@ class MetricEngine:
 
         supervisor = Supervisor(self.runtime, self.workers, _compute_center)
         return supervisor.run(
-            graph, plans, tasks, metric_names, preloaded, on_done
+            ctx, plans, tasks, metric_names, preloaded, on_done
         )
 
     # ------------------------------------------------------------------
@@ -682,12 +752,12 @@ class MetricEngine:
     # ------------------------------------------------------------------
     def _merge(
         self,
-        graph: Graph,
+        ctx: _ComputeContext,
         plans: List[_Plan],
         per_plan_results,
         pending: List[_Resolved],
     ) -> None:
-        n = graph.number_of_nodes()
+        n = ctx.csr.number_of_nodes()
         for plan, center_results in zip(plans, per_plan_results):
             # Centers whose retries were exhausted under the supervised
             # runtime arrive as None: the series is averaged over the

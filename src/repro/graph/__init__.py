@@ -7,6 +7,15 @@ want to move graphs in and out of networkx.
 """
 
 from repro.graph.core import Graph
+from repro.graph.csr import CSR_LAYOUT_VERSION, CSRGraph, csr_from_graph
+from repro.graph.kernels import (
+    ball_members,
+    bfs_levels,
+    bfs_with_path_counts,
+    degree_vector,
+    induced_subgraph,
+    multi_source_distances,
+)
 from repro.graph.traversal import (
     bfs_distances,
     bfs_layers,
@@ -51,6 +60,15 @@ from repro.graph.weighted import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "csr_from_graph",
+    "CSR_LAYOUT_VERSION",
+    "bfs_levels",
+    "multi_source_distances",
+    "bfs_with_path_counts",
+    "ball_members",
+    "degree_vector",
+    "induced_subgraph",
     "bfs_distances",
     "bfs_layers",
     "bfs_parents",

@@ -195,6 +195,19 @@ class Graph:
         g._num_edges = self._num_edges
         return g, index
 
+    def freeze(self) -> "CSRGraph":
+        """Freeze into the immutable array-backed :class:`CSRGraph`.
+
+        The frozen form is the *compute layer*: the vectorized kernels
+        in :mod:`repro.graph.kernels` and every hot metric path operate
+        on it.  Node order is preserved (``freeze().nodes() ==
+        nodes()``); ``freeze().thaw()`` rebuilds an equal graph.  See
+        ``docs/ARCHITECTURE.md``.
+        """
+        from repro.graph.csr import csr_from_graph
+
+        return csr_from_graph(self)
+
     def adjacency_lists(self) -> Tuple[List[List[int]], List[Node]]:
         """Integer-indexed adjacency lists plus the index -> node mapping.
 

@@ -1,0 +1,247 @@
+"""Frozen CSR (compressed sparse row) graph representation.
+
+:class:`Graph` is the *build layer*: a mutable dict-of-sets structure
+that generators grow edge by edge.  :class:`CSRGraph` is the *compute
+layer*: an immutable, compact array representation produced by
+:meth:`Graph.freeze` (or :func:`csr_from_graph`) that the vectorized
+kernels in :mod:`repro.graph.kernels` operate on.  See
+``docs/ARCHITECTURE.md`` for the split and when to freeze.
+
+Layout
+------
+``indptr`` (int32, length n+1) and ``indices`` (int32, length 2m) hold
+the adjacency structure: the neighbors of the node with index ``i`` are
+``indices[indptr[i]:indptr[i+1]]``, sorted ascending.  Node identifiers
+(any hashable) map to indices in graph insertion order, so a graph and
+its frozen form agree on ``nodes()``.
+
+The representation is **canonical**: two ``Graph`` instances with the
+same node order and the same edge set freeze to bit-identical arrays,
+regardless of the insertion history of their adjacency sets.  Thawing
+(:meth:`CSRGraph.thaw`) rebuilds a ``Graph`` whose adjacency sets are
+constructed in ascending-index order — the canonical form every
+CSR-era compute path is defined against.
+
+Both arrays are marked read-only; mutation must go through
+``thaw() -> edit -> freeze()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.graph.core import Graph
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+#: Bumped when the frozen layout changes incompatibly; recorded in cache
+#: keys (see :mod:`repro.engine.cache`) so results computed against one
+#: layout never collide with another.
+CSR_LAYOUT_VERSION = 1
+
+
+class CSRGraph:
+    """An immutable, array-backed undirected simple graph.
+
+    Supports the read-only subset of the :class:`Graph` API (``nodes``,
+    ``neighbors``, ``degree``, ``iter_edges`` ...) so graph-generic code
+    can take either representation, plus index-level accessors
+    (:meth:`index_of`, :meth:`node_at`) for the kernels.
+
+    Examples
+    --------
+    >>> g = Graph([(0, 1), (1, 2)])
+    >>> frozen = g.freeze()
+    >>> frozen.number_of_nodes(), frozen.number_of_edges()
+    (3, 2)
+    >>> list(frozen.indices)
+    [1, 0, 2, 1]
+    >>> frozen.thaw().edges() == g.edges()
+    True
+    """
+
+    __slots__ = ("indptr", "indices", "name", "_nodes", "_index")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        nodes: List[Node],
+        name: str = "",
+    ):
+        if len(indptr) != len(nodes) + 1:
+            raise ValueError(
+                f"indptr has {len(indptr)} entries for {len(nodes)} nodes"
+            )
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.indptr.flags.writeable = False
+        self.indices.flags.writeable = False
+        self.name = name
+        self._nodes = list(nodes)
+        self._index = {node: i for i, node in enumerate(self._nodes)}
+
+    # ------------------------------------------------------------------
+    # Graph-compatible read API
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def number_of_nodes(self) -> int:
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        return len(self.indices) // 2
+
+    def nodes(self) -> List[Node]:
+        """All nodes, in the source graph's insertion order."""
+        return list(self._nodes)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        iu, iv = self._index.get(u), self._index.get(v)
+        if iu is None or iv is None:
+            return False
+        row = self.indices[self.indptr[iu] : self.indptr[iu + 1]]
+        pos = int(np.searchsorted(row, iv))
+        return pos < len(row) and row[pos] == iv
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Neighbor nodes, ordered by ascending node index."""
+        i = self._index[node]
+        return [
+            self._nodes[j]
+            for j in self.indices[self.indptr[i] : self.indptr[i + 1]]
+        ]
+
+    def degree(self, node: Node) -> int:
+        i = self._index[node]
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def degrees(self) -> Dict[Node, int]:
+        counts = np.diff(self.indptr)
+        return {node: int(counts[i]) for i, node in enumerate(self._nodes)}
+
+    def degree_sequence(self) -> List[int]:
+        """Degrees of all nodes, descending."""
+        counts = np.diff(self.indptr)
+        return sorted((int(c) for c in counts), reverse=True)
+
+    def average_degree(self) -> float:
+        n = len(self._nodes)
+        if n == 0:
+            return 0.0
+        return len(self.indices) / n
+
+    def max_degree(self) -> int:
+        if len(self._nodes) == 0:
+            return 0
+        return int(np.diff(self.indptr).max())
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate edges once each, endpoints in ascending index order."""
+        indptr, indices, nodes = self.indptr, self.indices, self._nodes
+        for i in range(len(nodes)):
+            for j in indices[indptr[i] : indptr[i + 1]]:
+                if j > i:
+                    yield (nodes[i], nodes[int(j)])
+
+    def edges(self) -> List[Edge]:
+        return list(self.iter_edges())
+
+    # ------------------------------------------------------------------
+    # Index-level accessors (the kernels' interface)
+    # ------------------------------------------------------------------
+    def index_of(self, node: Node) -> int:
+        """The array index of ``node``; ``KeyError`` if absent."""
+        return self._index[node]
+
+    def node_at(self, index: int) -> Node:
+        """The node object at array ``index``."""
+        return self._nodes[index]
+
+    def node_list(self) -> List[Node]:
+        """The internal index -> node list itself.  Do not mutate."""
+        return self._nodes
+
+    def neighbor_indices(self, index: int) -> np.ndarray:
+        """The (read-only) neighbor-index slice of node ``index``."""
+        return self.indices[self.indptr[index] : self.indptr[index + 1]]
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def thaw(self) -> Graph:
+        """Rebuild a mutable :class:`Graph` — the canonical thawed form.
+
+        Nodes are inserted in index order and each adjacency set is
+        populated in ascending-index order, so two equal CSR graphs thaw
+        to graphs with identical internal iteration behaviour.  Round
+        trip: ``graph.freeze().thaw()`` equals ``graph`` (same nodes,
+        same edges).
+        """
+        g = Graph(name=self.name)
+        nodes, indptr, indices = self._nodes, self.indptr, self.indices
+        adj = {}
+        for i, node in enumerate(nodes):
+            adj[node] = {nodes[int(j)] for j in indices[indptr[i] : indptr[i + 1]]}
+        g._adj = adj
+        g._num_edges = len(indices) // 2
+        return g
+
+    def freeze(self) -> "CSRGraph":
+        """Already frozen; returns ``self`` (mirrors ``Graph.freeze``)."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Pickling (worker processes receive CSR arrays, not dict-of-sets)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {
+            "indptr": np.asarray(self.indptr),
+            "indices": np.asarray(self.indices),
+            "nodes": self._nodes,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            state["indptr"], state["indices"], state["nodes"], state["name"]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<CSRGraph{label} with {self.number_of_nodes()} nodes, "
+            f"{self.number_of_edges()} edges>"
+        )
+
+
+def csr_from_graph(graph: Graph) -> CSRGraph:
+    """Freeze a :class:`Graph` into its canonical :class:`CSRGraph`.
+
+    Node indices follow the graph's insertion order; each CSR row is
+    sorted ascending, so the arrays depend only on (node order, edge
+    set), never on adjacency-set iteration order.
+    """
+    if isinstance(graph, CSRGraph):
+        return graph
+    nodes = graph.nodes()
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for i, node in enumerate(nodes):
+        indptr[i + 1] = indptr[i] + graph.degree(node)
+    indices = np.empty(int(indptr[-1]), dtype=np.int32)
+    for i, node in enumerate(nodes):
+        row = sorted(index[v] for v in graph.neighbors(node))
+        indices[int(indptr[i]) : int(indptr[i + 1])] = row
+    return CSRGraph(indptr.astype(np.int32), indices, nodes, name=graph.name)

@@ -1,0 +1,216 @@
+"""Vectorized numpy kernels over :class:`~repro.graph.csr.CSRGraph`.
+
+These are the hot loops behind the paper's ball-growing metrics
+(Section 3.2.1) and the Section 5 all-pairs machinery, rewritten from
+per-node hash-table BFS into frontier-at-a-time array operations:
+
+* :func:`bfs_levels` / :func:`multi_source_distances` — level-
+  synchronous BFS producing dense int32 distance vectors (``-1`` marks
+  unreached nodes);
+* :func:`bfs_with_path_counts` — BFS with equal-cost shortest-path
+  counting (the sigma of Section 5's traversal-set weights);
+* :func:`ball_members` — the index array of a ball, ascending;
+* :func:`degree_vector` — all degrees as one array;
+* :func:`induced_subgraph` — CSR-to-CSR subgraph slicing.
+
+Every kernel is bitwise-equivalent to the dict-of-sets implementation it
+replaces (asserted by ``repro selfcheck --family csr`` and the property
+tests in ``tests/test_graph_csr.py``): distances, memberships and counts
+are identical; only internal ordering conventions are canonicalised to
+ascending node index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+#: Distance value marking a node the BFS never reached.
+UNREACHED = -1
+
+
+class PathCountOverflow(OverflowError):
+    """Equal-cost path counts exceeded the int64 range.
+
+    Raised instead of silently wrapping; callers fall back to the exact
+    big-integer dict implementation (:func:`repro.routing.shortest.
+    shortest_path_dag` on a thawed graph).
+    """
+
+
+def _gather_rows(indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray):
+    """Concatenated neighbor indices of every frontier node.
+
+    ``indptr`` must already be int64 (hoisted out of the BFS loop by the
+    callers).  Returns ``(neighbors, counts)`` where ``neighbors`` is
+    the concatenation of each frontier node's CSR row and ``counts[k]``
+    is the row length of ``frontier[k]``.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int32), counts
+    # Each element's position in ``indices``: a running arange, shifted
+    # per row from the concatenation offset to the row start.
+    ends = np.cumsum(counts)
+    positions = np.arange(total, dtype=np.int64)
+    positions += np.repeat(starts - ends + counts, counts)
+    return indices[positions], counts
+
+
+def _gather_neighbors(csr: CSRGraph, frontier: np.ndarray):
+    """:func:`_gather_rows` against a graph's own arrays."""
+    return _gather_rows(
+        csr.indptr.astype(np.int64), csr.indices, np.asarray(frontier)
+    )
+
+
+def bfs_levels(
+    csr: CSRGraph, source: int, max_depth: Optional[int] = None
+) -> np.ndarray:
+    """Hop distances from node index ``source`` to every node.
+
+    Returns an int32 vector of length n with ``dist[i]`` the BFS
+    distance of node ``i`` (``-1`` when unreached, or beyond
+    ``max_depth``).  Expansion is level-at-a-time: with
+    ``max_depth=0`` only the source is reached; with ``max_depth``
+    at least the graph's eccentricity the result equals the unbounded
+    BFS.
+    """
+    n = csr.number_of_nodes()
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range for {n} nodes")
+    indptr = csr.indptr.astype(np.int64)
+    indices = csr.indices
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size and (max_depth is None or depth < max_depth):
+        neighbors, _counts = _gather_rows(indptr, indices, frontier)
+        if not neighbors.size:
+            break
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if not fresh.size:
+            break
+        depth += 1
+        # Marking distances first dedupes ``fresh`` for free; the next
+        # frontier is then read back in ascending index order.
+        dist[fresh] = depth
+        frontier = np.flatnonzero(dist == depth)
+    return dist
+
+
+def multi_source_distances(
+    csr: CSRGraph, sources: Sequence[int], max_depth: Optional[int] = None
+) -> np.ndarray:
+    """Stacked BFS distance vectors, one row per source index.
+
+    Returns an int32 array of shape ``(len(sources), n)``; row ``k`` is
+    ``bfs_levels(csr, sources[k], max_depth)``.
+    """
+    n = csr.number_of_nodes()
+    out = np.empty((len(sources), n), dtype=np.int32)
+    for k, source in enumerate(sources):
+        out[k] = bfs_levels(csr, int(source), max_depth)
+    return out
+
+
+def bfs_with_path_counts(csr: CSRGraph, source: int):
+    """BFS distances plus equal-cost shortest-path counts (sigma).
+
+    Returns ``(dist, sigma)``: ``dist`` as in :func:`bfs_levels` and
+    ``sigma[i]`` the number of distinct shortest paths from ``source``
+    to node ``i`` (0 for unreached nodes, 1 for the source).  Raises
+    :class:`PathCountOverflow` if a count leaves the int64 range — the
+    caller then falls back to the exact big-int dict implementation.
+    """
+    n = csr.number_of_nodes()
+    if not 0 <= source < n:
+        raise IndexError(f"source index {source} out of range for {n} nodes")
+    indptr = csr.indptr.astype(np.int64)
+    indices = csr.indices
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    sigma = np.zeros(n, dtype=np.int64)
+    dist[source] = 0
+    sigma[source] = 1
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        neighbors, counts = _gather_rows(indptr, indices, frontier)
+        if not neighbors.size:
+            break
+        contributions = np.repeat(sigma[frontier], counts)
+        undiscovered = dist[neighbors] == UNREACHED
+        targets = neighbors[undiscovered]
+        if not targets.size:
+            break
+        np.add.at(sigma, targets, contributions[undiscovered])
+        depth += 1
+        dist[targets] = depth
+        frontier = np.flatnonzero(dist == depth)
+        if np.any(sigma[frontier] < 0):
+            raise PathCountOverflow(
+                f"shortest-path count exceeded int64 at BFS depth {depth}"
+            )
+    return dist, sigma
+
+
+def ball_members(dist: np.ndarray, radius: int) -> np.ndarray:
+    """Indices of the ball of ``radius`` hops, ascending.
+
+    ``dist`` is a distance vector from :func:`bfs_levels`; the result is
+    every index with ``0 <= dist <= radius``, in ascending index order —
+    the canonical member ordering every CSR-era compute path shares.
+    """
+    return np.flatnonzero((dist != UNREACHED) & (dist <= radius)).astype(
+        np.int32
+    )
+
+
+def degree_vector(csr: CSRGraph) -> np.ndarray:
+    """All node degrees as an int32 vector aligned with node indices."""
+    return np.diff(csr.indptr).astype(np.int32)
+
+
+def level_counts(dist: np.ndarray) -> np.ndarray:
+    """Node count at each BFS distance: ``out[h] == |{i: dist[i] == h}|``.
+
+    The empty-reach case returns ``[0]`` so ``out`` is always indexable
+    at distance 0.
+    """
+    reached = dist[dist != UNREACHED]
+    if not reached.size:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(reached, minlength=int(reached.max()) + 1)
+
+
+def induced_subgraph(csr: CSRGraph, members: np.ndarray) -> CSRGraph:
+    """The sub-CSR induced by ``members`` (ascending index array).
+
+    Rows stay sorted because the original rows are sorted and the
+    member relabelling ``old index -> rank in members`` is monotone.
+    The result's nodes are the member node objects in index order.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    if members.size and np.any(members[1:] <= members[:-1]):
+        raise ValueError("members must be strictly ascending")
+    n = csr.number_of_nodes()
+    keep = np.zeros(n, dtype=bool)
+    keep[members] = True
+    rank = np.cumsum(keep) - 1  # old index -> new index, where kept
+    neighbors, counts = _gather_neighbors(csr, members)
+    kept_mask = keep[neighbors] if neighbors.size else np.empty(0, dtype=bool)
+    row_ids = np.repeat(np.arange(members.size), counts)
+    new_counts = np.bincount(row_ids[kept_mask], minlength=members.size)
+    new_indptr = np.zeros(members.size + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=new_indptr[1:])
+    new_indices = rank[neighbors[kept_mask]].astype(np.int32)
+    nodes: List = [csr.node_at(int(i)) for i in members]
+    return CSRGraph(
+        new_indptr.astype(np.int32), new_indices, nodes, name=csr.name
+    )

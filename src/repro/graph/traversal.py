@@ -32,17 +32,22 @@ def bfs_distances(
     """
     if source not in graph:
         raise KeyError(f"source {source!r} not in graph")
+    # Level-at-a-time expansion (mirroring the CSR kernel): the whole
+    # frontier is expanded per iteration, so the depth bound is checked
+    # once per level instead of once per node pop.  Discovery order is
+    # identical to the classic FIFO formulation.
     dist: Dict[Node, int] = {source: 0}
-    frontier = deque([source])
-    while frontier:
-        u = frontier.popleft()
-        d = dist[u]
-        if max_depth is not None and d >= max_depth:
-            continue
-        for v in graph.neighbors(u):
-            if v not in dist:
-                dist[v] = d + 1
-                frontier.append(v)
+    frontier: List[Node] = [source]
+    depth = 0
+    while frontier and (max_depth is None or depth < max_depth):
+        depth += 1
+        next_frontier: List[Node] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = depth
+                    next_frontier.append(v)
+        frontier = next_frontier
     return dist
 
 

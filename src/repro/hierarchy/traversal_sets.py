@@ -17,10 +17,11 @@ to evaluate link values using policy-constrained paths."
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.generators.base import Seed, make_rng
 from repro.graph.core import Graph
+from repro.graph.csr import CSRGraph
 from repro.routing.policy import (
     Relationships,
     policy_dag,
@@ -29,6 +30,7 @@ from repro.routing.policy import (
 from repro.routing.shortest import pair_edge_fractions, shortest_path_dag
 
 Node = Hashable
+GraphLike = Union[Graph, CSRGraph]
 LinkKey = Tuple[Node, Node]
 # Traversal entry: (left endpoint, right endpoint, weight); "left" is the
 # pair member on the canonical first endpoint's side of the link.
@@ -36,7 +38,7 @@ Entry = Tuple[Node, Node, float]
 
 
 def link_traversal_sets(
-    graph: Graph,
+    graph: GraphLike,
     rels: Optional[Relationships] = None,
     sources: Optional[Sequence[Node]] = None,
     pair_weight: Optional[Callable[[Node, Node], float]] = None,
@@ -75,6 +77,14 @@ def link_traversal_sets(
         sources = nodes
     make_rng(seed)  # reserved for future sampling strategies
 
+    # All-pairs BFS dominates here, so freeze once and run every
+    # shortest-path DAG through the CSR kernels.  Policy DAGs walk the
+    # annotated relationship automaton and stay on the dict graph.
+    if rels is None:
+        routed = graph if isinstance(graph, CSRGraph) else graph.freeze()
+    else:
+        routed = graph.thaw() if isinstance(graph, CSRGraph) else graph
+
     sets: Dict[LinkKey, List[Entry]] = {
         _canonical(u, v, node_index): [] for u, v in graph.iter_edges()
     }
@@ -82,9 +92,9 @@ def link_traversal_sets(
     source_set = set(sources)
     for s in sources:
         if rels is not None:
-            dag = policy_dag(graph, rels, s)
+            dag = policy_dag(routed, rels, s)
         else:
-            dag = shortest_path_dag(graph, s)
+            dag = shortest_path_dag(routed, s)
         for t in nodes:
             if t == s:
                 continue
@@ -113,7 +123,7 @@ def _canonical(u: Node, v: Node, node_index: Dict[Node, int]) -> LinkKey:
     return (u, v) if node_index[u] <= node_index[v] else (v, u)
 
 
-def gravity_demand(graph: Graph, exponent: float = 1.0) -> Callable[[Node, Node], float]:
+def gravity_demand(graph: GraphLike, exponent: float = 1.0) -> Callable[[Node, Node], float]:
     """A gravity traffic-demand model: demand(u, v) ∝ (deg_u · deg_v)^e.
 
     Degree proxies node "size" (for the AS graph, Tangmunarunkit et al.

@@ -16,10 +16,14 @@ including the paper's Figure 15 worked example (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.generators.base import Seed, make_rng
+from repro.graph import kernels
 from repro.graph.core import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.traversal import bfs_distances
 from repro.routing.policy import (
     PolicyDAG,
@@ -29,17 +33,35 @@ from repro.routing.policy import (
 )
 
 Node = Hashable
+GraphLike = Union[Graph, CSRGraph]
 SeriesPoint = Tuple[float, float]  # (average ball size n, average value)
 
 
-def ball_nodes(graph: Graph, center: Node, radius: int) -> List[Node]:
-    """Nodes within ``radius`` hops of ``center`` (inclusive)."""
+def ball_nodes(graph: GraphLike, center: Node, radius: int) -> List[Node]:
+    """Nodes within ``radius`` hops of ``center`` (inclusive).
+
+    Takes either representation: on a :class:`CSRGraph` the members come
+    from the vectorized BFS kernel in ascending node-index order, on a
+    :class:`Graph` from the dict BFS in discovery order.  The member
+    *set* is identical either way.
+    """
+    if isinstance(graph, CSRGraph):
+        dist = kernels.bfs_levels(graph, graph.index_of(center), max_depth=radius)
+        nodes = graph.node_list()
+        return [nodes[int(i)] for i in np.flatnonzero(dist >= 0)]
     dist = bfs_distances(graph, center, max_depth=radius)
     return list(dist)
 
 
-def ball_subgraph(graph: Graph, center: Node, radius: int) -> Graph:
-    """The full induced subgraph on the ball of given radius."""
+def ball_subgraph(graph: GraphLike, center: Node, radius: int) -> GraphLike:
+    """The full induced subgraph on the ball of given radius.
+
+    Frozen in, frozen out: a :class:`CSRGraph` input is sliced with
+    :func:`repro.graph.kernels.induced_subgraph` and stays frozen.
+    """
+    if isinstance(graph, CSRGraph):
+        dist = kernels.bfs_levels(graph, graph.index_of(center), max_depth=radius)
+        return kernels.induced_subgraph(graph, kernels.ball_members(dist, radius))
     return graph.subgraph(ball_nodes(graph, center, radius))
 
 
@@ -71,7 +93,7 @@ def _policy_ball_from_dag(dag: PolicyDAG, radius: int) -> Graph:
 
 
 def sample_centers(
-    graph: Graph, count: int, seed: Seed = None
+    graph: GraphLike, count: int, seed: Seed = None
 ) -> List[Node]:
     """Uniformly sampled ball centers.
 
@@ -88,7 +110,7 @@ def sample_centers(
 
 
 def ball_growing_series(
-    graph: Graph,
+    graph: GraphLike,
     metric: Callable[[Graph], float],
     num_centers: int = 12,
     centers: Optional[Sequence[Node]] = None,
@@ -107,27 +129,41 @@ def ball_growing_series(
     radius (radius r is at position r-1 while any center contributes).
 
     With ``rels`` given, balls are policy-induced (Appendix E).
+
+    This is the dict-of-sets reference implementation the engine's CSR
+    path is held bitwise-equal to.  Both operate on the *canonical
+    thawed* form of the graph (``freeze().thaw()``) with ball members in
+    ascending node-index order, so the induced subgraphs — and every
+    order-sensitive evaluator float — agree exactly across
+    representations and implementations.
     """
     rng = make_rng(seed)
     if centers is None:
         centers = sample_centers(graph, num_centers, seed=rng)
+    csr = graph if isinstance(graph, CSRGraph) else graph.freeze()
+    canonical = csr.thaw()
+    order = canonical.nodes()  # == node-index order
 
     # per-radius accumulators: radius -> (sum_n, sum_value, count)
     acc: Dict[int, List[float]] = {}
     for center in centers:
         if rels is not None:
-            dag = policy_dag(graph, rels, center)
+            dag = policy_dag(canonical, rels, center)
             distances: Dict[Node, int] = {}
             for (node, _s), d in dag.state_dist.items():
                 if node not in distances or d < distances[node]:
                     distances[node] = d
         else:
             dag = None
-            distances = bfs_distances(graph, center)
+            distances = bfs_distances(canonical, center)
         max_radius = max(distances.values()) if distances else 0
         prev_size = 0
         for radius in range(1, max_radius + 1):
-            members = [node for node, d in distances.items() if d <= radius]
+            members = [
+                node
+                for node in order
+                if node in distances and distances[node] <= radius
+            ]
             size = len(members)
             if size == prev_size:
                 continue
@@ -139,7 +175,7 @@ def ball_growing_series(
             if dag is not None:
                 ball = _policy_ball_from_dag(dag, radius)
             else:
-                ball = graph.subgraph(members)
+                ball = canonical.subgraph(members)
             value = metric(ball)
             bucket = acc.setdefault(radius, [0.0, 0.0, 0])
             bucket[0] += size

@@ -13,12 +13,17 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Tuple, Union
 
+import numpy as np
+
+from repro.graph import kernels
 from repro.graph.core import Graph
+from repro.graph.csr import CSRGraph
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+GraphLike = Union[Graph, CSRGraph]
 
 
 @dataclasses.dataclass
@@ -43,8 +48,19 @@ class ShortestPathDAG:
     preds: Dict[Node, List[Node]]
 
 
-def shortest_path_dag(graph: Graph, source: Node) -> ShortestPathDAG:
-    """Compute the shortest-path DAG rooted at ``source``."""
+def shortest_path_dag(graph: GraphLike, source: Node) -> ShortestPathDAG:
+    """Compute the shortest-path DAG rooted at ``source``.
+
+    Takes either representation.  A :class:`CSRGraph` routes through the
+    vectorized :func:`repro.graph.kernels.bfs_with_path_counts` kernel;
+    a mutable :class:`Graph` uses the dict BFS below.  The resulting
+    DAGs carry identical distances, path counts, and predecessor *sets*
+    (insertion/list order differs: ascending node index vs discovery
+    order), and every quantity derived from them — notably
+    :func:`pair_edge_fractions` — is bitwise-identical either way.
+    """
+    if isinstance(graph, CSRGraph):
+        return _csr_shortest_path_dag(graph, source)
     dist: Dict[Node, int] = {source: 0}
     sigma: Dict[Node, int] = {source: 1}
     preds: Dict[Node, List[Node]] = {source: []}
@@ -63,6 +79,39 @@ def shortest_path_dag(graph: Graph, source: Node) -> ShortestPathDAG:
             elif dv == du + 1:
                 sigma[v] += su
                 preds[v].append(u)
+    return ShortestPathDAG(source=source, dist=dist, sigma=sigma, preds=preds)
+
+
+def _csr_shortest_path_dag(csr: CSRGraph, source: Node) -> ShortestPathDAG:
+    """CSR kernel path: array BFS with path counts, lifted back to dicts.
+
+    Path counts on graphs with enormous numbers of equal-cost paths can
+    overflow the kernel's int64 sigma; that raises
+    :class:`~repro.graph.kernels.PathCountOverflow` and we fall back to
+    the exact Python-bigint dict implementation on the thawed graph.
+    """
+    si = csr.index_of(source)
+    try:
+        dist_arr, sigma_arr = kernels.bfs_with_path_counts(csr, si)
+    except kernels.PathCountOverflow:
+        return shortest_path_dag(csr.thaw(), source)
+    nodes = csr.node_list()
+    indptr, indices = csr.indptr, csr.indices
+    dist: Dict[Node, int] = {}
+    sigma: Dict[Node, int] = {}
+    preds: Dict[Node, List[Node]] = {}
+    for i in np.flatnonzero(dist_arr != kernels.UNREACHED):
+        node = nodes[i]
+        d = int(dist_arr[i])
+        dist[node] = d
+        sigma[node] = int(sigma_arr[i])
+        if d == 0:
+            preds[node] = []
+        else:
+            row = indices[indptr[i] : indptr[i + 1]]
+            preds[node] = [
+                nodes[int(j)] for j in row[dist_arr[row] == d - 1]
+            ]
     return ShortestPathDAG(source=source, dist=dist, sigma=sigma, preds=preds)
 
 

@@ -21,8 +21,9 @@ implementation, independent of the topology under test:
   tie-breaking (vertex cover) are excluded here and bounded against
   oracles in the property tests instead;
 * engine equivalence: ``MetricEngine(workers=N)``, with or without the
-  cache, must reproduce ``workers=0`` and the legacy per-metric path
-  bitwise (the PR-1 determinism contract).
+  cache, and the dict-of-sets oracle engine (``use_csr=False``) must all
+  reproduce ``workers=0`` and the legacy per-metric path bitwise (the
+  PR-1 determinism contract, extended to the CSR representation).
 """
 
 from __future__ import annotations
@@ -167,16 +168,34 @@ def check_relabeling_invariance(
     return problems
 
 
+#: Every engine metric, in registry order — the default scope for
+#: :func:`check_engine_equivalence` since the CSR refactor: all seven
+#: series must agree bitwise across representations and execution modes.
+ALL_ENGINE_METRICS = (
+    "expansion",
+    "resilience",
+    "distortion",
+    "vertex_cover",
+    "biconnectivity",
+    "clustering",
+    "path_length",
+)
+
+
 def check_engine_equivalence(
     graph: Graph,
     seed: int = 0,
-    metrics: Sequence[str] = ("expansion", "resilience", "clustering"),
+    metrics: Sequence[str] = ALL_ENGINE_METRICS,
     workers: int = 2,
     num_centers: int = 4,
     max_ball_size: Optional[int] = 60,
 ) -> List[str]:
-    """Serial, parallel, and cached engine paths must agree bitwise.
+    """Serial, parallel, cached, and dict-oracle engine paths must agree
+    bitwise.
 
+    The serial engine (CSR kernels) is the reference; the parallel
+    engine, the cached engine (cold and warm), and the dict-of-sets
+    oracle engine (``use_csr=False``) must all reproduce it exactly.
     Also cross-checks RNG-free ball metrics against the legacy
     :func:`repro.metrics.balls.ball_growing_series` machinery, closing
     the loop back to the pre-engine implementation.
@@ -202,6 +221,15 @@ def check_engine_equivalence(
         if serial[name] != parallel[name]:
             problems.append(
                 f"engine(workers={workers}) != engine(workers=0) for {name}"
+            )
+
+    oracle = MetricEngine(workers=0, use_cache=False, use_csr=False).compute(
+        graph, requests()
+    )
+    for name in metrics:
+        if serial[name] != oracle[name]:
+            problems.append(
+                f"engine(use_csr=True) != engine(use_csr=False) for {name}"
             )
 
     with tempfile.TemporaryDirectory(prefix="repro-selfcheck-cache-") as tmp:

@@ -1,6 +1,6 @@
 """The ``repro selfcheck`` differential/fuzzing harness.
 
-Runs six families of checks over seeded random inputs and reports a
+Runs seven families of checks over seeded random inputs and reports a
 single pass/fail verdict, so one command answers "are the metric
 implementations still trustworthy?":
 
@@ -25,6 +25,11 @@ implementations still trustworthy?":
     subsample of rounds; each check spins up a process pool).
 ``determinism``
     Same seed -> bitwise-identical generators, metrics and engine runs.
+``csr``
+    The frozen :class:`~repro.graph.csr.CSRGraph` representation vs.
+    the dict-of-sets oracle: freeze/thaw round-trips, vectorized BFS
+    distances, ball memberships, degree vectors, shortest-path counts
+    and the ``use_csr=True``/``False`` engines, all identical.
 ``faults``
     The fault-tolerant runtime (:mod:`repro.runtime`): injected crashes
     and garbage results are retried to a bitwise-identical run,
@@ -539,6 +544,126 @@ def _check_faults(rng: random.Random, report: FamilyReport) -> None:
             fail("corrupted cache entries were read without quarantine")
 
 
+def _check_csr(rng: random.Random, report: FamilyReport) -> None:
+    """Differential checks: CSR representation vs. the dict oracle.
+
+    Every check holds for *any* graph, so inputs deliberately include
+    the adversarial shapes the representation must survive: isolated
+    nodes, non-integer labels, disconnected graphs.
+    """
+    import numpy as np
+
+    from repro.engine import MetricEngine
+    from repro.graph import kernels
+    from repro.metrics.balls import ball_nodes, ball_subgraph
+    from repro.routing.shortest import shortest_path_dag
+
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    g = random_graph(rng)
+    if rng.random() < 0.5:
+        g.add_node(f"iso-{rng.randrange(100)}")  # isolated, string label
+    nodes = g.nodes()
+    csr = g.freeze()
+
+    # --- freeze/thaw round-trip, and thaw -> freeze bit-identical -----
+    report.checks += 1
+    thawed = csr.thaw()
+    if thawed.nodes() != nodes:
+        fail("freeze().thaw() changed the node order")
+    if set(map(frozenset, thawed.iter_edges())) != set(
+        map(frozenset, g.iter_edges())
+    ):
+        fail("freeze().thaw() changed the edge set")
+    refrozen = thawed.freeze()
+    if not (
+        np.array_equal(refrozen.indptr, csr.indptr)
+        and np.array_equal(refrozen.indices, csr.indices)
+    ):
+        fail("thaw().freeze() is not bit-identical to the original CSR")
+
+    # --- degree vector ------------------------------------------------
+    report.checks += 1
+    deg = kernels.degree_vector(csr)
+    for i, node in enumerate(nodes):
+        if int(deg[i]) != g.degree(node):
+            fail(f"degree_vector[{i}] != degree({node!r})")
+
+    # --- BFS distances, bounded and unbounded -------------------------
+    report.checks += 1
+    sources = rng.sample(nodes, min(3, len(nodes)))
+    for s in sources:
+        for max_depth in (None, rng.randint(0, 4)):
+            dist = kernels.bfs_levels(csr, csr.index_of(s), max_depth=max_depth)
+            got = {
+                csr.node_at(i): int(d)
+                for i, d in enumerate(dist)
+                if d != kernels.UNREACHED
+            }
+            want = bfs_distances(g, s, max_depth=max_depth)
+            if got != want:
+                fail(
+                    f"bfs_levels from {s!r} (max_depth={max_depth}) "
+                    "!= dict bfs_distances"
+                )
+
+    # --- multi-source distance matrix ---------------------------------
+    report.checks += 1
+    source_idx = [csr.index_of(s) for s in sources]
+    matrix = kernels.multi_source_distances(csr, source_idx)
+    for row, s in zip(matrix, sources):
+        want = bfs_distances(g, s)
+        got = {
+            csr.node_at(i): int(d)
+            for i, d in enumerate(row)
+            if d != kernels.UNREACHED
+        }
+        if got != want:
+            fail(f"multi_source_distances row for {s!r} != bfs_distances")
+
+    # --- ball membership and induced ball subgraphs -------------------
+    report.checks += 1
+    center = rng.choice(nodes)
+    radius = rng.randint(0, 4)
+    if set(ball_nodes(csr, center, radius)) != set(ball_nodes(g, center, radius)):
+        fail(f"ball members differ at center {center!r}, radius {radius}")
+    sub_csr = ball_subgraph(csr, center, radius)
+    sub_dict = ball_subgraph(g, center, radius)
+    if set(sub_csr.nodes()) != set(sub_dict.nodes()) or set(
+        map(frozenset, sub_csr.iter_edges())
+    ) != set(map(frozenset, sub_dict.iter_edges())):
+        fail(f"ball subgraphs differ at center {center!r}, radius {radius}")
+
+    # --- shortest-path DAG: distances, path counts, predecessors ------
+    report.checks += 1
+    s = rng.choice(nodes)
+    oracle_dag = shortest_path_dag(g, s)
+    csr_dag = shortest_path_dag(csr, s)
+    if oracle_dag.dist != csr_dag.dist:
+        fail(f"CSR shortest-path distances differ from oracle (source {s!r})")
+    if oracle_dag.sigma != csr_dag.sigma:
+        fail(f"CSR shortest-path counts differ from oracle (source {s!r})")
+    if {k: set(v) for k, v in oracle_dag.preds.items()} != {
+        k: set(v) for k, v in csr_dag.preds.items()
+    }:
+        fail(f"CSR DAG predecessor sets differ from oracle (source {s!r})")
+
+    # --- engine: CSR kernels vs dict oracle, bitwise ------------------
+    report.checks += 1
+    connected = random_connected_graph(rng)
+    seed = rng.getrandbits(16)
+    requests = ["expansion", "resilience", "clustering"]
+    params = dict(num_centers=4, seed=seed)
+    csr_engine = MetricEngine(workers=0, use_cache=False)
+    dict_engine = MetricEngine(workers=0, use_cache=False, use_csr=False)
+    for name in requests:
+        a = csr_engine.compute_one(connected, name, **params)
+        b = dict_engine.compute_one(connected, name, **params)
+        if a != b:
+            fail(f"engine(use_csr=True) != engine(use_csr=False) for {name}")
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -553,6 +678,7 @@ _FAMILIES: Dict[str, tuple] = {
     "engine-equivalence": (_check_engine_equivalence, 10),
     "determinism": (_check_determinism, 2),
     "faults": (_check_faults, 3),
+    "csr": (_check_csr, 1),
 }
 
 

@@ -88,6 +88,28 @@ def test_parallel_engine_matches_legacy(graph_name, graph):
         assert results[metric] == legacy_fn(graph), metric
 
 
+@pytest.mark.parametrize("graph_name,graph", graphs())
+def test_csr_engine_matches_dict_oracle(graph_name, graph):
+    # The vectorized CSR kernels vs the dict-of-sets BFS oracle: every
+    # series identical to the last bit, for all seven metrics at once.
+    requests = [request_for(name) for name in sorted(LEGACY_FUNCTIONS)]
+    via_csr = engine().compute(graph, requests)
+    via_dicts = engine(use_csr=False).compute(graph, requests)
+    for metric in LEGACY_FUNCTIONS:
+        assert via_csr[metric] == via_dicts[metric], metric
+
+
+@pytest.mark.parametrize("graph_name,graph", graphs())
+def test_engine_accepts_frozen_graph(graph_name, graph):
+    # Passing an already-frozen CSRGraph is equivalent to passing the
+    # mutable graph (freezing is idempotent and order-preserving).
+    requests = [request_for(name) for name in sorted(LEGACY_FUNCTIONS)]
+    thawed_results = engine().compute(graph, requests)
+    frozen_results = engine().compute(graph.freeze(), requests)
+    for metric in LEGACY_FUNCTIONS:
+        assert frozen_results[metric] == thawed_results[metric], metric
+
+
 def test_batched_equals_standalone():
     graph = plrg(250, 2.246, seed=2)
     requests = [request_for(name) for name in sorted(LEGACY_FUNCTIONS)]
@@ -98,9 +120,9 @@ def test_batched_equals_standalone():
 
 
 def test_engine_matches_raw_ball_growing_series():
-    # Not a tautology: ball_growing_series is the original, untouched
-    # legacy machinery; the engine must reproduce it bitwise for
-    # RNG-free metrics.
+    # Not a tautology: ball_growing_series is the legacy per-metric
+    # machinery with its own loop over dict BFS results; the engine must
+    # reproduce it bitwise for RNG-free metrics.
     graph = mesh(12)
     legacy = ball_growing_series(
         graph, clustering_coefficient, num_centers=5, max_ball_size=None, seed=3

@@ -2,6 +2,7 @@
 cross-validation against networkx reference implementations."""
 
 import networkx as nx
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -36,6 +37,51 @@ def test_bfs_distances_max_depth():
     dist = bfs_distances(g, 0, max_depth=3)
     assert max(dist.values()) == 3
     assert len(dist) == 4
+
+
+def test_bfs_max_depth_zero_and_beyond_diameter():
+    """``max_depth`` boundary pins, dict and CSR implementations alike.
+
+    The original per-node-pop depth check expanded one level too far at
+    the boundary; the level-at-a-time rewrite is pinned here at the two
+    edges that caught it: ``max_depth=0`` must return only the source,
+    and any ``max_depth >= diameter`` must equal the unbounded BFS.
+    """
+    from repro.graph import kernels
+
+    g = path_graph(6)  # diameter 5
+    csr = g.freeze()
+
+    assert bfs_distances(g, 0, max_depth=0) == {0: 0}
+    dist0 = kernels.bfs_levels(csr, 0, max_depth=0)
+    assert dist0[0] == 0
+    assert all(d == kernels.UNREACHED for d in dist0[1:])
+
+    unbounded = bfs_distances(g, 0)
+    for depth in (5, 6, 100):
+        assert bfs_distances(g, 0, max_depth=depth) == unbounded
+        bounded = kernels.bfs_levels(csr, 0, max_depth=depth)
+        assert np.array_equal(bounded, kernels.bfs_levels(csr, 0))
+    assert {n: int(d) for n, d in zip(g.nodes(), kernels.bfs_levels(csr, 0))} == unbounded
+
+
+def test_bfs_max_depth_exact_levels_on_star_of_paths():
+    # Two arms of different length off a hub: each max_depth slices an
+    # exact prefix of levels, identically in both implementations.
+    from repro.graph import kernels
+
+    g = Graph([("hub", "a1"), ("a1", "a2"), ("a2", "a3"), ("hub", "b1")])
+    csr = g.freeze()
+    for depth in range(0, 5):
+        want = {n: d for n, d in bfs_distances(g, "hub").items() if d <= depth}
+        assert bfs_distances(g, "hub", max_depth=depth) == want
+        levels = kernels.bfs_levels(csr, csr.index_of("hub"), max_depth=depth)
+        got = {
+            csr.node_at(i): int(d)
+            for i, d in enumerate(levels)
+            if d != kernels.UNREACHED
+        }
+        assert got == want
 
 
 def test_bfs_distances_missing_source():

@@ -82,6 +82,7 @@ def test_run_selfcheck_passes_and_reports_all_families():
         "engine-equivalence",
         "determinism",
         "faults",
+        "csr",
     ]
     assert all(fam.checks > 0 or fam.skipped for fam in report.families)
     assert any("— OK" in line for line in lines)
@@ -156,4 +157,34 @@ def test_selfcheck_catches_nondeterministic_metric(monkeypatch):
     report = run_selfcheck(
         rounds=4, seed=0, families=["determinism"], out=lambda _: None
     )
+    assert not report.ok
+
+
+def test_selfcheck_catches_csr_bfs_off_by_one(monkeypatch):
+    from repro.graph import kernels
+
+    real = kernels.bfs_levels
+
+    def off_by_one(csr, source, max_depth=None):
+        dist = real(csr, source, max_depth=max_depth).copy()
+        dist[dist > 0] += 1  # every non-source level shifted one out
+        return dist
+
+    monkeypatch.setattr(kernels, "bfs_levels", off_by_one)
+    report = run_selfcheck(rounds=5, seed=0, families=["csr"], out=lambda _: None)
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "bfs_levels" in messages
+
+
+def test_selfcheck_catches_csr_ball_off_by_one(monkeypatch):
+    from repro.graph import kernels
+
+    real = kernels.ball_members
+
+    def shrunk(dist, radius):
+        return real(dist, radius - 1 if radius > 0 else radius)
+
+    monkeypatch.setattr(kernels, "ball_members", shrunk)
+    report = run_selfcheck(rounds=5, seed=0, families=["csr"], out=lambda _: None)
     assert not report.ok
