@@ -1,0 +1,182 @@
+"""Streaming GraphBuilder at scale: peak memory and time-to-frozen.
+
+The sink redesign's claim is that generation no longer needs the
+dict-of-sets build layer: a ``GraphBuilder`` streams edges straight into
+growing int32 CSR buffers, so peak memory tracks the *array* size of the
+result instead of the python-object size of an intermediate ``Graph``.
+
+Two measurements back that claim:
+
+* **Peak-RSS duel at 200k** — subprocesses build the same PLRG
+  (a) streaming into a ``GraphBuilder`` and (b) the legacy way,
+  materializing the dict graph then freezing it.  Peak RSS above an
+  import-only baseline is read from ``ru_maxrss``.  The gate: the
+  streaming build must use at most **1/3** of the dict path's memory.
+* **Million-node build** — a 1M-node PLRG is generated and frozen
+  in-process with ``Graph.__init__`` replaced by a tripwire, proving the
+  dict form never exists, and the engine computes an expansion series
+  on the frozen result.
+
+Times and RSS per size land in ``BENCH_scale.json`` (uploaded as a CI
+artifact by the ``scale-smoke`` job).
+
+Run explicitly (excluded from quick runs by the markers):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_scale.py -m perf
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.perf]
+
+EXPONENT = 2.246
+GRAPH_SEED = 3
+SIZES = [50_000, 100_000, 200_000]
+DUEL_SIZE = 200_000
+MILLION = 1_000_000
+
+OUTPUT = "BENCH_scale.json"
+
+#: The acceptance gate: streaming peak RSS (above the import-only
+#: baseline) at 200k nodes must be <= this fraction of the
+#: materialize-then-freeze path's.
+MAX_RSS_FRACTION = 1 / 3
+
+_CHILD = r"""
+import json, resource, sys, time
+mode, n = sys.argv[1], int(sys.argv[2])
+from repro.generators import plrg, GraphBuilder
+if mode == "baseline":
+    out = {}
+else:
+    start = time.time()
+    if mode == "stream":
+        graph = plrg(n, %(exponent)r, seed=%(seed)r, sink=GraphBuilder())
+    else:
+        graph = plrg(n, %(exponent)r, seed=%(seed)r).freeze()
+    out = {
+        "seconds": round(time.time() - start, 3),
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+    }
+out["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps(out))
+""" % {"exponent": EXPONENT, "seed": GRAPH_SEED}
+
+
+def _run_child(mode: str, n: int) -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(n)],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(proc.stdout)
+
+
+def _write_record(record: dict) -> None:
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+
+def test_scale_streaming_rss_and_time_to_frozen():
+    baseline_kb = _run_child("baseline", 0)["peak_rss_kb"]
+    record = {
+        "graph": f"plrg(n, exponent={EXPONENT}, seed={GRAPH_SEED})",
+        "method": (
+            "per-mode subprocesses; peak RSS = ru_maxrss minus an "
+            "import-only baseline subprocess"
+        ),
+        "baseline_rss_kb": baseline_kb,
+        "max_stream_rss_fraction": round(MAX_RSS_FRACTION, 4),
+        "time_to_frozen": [],
+    }
+
+    for n in SIZES:
+        stream = _run_child("stream", n)
+        entry = {
+            "n": n,
+            "nodes": stream["nodes"],
+            "edges": stream["edges"],
+            "stream_seconds": stream["seconds"],
+            "stream_rss_kb": max(0, stream["peak_rss_kb"] - baseline_kb),
+        }
+        if n == DUEL_SIZE:
+            legacy = _run_child("dict", n)
+            assert legacy["nodes"] == stream["nodes"]
+            assert legacy["edges"] == stream["edges"]
+            entry["dict_seconds"] = legacy["seconds"]
+            entry["dict_rss_kb"] = legacy["peak_rss_kb"] - baseline_kb
+            entry["rss_fraction"] = round(
+                entry["stream_rss_kb"] / entry["dict_rss_kb"], 4
+            )
+        record["time_to_frozen"].append(entry)
+
+    _write_record(record)
+
+    duel = record["time_to_frozen"][-1]
+    assert duel["n"] == DUEL_SIZE
+    # The dict path materializes ~150MB of python objects at this size;
+    # if its delta is tiny the baseline subtraction itself is broken.
+    assert duel["dict_rss_kb"] > 20_000, duel
+    assert duel["rss_fraction"] <= MAX_RSS_FRACTION, duel
+
+
+def test_million_node_streaming_build_without_dict_graph():
+    import repro.graph.core as core
+    from repro.engine import MetricEngine, MetricRequest
+    from repro.generators import GraphBuilder, plrg
+
+    real_init = core.Graph.__init__
+
+    def tripwire(self, *args, **kwargs):
+        raise AssertionError(
+            "dict-of-sets Graph constructed on the streaming path"
+        )
+
+    core.Graph.__init__ = tripwire
+    try:
+        start = time.time()
+        csr = plrg(
+            MILLION,
+            EXPONENT,
+            seed=GRAPH_SEED,
+            sink=GraphBuilder(expect_nodes=MILLION),
+        )
+        build_seconds = time.time() - start
+        series = MetricEngine(workers=0, use_cache=False).compute(
+            csr, [MetricRequest("expansion", num_centers=4, seed=1)]
+        )["expansion"]
+    finally:
+        core.Graph.__init__ = real_init
+
+    assert csr.number_of_nodes() > 500_000
+    assert csr.number_of_edges() > csr.number_of_nodes()
+    assert len(series) >= 5
+    fractions = [value for _, value in series]
+    assert fractions == sorted(fractions), "expansion must be monotone"
+    assert fractions[-1] == pytest.approx(1.0)
+
+    # Append to the record written by the RSS duel (if it ran first).
+    if os.path.exists(OUTPUT):
+        with open(OUTPUT, encoding="utf-8") as handle:
+            record = json.load(handle)
+        record["million_node"] = {
+            "n": MILLION,
+            "nodes": csr.number_of_nodes(),
+            "edges": csr.number_of_edges(),
+            "build_seconds": round(build_seconds, 2),
+            "expansion_points": len(series),
+        }
+        _write_record(record)

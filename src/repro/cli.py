@@ -34,22 +34,8 @@ from repro.analysis import signature as metric_signature
 from repro.engine import MetricEngine, MetricRequest
 from repro.runtime import RuntimePolicy
 from repro.runtime import faults as _faults
-from repro.generators import (
-    TiersParams,
-    TransitStubParams,
-    barabasi_albert,
-    brite,
-    erdos_renyi,
-    glp,
-    inet,
-    kary_tree,
-    linear_chain,
-    mesh,
-    plrg,
-    tiers,
-    transit_stub,
-    waxman,
-)
+from repro.generators import GraphBuilder, TiersParams, TransitStubParams
+from repro.generators import registry as generator_registry
 from repro.graph.core import Graph
 from repro.graph.io import read_edgelist, write_edgelist
 from repro.harness import SWEEP_GRIDS, format_series, format_table
@@ -95,20 +81,48 @@ def _load_graph(path: str) -> Graph:
             message = f"{path}: {message}"
         raise CLIError(message) from exc
 
+def _cli_sink(a: argparse.Namespace) -> Optional[GraphBuilder]:
+    """A streaming CSR sink when ``--stream`` was given, else None."""
+    return GraphBuilder() if getattr(a, "stream", False) else None
+
+
+# CLI name -> call into the GeneratorSpec registry.  Every entry routes
+# through repro.generators.registry.get(name).build(...), so the CLI and
+# the library share one front door; ``--stream`` swaps the dict build for
+# the streaming CSR builder without changing the per-seed edge set.
 GENERATORS: Dict[str, Callable[[argparse.Namespace], Graph]] = {
-    "tree": lambda a: kary_tree(a.k, a.depth),
-    "mesh": lambda a: mesh(a.rows),
-    "linear": lambda a: linear_chain(a.n),
-    "random": lambda a: erdos_renyi(a.n, a.p, seed=a.seed),
-    "waxman": lambda a: waxman(a.n, a.alpha, a.beta, seed=a.seed),
-    "transit-stub": lambda a: transit_stub(TransitStubParams(), seed=a.seed),
-    "tiers": lambda a: tiers(TiersParams(), seed=a.seed),
-    "plrg": lambda a: plrg(a.n, a.exponent, seed=a.seed),
-    "ba": lambda a: barabasi_albert(a.n, a.m, seed=a.seed),
-    "brite": lambda a: brite(a.n, a.m, seed=a.seed),
-    "glp": lambda a: glp(a.n, seed=a.seed),
-    "inet": lambda a: inet(a.n, seed=a.seed),
+    name: (
+        lambda a, _name=name: generator_registry.get(_name).build(
+            a.n, sink=_cli_sink(a), **_cli_params(_name, a)
+        )
+    )
+    for name in generator_registry.available()
 }
+
+
+def _cli_params(name: str, a: argparse.Namespace) -> Dict[str, object]:
+    """Map the flat ``generate`` flag namespace onto a spec's params."""
+    if name == "tree":
+        return {"branching": a.k, "depth": a.depth}
+    if name == "mesh":
+        return {"rows": a.rows}
+    if name == "linear":
+        return {}
+    if name == "random":
+        return {"p": a.p, "seed": a.seed}
+    if name == "waxman":
+        return {"alpha": a.alpha, "beta": a.beta, "seed": a.seed}
+    if name == "transit-stub":
+        return {"params": TransitStubParams(), "seed": a.seed}
+    if name == "tiers":
+        return {"params": TiersParams(), "seed": a.seed}
+    if name == "plrg":
+        return {"exponent": a.exponent, "seed": a.seed}
+    if name in ("ba", "brite"):
+        return {"m": a.m, "seed": a.seed}
+    if name == "ab":
+        return {"m": a.m, "seed": a.seed}
+    return {"seed": a.seed}  # glp, inet
 
 
 def _add_generate(sub: argparse._SubParsersAction) -> None:
@@ -124,6 +138,14 @@ def _add_generate(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--exponent", type=float, default=2.246, help="PLRG beta")
     p.add_argument("--m", type=int, default=2, help="links per node (BA/Brite)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "build through the streaming GraphBuilder (constant-factor "
+            "memory; same edge set per seed)"
+        ),
+    )
     p.add_argument("--out", required=True, help="output edge-list path")
 
 

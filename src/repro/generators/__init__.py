@@ -2,9 +2,30 @@
 (Transit-Stub, Tiers), the random/geographic Waxman model, and the
 degree-based family (PLRG, B-A, AB, BT/GLP, BRITE, Inet) with the
 Appendix D.1 wiring variants.
+
+Every generator takes an optional ``sink`` (see
+:mod:`repro.generators.builder`): omitted, it returns a mutable
+``Graph`` exactly as before; given a ``GraphBuilder``, edges stream into
+growing CSR buffers and a frozen ``CSRGraph`` comes back without the
+dict-of-sets form ever existing.  :func:`get` / :func:`available` expose
+the uniform :class:`~repro.generators.registry.GeneratorSpec` front
+door.
 """
 
-from repro.generators.base import GenerationError, giant_component, make_rng
+from repro.generators.base import (
+    GenerationError,
+    giant_component,
+    make_rng,
+    require,
+    restrict_roles,
+)
+from repro.generators.builder import (
+    EdgeSink,
+    EdgeSpool,
+    GraphBuilder,
+    GraphSink,
+    materialize_into,
+)
 from repro.generators.canonical import (
     complete_graph,
     erdos_renyi,
@@ -37,11 +58,23 @@ from repro.generators.degree_sequence import (
     wire_uniform,
     wire_unsatisfied_proportional,
 )
+from repro.generators.registry import GeneratorSpec, available, get, specs
 
 __all__ = [
     "GenerationError",
     "giant_component",
     "make_rng",
+    "require",
+    "restrict_roles",
+    "EdgeSink",
+    "EdgeSpool",
+    "GraphBuilder",
+    "GraphSink",
+    "materialize_into",
+    "GeneratorSpec",
+    "available",
+    "get",
+    "specs",
     "complete_graph",
     "erdos_renyi",
     "erdos_renyi_gnm",

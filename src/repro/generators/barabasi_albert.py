@@ -7,34 +7,36 @@ newly appearing nodes randomly connecting to already existing nodes, but
 in proportion to their degrees."  The extended model [Albert & Barabási
 2000] adds, "with a small, but uniform probability", link addition
 between existing nodes and preferential re-wiring of existing links.
+
+B-A streams natively: degree-proportional sampling runs off the repeated
+-endpoints pool and per-step target dedupe is a local set, so no
+membership queries ever reach the sink.  The extended model's re-wiring
+step samples uniformly from the *materialized edge list* — an ordering
+the streaming buffers deliberately do not reproduce — so with a sink it
+builds on ``Graph`` first and replays (the edge set per seed is identical
+either way, which is the public contract).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from repro.generators.base import GenerationError, Seed, giant_component, make_rng
+from repro.generators.base import (
+    GenerationError,
+    Seed,
+    giant_component,
+    make_rng,
+    require,
+)
+from repro.generators.builder import EdgeSink, GraphSink, materialize_into
 from repro.graph.core import Graph
 
 
-def barabasi_albert(n: int = 2000, m: int = 2, seed: Seed = None) -> Graph:
-    """Classic B-A growth: each new node brings ``m`` preferential links.
-
-    Sampling in proportion to degree uses the repeated-endpoints trick:
-    every time an edge (u, v) is added, both u and v are appended to a
-    pool, so a uniform draw from the pool is a degree-proportional draw.
-    """
-    if m < 1:
-        raise ValueError("m must be >= 1")
-    if n <= m:
-        raise ValueError("n must exceed m")
-    rng = make_rng(seed)
-    graph = Graph(name=f"B-A(n={n},m={m})")
-
+def _emit_barabasi_albert(dest: EdgeSink, n: int, m: int, rng) -> None:
     # Seed: a star over the first m+1 nodes (connected, nonzero degrees).
     pool: List[int] = []
     for v in range(1, m + 1):
-        graph.add_edge(0, v)
+        dest.add_edge(0, v)
         pool.extend((0, v))
 
     for new in range(m + 1, n):
@@ -42,9 +44,26 @@ def barabasi_albert(n: int = 2000, m: int = 2, seed: Seed = None) -> Graph:
         while len(targets) < m:
             targets.add(pool[rng.randrange(len(pool))])
         for t in targets:
-            graph.add_edge(new, t)
+            dest.add_edge(new, t)
             pool.extend((new, t))
-    return graph
+
+
+def barabasi_albert(
+    n: int = 2000, m: int = 2, seed: Seed = None, sink: Optional[EdgeSink] = None
+):
+    """Classic B-A growth: each new node brings ``m`` preferential links.
+
+    Sampling in proportion to degree uses the repeated-endpoints trick:
+    every time an edge (u, v) is added, both u and v are appended to a
+    pool, so a uniform draw from the pool is a degree-proportional draw.
+    """
+    require(m >= 1, "m must be >= 1")
+    require(n > m, "n must exceed m")
+    rng = make_rng(seed)
+    name = f"B-A(n={n},m={m})"
+    dest = sink if sink is not None else GraphSink()
+    _emit_barabasi_albert(dest, n, m, rng)
+    return dest.finalize(name=name, component="all")
 
 
 def albert_barabasi_extended(
@@ -53,7 +72,8 @@ def albert_barabasi_extended(
     p_add: float = 0.15,
     p_rewire: float = 0.15,
     seed: Seed = None,
-) -> Graph:
+    sink: Optional[EdgeSink] = None,
+):
     """The Albert–Barabási variant with link addition and re-wiring.
 
     At each step, with probability ``p_add`` add ``m`` new links between
@@ -62,12 +82,12 @@ def albert_barabasi_extended(
     preferentially chosen endpoint; otherwise grow a new node with ``m``
     preferential links.  Steps continue until ``n`` nodes exist.
     """
-    if p_add < 0 or p_rewire < 0 or p_add + p_rewire >= 1.0:
-        raise ValueError("need p_add, p_rewire >= 0 and p_add + p_rewire < 1")
-    if m < 1:
-        raise ValueError("m must be >= 1")
-    if n <= m + 1:
-        raise ValueError("n must exceed m + 1")
+    require(
+        p_add >= 0 and p_rewire >= 0 and p_add + p_rewire < 1.0,
+        "need p_add, p_rewire >= 0 and p_add + p_rewire < 1",
+    )
+    require(m >= 1, "m must be >= 1")
+    require(n > m + 1, "n must exceed m + 1")
     rng = make_rng(seed)
     graph = Graph(name=f"AB(n={n},m={m},p={p_add},q={p_rewire})")
     pool: List[int] = []
@@ -97,6 +117,10 @@ def albert_barabasi_extended(
             for _ in range(m):
                 u, old = edges[rng.randrange(len(edges))]
                 new_v = preferential()
+                # ``edges`` is a snapshot: an earlier pass of this loop may
+                # already have re-wired (u, old) away.
+                if not graph.has_edge(u, old):
+                    continue
                 if new_v != u and not graph.has_edge(u, new_v):
                     graph.remove_edge(u, old)
                     graph.add_edge(u, new_v)
@@ -110,4 +134,6 @@ def albert_barabasi_extended(
             for t in targets:
                 graph.add_edge(new, t)
                 pool.extend((new, t))
+    if sink is not None:
+        return materialize_into(sink, graph, component="giant")
     return giant_component(graph)

@@ -1,9 +1,10 @@
-"""Shared generator utilities: seeding, connectivity post-processing."""
+"""Shared generator utilities: seeding, validation, connectivity
+post-processing."""
 
 from __future__ import annotations
 
 import random
-from typing import Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.graph.core import Graph
 from repro.graph.traversal import is_connected, largest_connected_component
@@ -11,8 +12,22 @@ from repro.graph.traversal import is_connected, largest_connected_component
 Seed = Union[int, random.Random, None]
 
 
-class GenerationError(RuntimeError):
-    """Raised when a generator cannot realise the requested parameters."""
+class GenerationError(ValueError, RuntimeError):
+    """Raised when a generator cannot realise the requested parameters.
+
+    Every generator raises this — never a bare ``ValueError`` or
+    ``AssertionError`` — for invalid parameters and for constructions
+    that fail to converge.  It subclasses both ``ValueError`` (what the
+    parameter checks historically raised) and ``RuntimeError`` (what the
+    convergence guards historically raised), so ``except`` clauses
+    written against either era keep working.
+    """
+
+
+def require(condition: bool, message: str) -> None:
+    """Parameter validation: raise :class:`GenerationError` unless true."""
+    if not condition:
+        raise GenerationError(message)
 
 
 def make_rng(seed: Seed) -> random.Random:
@@ -27,15 +42,36 @@ def make_rng(seed: Seed) -> random.Random:
     return random.Random(0 if seed is None else seed)
 
 
-def giant_component(graph: Graph) -> Graph:
+def giant_component(
+    graph: Graph, roles: Optional[Dict[int, str]] = None
+) -> Union[Graph, Tuple[Graph, Dict[int, str]]]:
     """Return the largest connected component, preserving the name.
 
     The paper's treatment for every generator that can emit a
     disconnected graph ("we pick this connected component for our
     analyses").
+
+    With ``roles`` given (a node -> role annotation, as produced by the
+    structural generators) the annotation is restricted to the surviving
+    nodes and returned alongside the component, so role maps can never
+    go stale under component extraction.
     """
     if is_connected(graph):
+        if roles is not None:
+            return graph, restrict_roles(graph, roles)
         return graph
     component = largest_connected_component(graph)
     component.name = graph.name
+    if roles is not None:
+        return component, restrict_roles(component, roles)
     return component
+
+
+def restrict_roles(graph, roles: Dict[int, str]) -> Dict[int, str]:
+    """Restrict a node -> role map to the nodes actually in ``graph``.
+
+    Works on either representation (mutable ``Graph`` or frozen
+    ``CSRGraph``); iteration follows the graph's node order so the
+    restricted map lists surviving nodes in insertion order.
+    """
+    return {node: roles[node] for node in graph.nodes() if node in roles}

@@ -8,15 +8,19 @@ grows the graph incrementally, each new node connecting ``m`` links to
 already-placed nodes with Barabási–Albert preferential attachment,
 optionally modulated by a Waxman distance factor (the geographic-bias
 feature the paper "did not explore"; off by default here too).
+
+Like plain B-A, the growth loop samples from the repeated-endpoints pool
+and dedupes targets in a local set, so it streams natively: no membership
+queries ever reach the sink.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.generators.base import Seed, giant_component, make_rng
-from repro.graph.core import Graph
+from repro.generators.base import Seed, make_rng, require
+from repro.generators.builder import EdgeSink, GraphSink
 
 Placement = str  # "random" | "heavy_tailed"
 
@@ -33,8 +37,10 @@ def _place_nodes(
     """
     if placement == "random":
         return [(rng.random() * plane_side, rng.random() * plane_side) for _ in range(n)]
-    if placement != "heavy_tailed":
-        raise ValueError("placement must be 'random' or 'heavy_tailed'")
+    require(
+        placement == "heavy_tailed",
+        "placement must be 'random' or 'heavy_tailed'",
+    )
 
     cells_per_side = max(1, int(math.sqrt(n / 4)))
     cell = plane_side / cells_per_side
@@ -60,42 +66,19 @@ def _place_nodes(
     return positions
 
 
-def brite(
-    n: int = 2000,
-    m: int = 2,
-    placement: Placement = "heavy_tailed",
-    waxman_alpha: float = 0.0,
-    waxman_beta: float = 0.2,
-    plane_side: int = 1000,
-    seed: Seed = None,
-) -> Graph:
-    """Generate a BRITE graph; returns the giant component.
-
-    Parameters
-    ----------
-    n, m:
-        Node count and links per joining node.
-    placement:
-        ``"heavy_tailed"`` (the paper's choice) or ``"random"``.
-    waxman_alpha:
-        If > 0, modulate preferential attachment by the Waxman factor
-        ``alpha * exp(-d / (beta * L))`` (BRITE's geographic bias; the
-        paper left this off, so 0.0 disables it by default).
-    waxman_beta, plane_side:
-        Waxman shape parameter and plane size.
-    """
-    if m < 1:
-        raise ValueError("m must be >= 1")
-    if n <= m:
-        raise ValueError("n must exceed m")
-    rng = make_rng(seed)
-    positions = _place_nodes(n, placement, plane_side, rng)
-    diagonal = plane_side * math.sqrt(2.0)
-
-    graph = Graph(name=f"Brite(n={n},m={m},{placement})")
+def _emit_brite(
+    dest: EdgeSink,
+    n: int,
+    m: int,
+    positions: List[Tuple[float, float]],
+    waxman_alpha: float,
+    waxman_beta: float,
+    diagonal: float,
+    rng,
+) -> None:
     pool: List[int] = []
     for v in range(1, m + 1):
-        graph.add_edge(0, v)
+        dest.add_edge(0, v)
         pool.extend((0, v))
 
     use_waxman = waxman_alpha > 0.0
@@ -116,6 +99,46 @@ def brite(
                     continue
             targets.add(candidate)
         for t in targets:
-            graph.add_edge(new, t)
+            dest.add_edge(new, t)
             pool.extend((new, t))
-    return giant_component(graph)
+
+
+def brite(
+    n: int = 2000,
+    m: int = 2,
+    placement: Placement = "heavy_tailed",
+    waxman_alpha: float = 0.0,
+    waxman_beta: float = 0.2,
+    plane_side: int = 1000,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+):
+    """Generate a BRITE graph; returns the giant component.
+
+    Parameters
+    ----------
+    n, m:
+        Node count and links per joining node.
+    placement:
+        ``"heavy_tailed"`` (the paper's choice) or ``"random"``.
+    waxman_alpha:
+        If > 0, modulate preferential attachment by the Waxman factor
+        ``alpha * exp(-d / (beta * L))`` (BRITE's geographic bias; the
+        paper left this off, so 0.0 disables it by default).
+    waxman_beta, plane_side:
+        Waxman shape parameter and plane size.
+    sink:
+        Optional edge sink (see :mod:`repro.generators.builder`).
+    """
+    require(m >= 1, "m must be >= 1")
+    require(n > m, "n must exceed m")
+    rng = make_rng(seed)
+    positions = _place_nodes(n, placement, plane_side, rng)
+    diagonal = plane_side * math.sqrt(2.0)
+
+    name = f"Brite(n={n},m={m},{placement})"
+    dest = sink if sink is not None else GraphSink()
+    _emit_brite(
+        dest, n, m, positions, waxman_alpha, waxman_beta, diagonal, rng
+    )
+    return dest.finalize(name=name, component="giant")

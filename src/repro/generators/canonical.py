@@ -5,97 +5,103 @@ Tree, the rectangular Mesh, and the Erdős–Rényi Random graph, plus the
 complete graph and the linear chain used in the Section 3.2.1 summary
 table.  Each has a known Low/High signature for expansion, resilience and
 distortion, which the test suite asserts.
+
+Every constructor takes an optional ``sink``; none of them makes
+membership queries (``erdos_renyi_gnm`` polls ``number_of_edges``, the
+one exception), so they all stream cleanly.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.generators.base import Seed, giant_component, make_rng
-from repro.graph.core import Graph
+from repro.generators.base import Seed, make_rng, require
+from repro.generators.builder import EdgeSink, GraphSink
 
 
-def kary_tree(branching: int = 3, depth: int = 6) -> Graph:
+def kary_tree(
+    branching: int = 3, depth: int = 6, sink: Optional[EdgeSink] = None
+):
     """Complete k-ary tree; the paper's Tree is ``k=3, D=6`` (1093 nodes).
 
     Node 0 is the root; children are numbered breadth-first.
     """
-    if branching < 1:
-        raise ValueError("branching must be >= 1")
-    if depth < 0:
-        raise ValueError("depth must be >= 0")
-    graph = Graph(name=f"Tree(k={branching},D={depth})")
-    graph.add_node(0)
+    require(branching >= 1, "branching must be >= 1")
+    require(depth >= 0, "depth must be >= 0")
+    dest = sink if sink is not None else GraphSink()
+    dest.add_node(0)
     next_id = 1
     frontier = [0]
     for _ in range(depth):
         new_frontier = []
         for node in frontier:
             for _ in range(branching):
-                graph.add_edge(node, next_id)
+                dest.add_edge(node, next_id)
                 new_frontier.append(next_id)
                 next_id += 1
         frontier = new_frontier
-    return graph
+    return dest.finalize(name=f"Tree(k={branching},D={depth})", component="all")
 
 
-def mesh(rows: int = 30, cols: Optional[int] = None) -> Graph:
+def mesh(
+    rows: int = 30, cols: Optional[int] = None, sink: Optional[EdgeSink] = None
+):
     """Rectangular grid; the paper's Mesh is 30x30 (900 nodes).
 
     Node ``(r, c)`` is labeled ``r * cols + c``.
     """
     if cols is None:
         cols = rows
-    if rows < 1 or cols < 1:
-        raise ValueError("mesh dimensions must be >= 1")
-    graph = Graph(name=f"Mesh({rows}x{cols})")
+    require(rows >= 1 and cols >= 1, "mesh dimensions must be >= 1")
+    dest = sink if sink is not None else GraphSink()
     for r in range(rows):
         for c in range(cols):
             node = r * cols + c
-            graph.add_node(node)
+            dest.add_node(node)
             if r + 1 < rows:
-                graph.add_edge(node, (r + 1) * cols + c)
+                dest.add_edge(node, (r + 1) * cols + c)
             if c + 1 < cols:
-                graph.add_edge(node, r * cols + c + 1)
-    return graph
+                dest.add_edge(node, r * cols + c + 1)
+    return dest.finalize(name=f"Mesh({rows}x{cols})", component="all")
 
 
-def linear_chain(n: int) -> Graph:
+def linear_chain(n: int, sink: Optional[EdgeSink] = None):
     """Path graph on ``n`` nodes (the Section 3.2.1 'Linear' network)."""
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    graph = Graph(name=f"Linear({n})")
-    graph.add_node(0)
+    require(n >= 1, "n must be >= 1")
+    dest = sink if sink is not None else GraphSink()
+    dest.add_node(0)
     for i in range(1, n):
-        graph.add_edge(i - 1, i)
-    return graph
+        dest.add_edge(i - 1, i)
+    return dest.finalize(name=f"Linear({n})", component="all")
 
 
-def complete_graph(n: int) -> Graph:
+def complete_graph(n: int, sink: Optional[EdgeSink] = None):
     """Complete graph on ``n`` nodes (the Section 3.2.1 'Complete')."""
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    graph = Graph(name=f"Complete({n})")
-    graph.add_node(0)
+    require(n >= 1, "n must be >= 1")
+    dest = sink if sink is not None else GraphSink()
+    dest.add_node(0)
     for u in range(n):
         for v in range(u + 1, n):
-            graph.add_edge(u, v)
-    return graph
+            dest.add_edge(u, v)
+    return dest.finalize(name=f"Complete({n})", component="all")
 
 
-def ring(n: int) -> Graph:
+def ring(n: int, sink: Optional[EdgeSink] = None):
     """Cycle graph on ``n`` nodes."""
-    if n < 3:
-        raise ValueError("a ring needs n >= 3")
-    graph = Graph(name=f"Ring({n})")
+    require(n >= 3, "a ring needs n >= 3")
+    dest = sink if sink is not None else GraphSink()
     for i in range(n):
-        graph.add_edge(i, (i + 1) % n)
-    return graph
+        dest.add_edge(i, (i + 1) % n)
+    return dest.finalize(name=f"Ring({n})", component="all")
 
 
 def erdos_renyi(
-    n: int, p: float, seed: Seed = None, connected_only: bool = True
-) -> Graph:
+    n: int,
+    p: float,
+    seed: Seed = None,
+    connected_only: bool = True,
+    sink: Optional[EdgeSink] = None,
+):
     """Erdős–Rényi G(n, p); the paper's Random is ``n=5018, p=0.0008``.
 
     Uses the Batagelj–Brandes geometric-skip construction, so the cost is
@@ -105,13 +111,11 @@ def erdos_renyi(
     """
     import math
 
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    if not 0.0 <= p <= 1.0:
-        raise ValueError("p must be in [0, 1]")
+    require(n >= 1, "n must be >= 1")
+    require(0.0 <= p <= 1.0, "p must be in [0, 1]")
     rng = make_rng(seed)
-    graph = Graph(name=f"Random(n={n},p={p})")
-    graph.add_nodes_from(range(n))
+    dest = sink if sink is not None else GraphSink()
+    dest.add_nodes_from(range(n))
     if p > 0.0:
         log_1p = math.log(1.0 - p) if p < 1.0 else None
         v, w = 1, -1
@@ -124,22 +128,31 @@ def erdos_renyi(
                 w -= v
                 v += 1
             if v < n:
-                graph.add_edge(v, w)
-    return giant_component(graph) if connected_only else graph
+                dest.add_edge(v, w)
+    return dest.finalize(
+        name=f"Random(n={n},p={p})",
+        component="giant" if connected_only else "all",
+    )
 
 
 def erdos_renyi_gnm(
-    n: int, m: int, seed: Seed = None, connected_only: bool = True
-) -> Graph:
+    n: int,
+    m: int,
+    seed: Seed = None,
+    connected_only: bool = True,
+    sink: Optional[EdgeSink] = None,
+):
     """G(n, m): exactly ``m`` distinct random edges (useful in tests)."""
     max_edges = n * (n - 1) // 2
-    if m > max_edges:
-        raise ValueError(f"m={m} exceeds the {max_edges} possible edges")
+    require(m <= max_edges, f"m={m} exceeds the {max_edges} possible edges")
     rng = make_rng(seed)
-    graph = Graph(name=f"Random(n={n},m={m})")
-    graph.add_nodes_from(range(n))
-    while graph.number_of_edges() < m:
+    dest = sink if sink is not None else GraphSink()
+    dest.add_nodes_from(range(n))
+    while dest.number_of_edges() < m:
         u = rng.randrange(n)
         v = rng.randrange(n)
-        graph.add_edge(u, v)
-    return giant_component(graph) if connected_only else graph
+        dest.add_edge(u, v)
+    return dest.finalize(
+        name=f"Random(n={n},m={m})",
+        component="giant" if connected_only else "all",
+    )

@@ -13,6 +13,13 @@ unsatisfied-proportional matching all yield the same large-scale metrics,
 while the *deterministic* high-to-high wiring produces "graphs that are
 quite different from the PLRG".  Every one of those variants is
 implemented here so the Figure 12/13 benches can reproduce that finding.
+
+Every wiring takes an optional ``sink`` (see
+:mod:`repro.generators.builder`): omitted, it returns the mutable
+``Graph`` exactly as before; given, the same emission core streams into
+the sink and the frozen result of ``sink.finalize()`` is returned.  Both
+paths consume the RNG identically, so the edge set per seed is the same
+either way.
 """
 
 from __future__ import annotations
@@ -21,8 +28,14 @@ import bisect
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.generators.base import Seed, giant_component, make_rng
+import numpy as np
+
+from repro.generators.base import Seed, giant_component, make_rng, require
+from repro.generators.builder import EdgeSink, GraphSink
 from repro.graph.core import Graph
+
+#: Edge rows emitted per ``add_chunk`` call on the streaming path.
+_CHUNK_EDGES = 1 << 17
 
 
 # ----------------------------------------------------------------------
@@ -51,20 +64,20 @@ def power_law_degrees(
     The sum of the sampled degrees is forced even (one stub is added to a
     random node if necessary) so a stub matching exists.
     """
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    if exponent <= 1.0:
-        raise ValueError("exponent must be > 1 for a normalisable power law")
-    if min_degree < 1:
-        raise ValueError("min_degree must be >= 1")
+    require(n >= 1, "n must be >= 1")
+    require(exponent > 1.0, "exponent must be > 1 for a normalisable power law")
+    require(min_degree >= 1, "min_degree must be >= 1")
     rng = make_rng(seed)
     k_max = max_degree if max_degree is not None else max(min_degree, n - 1)
-    if k_max < min_degree:
-        raise ValueError("max_degree must be >= min_degree")
+    require(k_max >= min_degree, "max_degree must be >= min_degree")
 
-    # Inverse-CDF sampling over the discrete support.
-    weights = [k ** (-exponent) for k in range(min_degree, k_max + 1)]
-    cumulative = list(itertools.accumulate(weights))
+    # Inverse-CDF sampling over the discrete support.  The support table
+    # is a numpy array (at million-node scale a Python float list here
+    # would dwarf the streaming build's entire footprint); the per-node
+    # draw loop keeps the historical random.Random consumption, so
+    # sequences are unchanged per seed.
+    support = np.arange(min_degree, k_max + 1, dtype=np.float64)
+    cumulative = np.cumsum(support ** (-exponent))
     total = cumulative[-1]
     degrees = []
     for _ in range(n):
@@ -105,105 +118,83 @@ def is_graphical(degrees: Sequence[int]) -> bool:
 
 
 # ----------------------------------------------------------------------
-# Wiring methods (Appendix D.1)
+# Wiring methods (Appendix D.1) — emission cores
 # ----------------------------------------------------------------------
+#
+# Each `_emit_*` core writes one wiring into an EdgeSink.  The public
+# `wire_*` wrappers below keep their historical (degrees, seed) -> Graph
+# signature when `sink` is omitted.
 
-def wire_plrg(degrees: Sequence[int], seed: Seed = None) -> Graph:
-    """The PLRG wiring: clone each node per its degree, match uniformly.
+def _shuffled_stubs(degrees: Sequence[int], rng) -> np.ndarray:
+    """The stub multiset, shuffled in place with ``random.Random``.
 
-    "the PLRG generator makes v_i copies of each node i.  Links are then
-    assigned by randomly picking two node copies and assigning a link
-    between them, until no more copies remain" — self-loops and duplicate
-    links are dropped afterwards.
+    ``rng.shuffle`` runs its usual Fisher–Yates over the numpy array —
+    the draws depend only on the length, and the initial contents equal
+    the historical Python stub list, so the resulting permutation (and
+    every downstream edge) is identical per seed to the old list-based
+    code while costing 4 bytes per stub instead of a Python object.
     """
-    rng = make_rng(seed)
-    stubs: List[int] = []
-    for node, degree in enumerate(degrees):
-        stubs.extend([node] * degree)
+    stubs = np.repeat(
+        np.arange(len(degrees), dtype=np.int32),
+        np.asarray(degrees, dtype=np.int64),
+    )
     rng.shuffle(stubs)
-    graph = Graph(name="PLRG-wired")
-    graph.add_nodes_from(range(len(degrees)))
-    for i in range(0, len(stubs) - 1, 2):
-        graph.add_edge(stubs[i], stubs[i + 1])
-    return graph
+    return stubs
 
 
-def wire_uniform(degrees: Sequence[int], seed: Seed = None) -> Graph:
-    """Uniformly random wiring, *not* proportional to unsatisfied degree.
+def _emit_plrg(dest: EdgeSink, degrees: Sequence[int], rng) -> None:
+    stubs = _shuffled_stubs(degrees, rng)
+    dest.add_nodes_from(range(len(degrees)))
+    pairs = stubs[: 2 * (len(stubs) // 2)].reshape(-1, 2)
+    for start in range(0, len(pairs), _CHUNK_EDGES):
+        dest.add_chunk(pairs[start : start + _CHUNK_EDGES])
 
-    Repeatedly picks two distinct nodes uniformly among those with
-    unsatisfied degree and links them (Palmer & Steffen style, "connects
-    the nodes randomly, without cloning").  Appendix D.1: "Even for the
-    uniformly random connectivity method ... the large-scale metrics are
-    qualitatively similar to the PLRG."
-    """
-    rng = make_rng(seed)
+
+def _emit_uniform(dest: EdgeSink, degrees: Sequence[int], rng) -> None:
     remaining = list(degrees)
     unsatisfied = [node for node, d in enumerate(remaining) if d > 0]
-    graph = Graph(name="uniform-wired")
-    graph.add_nodes_from(range(len(degrees)))
+    dest.add_nodes_from(range(len(degrees)))
     stale_limit = 50 * max(1, sum(degrees))
     attempts = 0
     while len(unsatisfied) > 1 and attempts < stale_limit:
         attempts += 1
         u, v = rng.sample(unsatisfied, 2)
-        if graph.has_edge(u, v):
+        if dest.has_edge(u, v):
             continue
-        graph.add_edge(u, v)
+        dest.add_edge(u, v)
         for node in (u, v):
             remaining[node] -= 1
             if remaining[node] == 0:
                 unsatisfied.remove(node)
-    return graph
 
 
-def wire_proportional(degrees: Sequence[int], seed: Seed = None) -> Graph:
-    """Wiring proportional to *assigned* degree.
-
-    Each endpoint of each new link is drawn with probability proportional
-    to the node's assigned degree (with replacement of candidates), until
-    every node's degree budget is exhausted or no progress is possible.
-    """
-    rng = make_rng(seed)
+def _emit_proportional(dest: EdgeSink, degrees: Sequence[int], rng) -> None:
     n = len(degrees)
     remaining = list(degrees)
     # Stub list sampling = degree-proportional choice.
-    stubs: List[int] = []
-    for node, degree in enumerate(degrees):
-        stubs.extend([node] * degree)
-    graph = Graph(name="proportional-wired")
-    graph.add_nodes_from(range(n))
+    stubs = np.repeat(np.arange(n, dtype=np.int32), np.asarray(degrees, dtype=np.int64))
+    dest.add_nodes_from(range(n))
     target_edges = sum(degrees) // 2
     attempts = 0
     limit = 50 * max(1, target_edges)
-    while graph.number_of_edges() < target_edges and attempts < limit:
+    while dest.number_of_edges() < target_edges and attempts < limit:
         attempts += 1
-        u = stubs[rng.randrange(len(stubs))]
-        v = stubs[rng.randrange(len(stubs))]
+        u = int(stubs[rng.randrange(len(stubs))])
+        v = int(stubs[rng.randrange(len(stubs))])
         if u == v or remaining[u] <= 0 or remaining[v] <= 0:
             continue
-        if graph.has_edge(u, v):
+        if dest.has_edge(u, v):
             continue
-        graph.add_edge(u, v)
+        dest.add_edge(u, v)
         remaining[u] -= 1
         remaining[v] -= 1
-    return graph
 
 
-def wire_unsatisfied_proportional(degrees: Sequence[int], seed: Seed = None) -> Graph:
-    """Wiring proportional to *unsatisfied* degree (assigned minus used).
-
-    One of the "other variants of these random connectivity techniques"
-    Appendix D.1 lists: endpoints drawn in proportion to the degree still
-    to be satisfied.  Implemented as a dynamic stub pool: links consume
-    stubs, so the pool is exactly unsatisfied-degree-proportional.
-    """
-    rng = make_rng(seed)
+def _emit_unsatisfied(dest: EdgeSink, degrees: Sequence[int], rng) -> None:
     stubs: List[int] = []
     for node, degree in enumerate(degrees):
         stubs.extend([node] * degree)
-    graph = Graph(name="unsatisfied-wired")
-    graph.add_nodes_from(range(len(degrees)))
+    dest.add_nodes_from(range(len(degrees)))
     attempts = 0
     limit = 50 * max(1, len(stubs))
     while len(stubs) > 1 and attempts < limit:
@@ -213,18 +204,134 @@ def wire_unsatisfied_proportional(degrees: Sequence[int], seed: Seed = None) -> 
         if i == j:
             continue
         u, v = stubs[i], stubs[j]
-        if u == v or graph.has_edge(u, v):
+        if u == v or dest.has_edge(u, v):
             # Swap-delete nothing: failed draw, try again.
             continue
-        graph.add_edge(u, v)
+        dest.add_edge(u, v)
         # Remove the two consumed stubs (larger index first).
         for k in sorted((i, j), reverse=True):
             stubs[k] = stubs[-1]
             stubs.pop()
-    return graph
 
 
-def wire_deterministic(degrees: Sequence[int], seed: Seed = None) -> Graph:
+def _emit_deterministic(dest: EdgeSink, degrees: Sequence[int], rng) -> None:
+    del rng  # deterministic by construction
+    n = len(degrees)
+    order = sorted(range(n), key=lambda node: (-degrees[node], node))
+    remaining = list(degrees)
+    dest.add_nodes_from(range(n))
+    for pos, u in enumerate(order):
+        if remaining[u] <= 0:
+            continue
+        for v in order[pos + 1:]:
+            if remaining[u] <= 0:
+                break
+            if remaining[v] <= 0 or dest.has_edge(u, v):
+                continue
+            dest.add_edge(u, v)
+            remaining[u] -= 1
+            remaining[v] -= 1
+
+
+def _emit_highest_first(dest: EdgeSink, degrees: Sequence[int], rng) -> None:
+    n = len(degrees)
+    remaining = list(degrees)
+    stubs = np.repeat(np.arange(n, dtype=np.int32), np.asarray(degrees, dtype=np.int64))
+    dest.add_nodes_from(range(n))
+    order = sorted(range(n), key=lambda node: (-degrees[node], node))
+    limit = 50 * max(1, len(stubs))
+    attempts = 0
+    for u in order:
+        while remaining[u] > 0 and attempts < limit:
+            attempts += 1
+            v = int(stubs[rng.randrange(len(stubs))])
+            if v == u or remaining[v] <= 0 or dest.has_edge(u, v):
+                continue
+            dest.add_edge(u, v)
+            remaining[u] -= 1
+            remaining[v] -= 1
+        if attempts >= limit:
+            break
+
+
+_EMITTERS: Dict[str, Callable] = {
+    "plrg": _emit_plrg,
+    "uniform": _emit_uniform,
+    "proportional": _emit_proportional,
+    "unsatisfied": _emit_unsatisfied,
+    "highest_first": _emit_highest_first,
+    "deterministic": _emit_deterministic,
+}
+
+
+def _wire(
+    method: str, name: str, degrees: Sequence[int], seed: Seed, sink: Optional[EdgeSink]
+):
+    require(
+        all(d >= 0 for d in degrees),
+        "degrees must be non-negative",
+    )
+    rng = make_rng(seed)
+    dest = sink if sink is not None else GraphSink()
+    _EMITTERS[method](dest, degrees, rng)
+    return dest.finalize(name=name, component="all")
+
+
+def wire_plrg(
+    degrees: Sequence[int], seed: Seed = None, sink: Optional[EdgeSink] = None
+):
+    """The PLRG wiring: clone each node per its degree, match uniformly.
+
+    "the PLRG generator makes v_i copies of each node i.  Links are then
+    assigned by randomly picking two node copies and assigning a link
+    between them, until no more copies remain" — self-loops and duplicate
+    links are dropped afterwards.
+    """
+    return _wire("plrg", "PLRG-wired", degrees, seed, sink)
+
+
+def wire_uniform(
+    degrees: Sequence[int], seed: Seed = None, sink: Optional[EdgeSink] = None
+):
+    """Uniformly random wiring, *not* proportional to unsatisfied degree.
+
+    Repeatedly picks two distinct nodes uniformly among those with
+    unsatisfied degree and links them (Palmer & Steffen style, "connects
+    the nodes randomly, without cloning").  Appendix D.1: "Even for the
+    uniformly random connectivity method ... the large-scale metrics are
+    qualitatively similar to the PLRG."
+    """
+    return _wire("uniform", "uniform-wired", degrees, seed, sink)
+
+
+def wire_proportional(
+    degrees: Sequence[int], seed: Seed = None, sink: Optional[EdgeSink] = None
+):
+    """Wiring proportional to *assigned* degree.
+
+    Each endpoint of each new link is drawn with probability proportional
+    to the node's assigned degree (with replacement of candidates), until
+    every node's degree budget is exhausted or no progress is possible.
+    """
+    return _wire("proportional", "proportional-wired", degrees, seed, sink)
+
+
+def wire_unsatisfied_proportional(
+    degrees: Sequence[int], seed: Seed = None, sink: Optional[EdgeSink] = None
+):
+    """Wiring proportional to *unsatisfied* degree (assigned minus used).
+
+    One of the "other variants of these random connectivity techniques"
+    Appendix D.1 lists: endpoints drawn in proportion to the degree still
+    to be satisfied.  Implemented as a dynamic stub pool: links consume
+    stubs, so the pool is exactly unsatisfied-degree-proportional.
+    """
+    return _wire("unsatisfied", "unsatisfied-wired", degrees, seed, sink)
+
+
+def wire_deterministic(
+    degrees: Sequence[int], seed: Seed = None, sink: Optional[EdgeSink] = None
+):
     """The deterministic high-to-high wiring of Appendix D.1.
 
     "Start with the highest degree node, add one link each from this node
@@ -237,27 +344,12 @@ def wire_deterministic(degrees: Sequence[int], seed: Seed = None) -> Graph:
     ablation bench verifies exactly that.  ``seed`` is accepted for
     interface uniformity but unused.
     """
-    del seed  # deterministic by construction
-    n = len(degrees)
-    order = sorted(range(n), key=lambda node: (-degrees[node], node))
-    remaining = list(degrees)
-    graph = Graph(name="deterministic-wired")
-    graph.add_nodes_from(range(n))
-    for pos, u in enumerate(order):
-        if remaining[u] <= 0:
-            continue
-        for v in order[pos + 1:]:
-            if remaining[u] <= 0:
-                break
-            if remaining[v] <= 0 or graph.has_edge(u, v):
-                continue
-            graph.add_edge(u, v)
-            remaining[u] -= 1
-            remaining[v] -= 1
-    return graph
+    return _wire("deterministic", "deterministic-wired", degrees, seed, sink)
 
 
-def wire_highest_first(degrees: Sequence[int], seed: Seed = None) -> Graph:
+def wire_highest_first(
+    degrees: Sequence[int], seed: Seed = None, sink: Optional[EdgeSink] = None
+):
     """Ordered processing with random partners.
 
     Another Appendix D.1 variant: "start with the highest degree ...
@@ -269,32 +361,10 @@ def wire_highest_first(degrees: Sequence[int], seed: Seed = None) -> Graph:
     PLRG, and (per the paper) it behaves like the PLRG because the
     randomness is what matters.
     """
-    rng = make_rng(seed)
-    n = len(degrees)
-    remaining = list(degrees)
-    stubs: List[int] = []
-    for node, degree in enumerate(degrees):
-        stubs.extend([node] * degree)
-    graph = Graph(name="highest-first-wired")
-    graph.add_nodes_from(range(n))
-    order = sorted(range(n), key=lambda node: (-degrees[node], node))
-    limit = 50 * max(1, len(stubs))
-    attempts = 0
-    for u in order:
-        while remaining[u] > 0 and attempts < limit:
-            attempts += 1
-            v = stubs[rng.randrange(len(stubs))]
-            if v == u or remaining[v] <= 0 or graph.has_edge(u, v):
-                continue
-            graph.add_edge(u, v)
-            remaining[u] -= 1
-            remaining[v] -= 1
-        if attempts >= limit:
-            break
-    return graph
+    return _wire("highest_first", "highest-first-wired", degrees, seed, sink)
 
 
-WIRING_METHODS: Dict[str, Callable[[Sequence[int], Seed], Graph]] = {
+WIRING_METHODS: Dict[str, Callable[..., Graph]] = {
     "plrg": wire_plrg,
     "uniform": wire_uniform,
     "proportional": wire_proportional,
@@ -305,8 +375,11 @@ WIRING_METHODS: Dict[str, Callable[[Sequence[int], Seed], Graph]] = {
 
 
 def rewire_with_method(
-    graph: Graph, method: str = "plrg", seed: Seed = None
-) -> Graph:
+    graph: Graph,
+    method: str = "plrg",
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+):
     """Reconnect an existing graph's degree sequence with another wiring.
 
     This is the Appendix D.1 / Figure 13 experiment: "we created two new
@@ -315,14 +388,21 @@ def rewire_with_method(
     connect them together using the PLRG connectivity algorithm."
     Returns the giant component of the rewired graph.
     """
-    if method not in WIRING_METHODS:
-        raise ValueError(
-            f"unknown wiring method {method!r}; choose from {sorted(WIRING_METHODS)}"
-        )
+    require(
+        method in _EMITTERS,
+        f"unknown wiring method {method!r}; choose from {sorted(_EMITTERS)}",
+    )
     degrees = [graph.degree(node) for node in graph.nodes()]
-    rewired = WIRING_METHODS[method](degrees, seed)
-    rewired.name = f"{graph.name}+{method}-rewired"
-    return giant_component(rewired)
+    rng = make_rng(seed)
+    name = f"{graph.name}+{method}-rewired"
+    if sink is None:
+        dest = GraphSink()
+        _EMITTERS[method](dest, degrees, rng)
+        rewired = dest.graph
+        rewired.name = name
+        return giant_component(rewired)
+    _EMITTERS[method](sink, degrees, rng)
+    return sink.finalize(name=name, component="giant")
 
 
 # Canonical implementations live in repro.metrics.degree (measuring a

@@ -15,49 +15,24 @@ to 1 sharpen it).  At each step:
 The BT paper fits ``m ≈ 1.13, p ≈ 0.4695, beta_glp ≈ 0.6447`` to the AS
 graph; fractional ``m`` is realised by adding ``ceil(m)`` links with the
 fractional probability and ``floor(m)`` otherwise.
+
+The rejection sampler queries ``degree``/``has_edge`` as it goes, so on
+the streaming path the sink runs in exact mode (incremental packed edge
+set + degree array) — still no dict-of-sets graph.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Optional
 
-from repro.generators.base import GenerationError, Seed, giant_component, make_rng
-from repro.graph.core import Graph
+from repro.generators.base import GenerationError, Seed, make_rng, require
+from repro.generators.builder import EdgeSink, GraphSink
 
 
-def glp(
-    n: int = 2000,
-    m: float = 1.13,
-    p: float = 0.4695,
-    beta_glp: float = 0.6447,
-    seed: Seed = None,
-) -> Graph:
-    """Generate a GLP ("BT") graph; returns the giant component.
-
-    Parameters
-    ----------
-    n:
-        Target number of nodes.
-    m:
-        (Possibly fractional) links added per step.
-    p:
-        Probability that a step adds links rather than a node.
-    beta_glp:
-        Preference shift, < 1.  ``beta_glp = 0`` recovers linear (B-A)
-        preference for the new-node steps.
-    """
-    if not 0 <= p < 1:
-        raise ValueError("p must be in [0, 1)")
-    if beta_glp >= 1:
-        raise ValueError("beta_glp must be < 1")
-    if m <= 0:
-        raise ValueError("m must be positive")
-    if n < 3:
-        raise ValueError("n must be >= 3")
-    rng = make_rng(seed)
-    graph = Graph(name=f"BT(n={n},m={m},p={p},beta={beta_glp})")
+def _emit_glp(dest: EdgeSink, n: int, m: float, p: float, beta_glp: float, rng) -> None:
     # Seed triangle-free start: a 2-node line, as in the GLP paper (m0=2).
-    graph.add_edge(0, 1)
+    dest.add_edge(0, 1)
     node_list = [0, 1]
     max_deg = 1
 
@@ -78,32 +53,66 @@ def glp(
             if guard > 10000:
                 raise GenerationError("GLP preferential sampling stalled")
             candidate = node_list[rng.randrange(len(node_list))]
-            w = graph.degree(candidate) - beta_glp
+            w = dest.degree(candidate) - beta_glp
             if rng.random() * max_w <= w:
                 return candidate
 
     guard = 0
-    while graph.number_of_nodes() < n:
+    while dest.number_of_nodes() < n:
         guard += 1
         if guard > 100 * n:
             raise GenerationError("GLP failed to reach target size")
-        if rng.random() < p and graph.number_of_nodes() >= 3:
+        if rng.random() < p and dest.number_of_nodes() >= 3:
             for _ in range(links_this_step()):
                 u = preferential()
                 v = preferential()
-                if u != v and not graph.has_edge(u, v):
-                    graph.add_edge(u, v)
-                    max_deg = max(max_deg, graph.degree(u), graph.degree(v))
+                if u != v and not dest.has_edge(u, v):
+                    dest.add_edge(u, v)
+                    max_deg = max(max_deg, dest.degree(u), dest.degree(v))
         else:
-            new = graph.number_of_nodes()
-            count = min(links_this_step(), graph.number_of_nodes())
+            new = dest.number_of_nodes()
+            count = min(links_this_step(), dest.number_of_nodes())
             targets = set()
             attempts = 0
             while len(targets) < count and attempts < 1000:
                 attempts += 1
                 targets.add(preferential())
             for t in targets:
-                graph.add_edge(new, t)
-                max_deg = max(max_deg, graph.degree(t), graph.degree(new))
+                dest.add_edge(new, t)
+                max_deg = max(max_deg, dest.degree(t), dest.degree(new))
             node_list.append(new)
-    return giant_component(graph)
+
+
+def glp(
+    n: int = 2000,
+    m: float = 1.13,
+    p: float = 0.4695,
+    beta_glp: float = 0.6447,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+):
+    """Generate a GLP ("BT") graph; returns the giant component.
+
+    Parameters
+    ----------
+    n:
+        Target number of nodes.
+    m:
+        (Possibly fractional) links added per step.
+    p:
+        Probability that a step adds links rather than a node.
+    beta_glp:
+        Preference shift, < 1.  ``beta_glp = 0`` recovers linear (B-A)
+        preference for the new-node steps.
+    sink:
+        Optional edge sink (see :mod:`repro.generators.builder`).
+    """
+    require(0 <= p < 1, "p must be in [0, 1)")
+    require(beta_glp < 1, "beta_glp must be < 1")
+    require(m > 0, "m must be positive")
+    require(n >= 3, "n must be >= 3")
+    rng = make_rng(seed)
+    name = f"BT(n={n},m={m},p={p},beta={beta_glp})"
+    dest = sink if sink is not None else GraphSink()
+    _emit_glp(dest, n, m, p, beta_glp, rng)
+    return dest.finalize(name=name, component="giant")

@@ -11,56 +11,25 @@ Our reimplementation samples the degree sequence from a power law (the
 original derives it from measured AS growth curves; the paper's
 conclusions only require a heavy tail) and follows the three wiring
 phases exactly.
+
+Phases 2 and 3 reject duplicate links via ``has_edge``, so on the
+streaming path the sink runs in exact mode; phase 1 (the spanning tree)
+is query-free.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.generators.base import GenerationError, Seed, giant_component, make_rng
+from repro.generators.base import GenerationError, Seed, make_rng
+from repro.generators.builder import EdgeSink, GraphSink
 from repro.generators.degree_sequence import is_graphical, power_law_degrees
-from repro.graph.core import Graph
 
 
-def inet(
-    n: int = 2000,
-    exponent: float = 2.2,
-    seed: Seed = None,
-    max_degree: Optional[int] = None,
-    max_resample: int = 20,
-) -> Graph:
-    """Generate an Inet-style graph; returns the giant component.
-
-    Parameters
-    ----------
-    n:
-        Number of nodes.
-    exponent:
-        Power-law exponent of the sampled degree sequence.
-    max_degree:
-        Optional degree cap (default ``n - 1``).
-    max_resample:
-        Feasibility retries before giving up.
-    """
-    rng = make_rng(seed)
-    degrees: Optional[List[int]] = None
-    for _ in range(max_resample):
-        candidate = power_law_degrees(
-            n, exponent, seed=rng, max_degree=max_degree
-        )
-        # Feasibility: graphical, and enough degree->1 nodes to hang off
-        # the spanning tree of the >1-degree core.
-        core = [d for d in candidate if d > 1]
-        if len(core) >= 2 and is_graphical(candidate):
-            degrees = candidate
-            break
-    if degrees is None:
-        raise GenerationError("could not sample a feasible Inet degree sequence")
-
+def _emit_inet(dest: EdgeSink, n: int, degrees: List[int], rng) -> None:
     order = sorted(range(n), key=lambda i: -degrees[i])
     remaining = list(degrees)
-    graph = Graph(name=f"Inet(n={n},beta={exponent})")
-    graph.add_nodes_from(range(n))
+    dest.add_nodes_from(range(n))
 
     core_nodes = [i for i in order if degrees[i] > 1]
     leaf_nodes = [i for i in order if degrees[i] == 1]
@@ -71,7 +40,7 @@ def inet(
     tree_stubs = [core_nodes[0]] * degrees[core_nodes[0]]
     for node in core_nodes[1:]:
         target = tree_stubs[rng.randrange(len(tree_stubs))]
-        graph.add_edge(node, target)
+        dest.add_edge(node, target)
         remaining[node] -= 1
         remaining[target] -= 1
         in_tree.append(node)
@@ -87,8 +56,8 @@ def inet(
             if guard > 100000:
                 raise GenerationError("Inet leaf attachment stalled")
             target = tree_stubs[rng.randrange(len(tree_stubs))]
-            if target != leaf and not graph.has_edge(leaf, target):
-                graph.add_edge(leaf, target)
+            if target != leaf and not dest.has_edge(leaf, target):
+                dest.add_edge(leaf, target)
                 remaining[leaf] -= 1
                 remaining[target] -= 1
                 break
@@ -111,12 +80,55 @@ def inet(
             if (
                 partner == node
                 or remaining[partner] <= 0
-                or graph.has_edge(node, partner)
+                or dest.has_edge(node, partner)
             ):
                 continue
-            graph.add_edge(node, partner)
+            dest.add_edge(node, partner)
             remaining[node] -= 1
             remaining[partner] -= 1
         if attempts >= limit:
             break  # residual stubs unplaceable; acceptable, as in Inet
-    return giant_component(graph)
+
+
+def inet(
+    n: int = 2000,
+    exponent: float = 2.2,
+    seed: Seed = None,
+    max_degree: Optional[int] = None,
+    max_resample: int = 20,
+    sink: Optional[EdgeSink] = None,
+):
+    """Generate an Inet-style graph; returns the giant component.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    exponent:
+        Power-law exponent of the sampled degree sequence.
+    max_degree:
+        Optional degree cap (default ``n - 1``).
+    max_resample:
+        Feasibility retries before giving up.
+    sink:
+        Optional edge sink (see :mod:`repro.generators.builder`).
+    """
+    rng = make_rng(seed)
+    degrees: Optional[List[int]] = None
+    for _ in range(max_resample):
+        candidate = power_law_degrees(
+            n, exponent, seed=rng, max_degree=max_degree
+        )
+        # Feasibility: graphical, and enough degree->1 nodes to hang off
+        # the spanning tree of the >1-degree core.
+        core = [d for d in candidate if d > 1]
+        if len(core) >= 2 and is_graphical(candidate):
+            degrees = candidate
+            break
+    if degrees is None:
+        raise GenerationError("could not sample a feasible Inet degree sequence")
+
+    name = f"Inet(n={n},beta={exponent})"
+    dest = sink if sink is not None else GraphSink()
+    _emit_inet(dest, n, degrees, rng)
+    return dest.finalize(name=name, component="giant")

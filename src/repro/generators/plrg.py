@@ -8,6 +8,12 @@ them, until no more copies remain."
 
 Self-loops and duplicate links are dropped and the largest connected
 component is returned, exactly as in the paper.
+
+This is the headline streaming generator: with a
+:class:`~repro.generators.builder.GraphBuilder` sink it never touches the
+dict-of-sets build layer (the wiring makes no membership queries), so
+million-node instances freeze straight from the stub permutation into CSR
+arrays — the scale-smoke bench builds one to prove it.
 """
 
 from __future__ import annotations
@@ -15,7 +21,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.generators.base import Seed, giant_component, make_rng
-from repro.generators.degree_sequence import power_law_degrees, wire_plrg
+from repro.generators.builder import EdgeSink, GraphSink
+from repro.generators.degree_sequence import _emit_plrg, power_law_degrees
 from repro.graph.core import Graph
 
 
@@ -24,7 +31,8 @@ def plrg(
     exponent: float = 2.246,
     seed: Seed = None,
     max_degree: Optional[int] = None,
-) -> Graph:
+    sink: Optional[EdgeSink] = None,
+):
     """Generate a PLRG and return its giant component.
 
     Parameters
@@ -40,9 +48,16 @@ def plrg(
         Reproducibility seed.
     max_degree:
         Optional cap on sampled degrees; defaults to ``n - 1``.
+    sink:
+        Optional edge sink.  Omitted: the mutable ``Graph`` is returned,
+        exactly as before.  Given: the same wiring streams into the sink
+        and ``sink.finalize(component="giant")`` is returned (a frozen
+        ``CSRGraph`` for a ``GraphBuilder``).
     """
     rng = make_rng(seed)
     degrees = power_law_degrees(n, exponent, seed=rng, max_degree=max_degree)
-    graph = wire_plrg(degrees, seed=rng)
-    graph.name = f"PLRG(n={n},beta={exponent})"
-    return giant_component(graph)
+    name = f"PLRG(n={n},beta={exponent})"
+    dest = sink if sink is not None else GraphSink()
+    _emit_plrg(dest, degrees, rng)
+    del degrees
+    return dest.finalize(name=name, component="giant")

@@ -1,0 +1,428 @@
+"""One uniform front door for every topology generator.
+
+Each generator is registered as a :class:`GeneratorSpec` whose ``build``
+callable has the uniform signature ``build(n, seed=None, sink=None,
+**params)``:
+
+* ``n`` — the target node count.  Generators whose natural inputs are
+  structural (tree depth, mesh side, transit-stub domain shape) derive a
+  parameter vector approximating ``n`` nodes; explicit structural
+  parameters (``depth=6``, ``rows=30``, ``params=TransitStubParams(...)``)
+  always win over the derivation, so pinned instances — the Figure-1
+  harness registry, the CLI — are bit-for-bit unchanged.
+* ``seed`` — reproducibility seed (ignored by the deterministic
+  canonical networks).
+* ``sink`` — optional :class:`~repro.generators.builder.EdgeSink`.
+  Omitted: a mutable ``Graph``, exactly as the underlying function has
+  always returned.  A ``GraphBuilder``: a frozen ``CSRGraph`` streamed
+  without ever building the dict form (``streaming=False`` specs
+  materialize internally and replay; the edge set per seed is identical
+  either way).
+
+Use :func:`get` / :func:`available` to look specs up::
+
+    from repro.generators import registry
+    spec = registry.get("plrg")
+    graph = spec.build(10_000, seed=3, sink=GraphBuilder())
+
+Invalid parameters raise :class:`~repro.generators.base.GenerationError`
+(a ``ValueError`` subclass) uniformly across the family.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.generators.base import Seed, require
+from repro.generators.builder import EdgeSink
+from repro.generators.barabasi_albert import (
+    albert_barabasi_extended,
+    barabasi_albert,
+)
+from repro.generators.brite import brite
+from repro.generators.canonical import (
+    erdos_renyi,
+    kary_tree,
+    linear_chain,
+    mesh,
+)
+from repro.generators.glp import glp
+from repro.generators.inet import inet
+from repro.generators.plrg import plrg
+from repro.generators.tiers import TiersParams, tiers
+from repro.generators.transit_stub import TransitStubParams, transit_stub
+from repro.generators.waxman import waxman
+
+__all__ = [
+    "GeneratorSpec",
+    "get",
+    "available",
+    "specs",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorSpec:
+    """A registered generator: metadata plus the uniform build callable.
+
+    ``streaming`` is True when a ``GraphBuilder`` sink is fed directly by
+    the generator (no intermediate dict graph); False when the generator
+    must materialize internally and replay into the sink (the AB model's
+    re-wiring step samples the materialized edge list).
+    """
+
+    name: str
+    category: str  # "canonical" | "structural" | "degree-based"
+    streaming: bool
+    description: str
+    defaults: Mapping[str, object]
+    _build: Callable[..., object]
+
+    def build(
+        self, n: int, seed: Seed = None, sink: Optional[EdgeSink] = None, **params
+    ):
+        """Build an ~``n``-node instance; see the module docstring."""
+        return self._build(n, seed=seed, sink=sink, **params)
+
+
+_REGISTRY: Dict[str, GeneratorSpec] = {}
+
+
+def _register(
+    name: str,
+    category: str,
+    streaming: bool,
+    description: str,
+    defaults: Mapping[str, object],
+    build: Callable[..., object],
+) -> None:
+    _REGISTRY[name] = GeneratorSpec(
+        name=name,
+        category=category,
+        streaming=streaming,
+        description=description,
+        defaults=dict(defaults),
+        _build=build,
+    )
+
+
+def get(name: str) -> GeneratorSpec:
+    """Look up a generator spec by its registry name."""
+    require(
+        name in _REGISTRY,
+        f"unknown generator {name!r}; available: {', '.join(sorted(_REGISTRY))}",
+    )
+    return _REGISTRY[name]
+
+
+def available() -> List[str]:
+    """Registered generator names, in registration (paper) order."""
+    return list(_REGISTRY)
+
+
+def specs() -> List[GeneratorSpec]:
+    """All registered specs, in registration order."""
+    return [_REGISTRY[name] for name in _REGISTRY]
+
+
+# ---------------------------------------------------------------------------
+# Canonical networks
+# ---------------------------------------------------------------------------
+
+
+def _build_tree(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    branching: int = 3,
+    depth: Optional[int] = None,
+):
+    if depth is None:
+        require(n >= 1, "n must be >= 1")
+        require(branching >= 1, "branching must be >= 1")
+        # Smallest complete k-ary tree with at least n nodes.
+        depth = 0
+        total = 1
+        layer = 1
+        while total < n:
+            depth += 1
+            layer *= branching
+            total += layer
+    return kary_tree(branching, depth, sink=sink)
+
+
+def _build_mesh(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    rows: Optional[int] = None,
+    cols: Optional[int] = None,
+):
+    if rows is None:
+        require(n >= 1, "n must be >= 1")
+        rows = max(1, math.isqrt(n))
+        if cols is None and rows * rows < n:
+            cols = -(-n // rows)  # ceil
+    return mesh(rows, cols, sink=sink)
+
+
+def _build_linear(n: int, seed: Seed = None, sink: Optional[EdgeSink] = None):
+    return linear_chain(n, sink=sink)
+
+
+def _build_random(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    p: Optional[float] = None,
+    connected_only: bool = True,
+):
+    if p is None:
+        require(n >= 1, "n must be >= 1")
+        # Comfortably supercritical: average degree 4, as in the paper's
+        # Random rows.
+        p = min(1.0, 4.0 / max(1, n - 1))
+    return erdos_renyi(n, p, seed=seed, connected_only=connected_only, sink=sink)
+
+
+# ---------------------------------------------------------------------------
+# Structural generators: derive an Appendix-C-shaped parameter vector
+# approximating n nodes unless one is given explicitly.
+# ---------------------------------------------------------------------------
+
+
+def _ts_params_for(n: int, **overrides) -> TransitStubParams:
+    require(n >= 2, "n must be >= 2")
+    # Default shape: 6 domains x 6 transit nodes, 3 stubs/node x 9 nodes
+    # = 168 nodes per transit domain.  Scale the domain count for large
+    # n; shrink the per-domain shape below one domain's worth.
+    per_domain = 6 * (1 + 3 * 9)
+    if n >= per_domain:
+        fields: Dict[str, object] = {
+            "transit_domains": max(1, round(n / per_domain))
+        }
+    else:
+        nodes_per_stub = max(1, round((n / 6 - 1) / 3)) if n >= 30 else 1
+        nodes_per_transit = min(6, max(1, n // (1 + 3 * nodes_per_stub)))
+        fields = {
+            "transit_domains": 1,
+            "nodes_per_transit": nodes_per_transit,
+            "nodes_per_stub": nodes_per_stub,
+        }
+    fields.update(overrides)
+    return TransitStubParams(**fields)
+
+
+def _build_transit_stub(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    params: Optional[TransitStubParams] = None,
+    **overrides,
+):
+    if params is None:
+        params = _ts_params_for(n, **overrides)
+    elif overrides:
+        params = dataclasses.replace(params, **overrides)
+    return transit_stub(params, seed=seed, sink=sink)
+
+
+def _tiers_params_for(n: int, **overrides) -> TiersParams:
+    require(n >= 2, "n must be >= 2")
+    # Keep the default shape's tier mass ratios (10% WAN / 40% MAN /
+    # 50% LAN) while scaling counts with n.
+    wan_nodes = max(2, round(0.1 * n))
+    mans = max(1, round(n / 100))
+    man_nodes = max(2, round(0.4 * n / mans))
+    lan_nodes = 3
+    lans_per_man = max(1, round(0.5 * n / (mans * lan_nodes)))
+    fields: Dict[str, object] = {
+        "wan_nodes": wan_nodes,
+        "mans_per_wan": mans,
+        "man_nodes": man_nodes,
+        "lan_nodes": lan_nodes,
+        "lans_per_man": lans_per_man,
+    }
+    fields.update(overrides)
+    return TiersParams(**fields)
+
+
+def _build_tiers(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    params: Optional[TiersParams] = None,
+    **overrides,
+):
+    if params is None:
+        params = _tiers_params_for(n, **overrides)
+    elif overrides:
+        params = dataclasses.replace(params, **overrides)
+    return tiers(params, seed=seed, sink=sink)
+
+
+def _build_waxman(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    alpha: float = 0.005,
+    beta: float = 0.30,
+    connected_only: bool = True,
+):
+    return waxman(
+        n, alpha, beta, seed=seed, connected_only=connected_only, sink=sink
+    )
+
+
+# ---------------------------------------------------------------------------
+# Degree-based generators
+# ---------------------------------------------------------------------------
+
+
+def _build_plrg(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    exponent: float = 2.246,
+    max_degree: Optional[int] = None,
+):
+    return plrg(n, exponent, seed=seed, max_degree=max_degree, sink=sink)
+
+
+def _build_ba(
+    n: int, seed: Seed = None, sink: Optional[EdgeSink] = None, m: int = 2
+):
+    return barabasi_albert(n, m, seed=seed, sink=sink)
+
+
+def _build_ab(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    m: int = 2,
+    p_add: float = 0.15,
+    p_rewire: float = 0.15,
+):
+    return albert_barabasi_extended(
+        n, m, p_add=p_add, p_rewire=p_rewire, seed=seed, sink=sink
+    )
+
+
+def _build_brite(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    m: int = 2,
+    placement: str = "heavy_tailed",
+    waxman_alpha: float = 0.0,
+    waxman_beta: float = 0.2,
+    plane_side: int = 1000,
+):
+    return brite(
+        n,
+        m,
+        placement=placement,
+        waxman_alpha=waxman_alpha,
+        waxman_beta=waxman_beta,
+        plane_side=plane_side,
+        seed=seed,
+        sink=sink,
+    )
+
+
+def _build_glp(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    m: float = 1.13,
+    p: float = 0.4695,
+    beta_glp: float = 0.6447,
+):
+    return glp(n, m=m, p=p, beta_glp=beta_glp, seed=seed, sink=sink)
+
+
+def _build_inet(
+    n: int,
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+    exponent: float = 2.2,
+    max_degree: Optional[int] = None,
+    max_resample: int = 20,
+):
+    return inet(
+        n,
+        exponent,
+        seed=seed,
+        max_degree=max_degree,
+        max_resample=max_resample,
+        sink=sink,
+    )
+
+
+_register(
+    "tree", "canonical", True,
+    "complete k-ary tree (branching, depth; depth derived from n)",
+    {"branching": 3, "depth": None}, _build_tree,
+)
+_register(
+    "mesh", "canonical", True,
+    "rectangular grid (rows, cols; side derived from n)",
+    {"rows": None, "cols": None}, _build_mesh,
+)
+_register(
+    "linear", "canonical", True,
+    "path graph on n nodes",
+    {}, _build_linear,
+)
+_register(
+    "random", "canonical", True,
+    "Erdos-Renyi G(n, p) giant component (p defaults to avg degree 4)",
+    {"p": None, "connected_only": True}, _build_random,
+)
+_register(
+    "waxman", "structural", True,
+    "Waxman geographic random graph",
+    {"alpha": 0.005, "beta": 0.30, "connected_only": True}, _build_waxman,
+)
+_register(
+    "transit-stub", "structural", True,
+    "GT-ITM Transit-Stub (params=TransitStubParams(...) or field overrides)",
+    {"params": None}, _build_transit_stub,
+)
+_register(
+    "tiers", "structural", True,
+    "Tiers WAN/MAN/LAN hierarchy (params=TiersParams(...) or field overrides)",
+    {"params": None}, _build_tiers,
+)
+_register(
+    "plrg", "degree-based", True,
+    "power-law random graph (Aiello-Chung-Lu), giant component",
+    {"exponent": 2.246, "max_degree": None}, _build_plrg,
+)
+_register(
+    "ba", "degree-based", True,
+    "Barabasi-Albert preferential attachment",
+    {"m": 2}, _build_ba,
+)
+_register(
+    "ab", "degree-based", False,
+    "Albert-Barabasi extension with link addition and re-wiring",
+    {"m": 2, "p_add": 0.15, "p_rewire": 0.15}, _build_ab,
+)
+_register(
+    "brite", "degree-based", True,
+    "BRITE v1.0: heavy-tailed placement + preferential attachment",
+    {"m": 2, "placement": "heavy_tailed"}, _build_brite,
+)
+_register(
+    "glp", "degree-based", True,
+    "Bu-Towsley Generalized Linear Preference (the paper's BT)",
+    {"m": 1.13, "p": 0.4695, "beta_glp": 0.6447}, _build_glp,
+)
+_register(
+    "inet", "degree-based", True,
+    "Inet three-phase wiring over a power-law degree sequence",
+    {"exponent": 2.2, "max_degree": None, "max_resample": 20}, _build_inet,
+)

@@ -12,16 +12,20 @@ specified parameter."
 Parameters follow the Appendix C ordering (the implementation, like the
 original, supports exactly one WAN).  The paper's headline instance is
 5000 nodes with average degree 2.83.
+
+The redundancy pass checks node degrees as it links nearest neighbours,
+so on the streaming path the sink runs in exact mode (incremental degree
+array); no dict-of-sets graph is ever built.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.generators.base import Seed, make_rng
-from repro.graph.core import Graph
+from repro.generators.base import Seed, make_rng, require, restrict_roles
+from repro.generators.builder import EdgeSink, GraphSink
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,7 +94,7 @@ def _euclidean_mst(points: List[Tuple[float, float]]) -> List[Tuple[int, int]]:
 
 
 def _build_tier_network(
-    node_ids: List[int], redundancy: int, rng, graph: Graph
+    node_ids: List[int], redundancy: int, rng, dest: EdgeSink
 ) -> List[Tuple[float, float]]:
     """Place a tier's nodes on a plane, MST them, add redundancy links.
 
@@ -104,7 +108,7 @@ def _build_tier_network(
     n = len(node_ids)
     points = [(rng.random(), rng.random()) for _ in range(n)]
     for a, b in _euclidean_mst(points):
-        graph.add_edge(node_ids[a], node_ids[b])
+        dest.add_edge(node_ids[a], node_ids[b])
     if redundancy > 1 and n > 2:
         for i in range(n):
             # Sort other nodes by distance; link the closest until this
@@ -115,9 +119,9 @@ def _build_tier_network(
                 + (points[i][1] - points[j][1]) ** 2,
             )
             for j in by_distance:
-                if graph.degree(node_ids[i]) >= redundancy:
+                if dest.degree(node_ids[i]) >= redundancy:
                     break
-                graph.add_edge(node_ids[i], node_ids[j])
+                dest.add_edge(node_ids[i], node_ids[j])
     return points
 
 
@@ -133,33 +137,7 @@ def _nearest_indices(
     return by_distance[:count]
 
 
-def tiers(params: TiersParams = TiersParams(), seed: Seed = None) -> Graph:
-    """Generate a Tiers topology (connected by construction)."""
-    graph, _ = tiers_with_roles(params, seed)
-    return graph
-
-
-def tiers_with_roles(
-    params: TiersParams = TiersParams(), seed: Seed = None
-) -> Tuple[Graph, Dict[int, str]]:
-    """Like :func:`tiers`, also returning node -> role ("wan" | "man" |
-    "lan"), used by hierarchy sanity checks ("in Tiers [the highest
-    valued links] are in the WAN")."""
-    if params.wans != 1:
-        raise ValueError(
-            "the number of WANs is limited to 1 in the current implementation"
-        )  # same restriction as the original Tiers, per Appendix C
-    for field in (
-        params.mans_per_wan,
-        params.lans_per_man,
-        params.wan_nodes,
-        params.man_nodes,
-        params.lan_nodes,
-    ):
-        if field < 1:
-            raise ValueError("all network sizes/counts must be >= 1")
-    rng = make_rng(seed)
-    graph = Graph(name="Tiers")
+def _emit_tiers(dest: EdgeSink, params: TiersParams, rng) -> Dict[int, str]:
     roles: Dict[int, str] = {}
     next_id = 0
 
@@ -167,9 +145,9 @@ def tiers_with_roles(
     wan_ids = list(range(next_id, next_id + params.wan_nodes))
     next_id += params.wan_nodes
     for node in wan_ids:
-        graph.add_node(node)
+        dest.add_node(node)
         roles[node] = "wan"
-    wan_points = _build_tier_network(wan_ids, params.redundancy_wan, rng, graph)
+    wan_points = _build_tier_network(wan_ids, params.redundancy_wan, rng, dest)
 
     # --- MANs ---------------------------------------------------------------
     man_networks: List[List[int]] = []
@@ -177,15 +155,15 @@ def tiers_with_roles(
         ids = list(range(next_id, next_id + params.man_nodes))
         next_id += params.man_nodes
         for node in ids:
-            graph.add_node(node)
+            dest.add_node(node)
             roles[node] = "man"
-        _build_tier_network(ids, params.redundancy_man, rng, graph)
+        _build_tier_network(ids, params.redundancy_man, rng, dest)
         # Internetwork links into the WAN: the MAN sits at a geographic
         # anchor and homes onto the *nearest* WAN nodes.
         anchor = (rng.random(), rng.random())
         links = max(1, params.man_wan_links)
         for idx in _nearest_indices(wan_points, anchor, links):
-            graph.add_edge(ids[rng.randrange(len(ids))], wan_ids[idx])
+            dest.add_edge(ids[rng.randrange(len(ids))], wan_ids[idx])
         man_networks.append(ids)
 
     # --- LANs ---------------------------------------------------------------
@@ -194,13 +172,53 @@ def tiers_with_roles(
             ids = list(range(next_id, next_id + params.lan_nodes))
             next_id += params.lan_nodes
             for node in ids:
-                graph.add_node(node)
+                dest.add_node(node)
                 roles[node] = "lan"
             # Star topology around the first LAN node (the hub).
             hub = ids[0]
             for node in ids[1:]:
-                graph.add_edge(hub, node)
+                dest.add_edge(hub, node)
             # Internetwork links into the MAN, from the hub.
             for _ in range(max(1, params.lan_man_links)):
-                graph.add_edge(hub, man_ids[rng.randrange(len(man_ids))])
-    return graph, roles
+                dest.add_edge(hub, man_ids[rng.randrange(len(man_ids))])
+    return roles
+
+
+def tiers(
+    params: TiersParams = TiersParams(),
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+):
+    """Generate a Tiers topology (connected by construction)."""
+    graph, _ = tiers_with_roles(params, seed, sink=sink)
+    return graph
+
+
+def tiers_with_roles(
+    params: TiersParams = TiersParams(),
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+):
+    """Like :func:`tiers`, also returning node -> role ("wan" | "man" |
+    "lan"), used by hierarchy sanity checks ("in Tiers [the highest
+    valued links] are in the WAN")."""
+    require(
+        params.wans == 1,
+        "the number of WANs is limited to 1 in the current implementation",
+    )  # same restriction as the original Tiers, per Appendix C
+    require(
+        min(
+            params.mans_per_wan,
+            params.lans_per_man,
+            params.wan_nodes,
+            params.man_nodes,
+            params.lan_nodes,
+        )
+        >= 1,
+        "all network sizes/counts must be >= 1",
+    )
+    rng = make_rng(seed)
+    dest = sink if sink is not None else GraphSink()
+    roles = _emit_tiers(dest, params, rng)
+    graph = dest.finalize(name="Tiers", component="all")
+    return graph, restrict_roles(graph, roles)

@@ -17,16 +17,26 @@ instance (Figure 1) is::
 
 which yields 6*6 = 36 transit nodes and 36*3*9 = 972 stub nodes: 1008
 nodes, average degree ~2.78.
+
+The extra-link loops probe ``has_edge`` as they go, so on the streaming
+path the sink runs in exact mode; the per-domain wiring itself is
+query-free.  Role maps use original node ids, which both sink kinds
+preserve.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.generators.base import GenerationError, Seed, make_rng
-from repro.graph.core import Graph
-from repro.graph.traversal import is_connected
+from repro.generators.base import (
+    GenerationError,
+    Seed,
+    make_rng,
+    require,
+    restrict_roles,
+)
+from repro.generators.builder import EdgeSink, GraphSink
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,33 +100,9 @@ def _random_connected_domain(
     return list(patched)
 
 
-def transit_stub(
-    params: TransitStubParams = TransitStubParams(), seed: Seed = None
-) -> Graph:
-    """Generate a Transit-Stub topology.
-
-    The result is connected by construction.  Node labels encode the role:
-    transit node ``("t", domain, index)`` and stub node
-    ``("s", domain, stub, index)`` are relabeled to consecutive integers,
-    with the role map retained in :func:`transit_stub_with_roles`.
-    """
-    graph, _ = transit_stub_with_roles(params, seed)
-    return graph
-
-
-def transit_stub_with_roles(
-    params: TransitStubParams = TransitStubParams(), seed: Seed = None
-) -> Tuple[Graph, Dict[int, str]]:
-    """Like :func:`transit_stub` but also returns node -> role ("transit"
-    or "stub"), used by the hierarchy sanity checks ("the highest valued
-    links in TS are in the transit cloud")."""
-    rng = make_rng(seed)
-    if params.transit_domains < 1 or params.nodes_per_transit < 1:
-        raise ValueError("need at least one transit domain and node")
-    if params.nodes_per_stub < 1 or params.stubs_per_transit_node < 0:
-        raise ValueError("invalid stub parameters")
-
-    graph = Graph(name="Transit-Stub")
+def _emit_transit_stub(
+    dest: EdgeSink, params: TransitStubParams, rng
+) -> Dict[int, str]:
     roles: Dict[int, str] = {}
     next_id = 0
 
@@ -126,10 +112,10 @@ def transit_stub_with_roles(
         ids = list(range(next_id, next_id + params.nodes_per_transit))
         next_id += params.nodes_per_transit
         for node in ids:
-            graph.add_node(node)
+            dest.add_node(node)
             roles[node] = "transit"
         for u, v in _random_connected_domain(ids, params.transit_edge_prob, rng):
-            graph.add_edge(u, v)
+            dest.add_edge(u, v)
         transit_nodes_by_domain.append(ids)
 
     # --- Inter-transit-domain links --------------------------------------
@@ -143,7 +129,7 @@ def transit_stub_with_roles(
         for da, db in domain_edges:
             u = transit_nodes_by_domain[da][rng.randrange(params.nodes_per_transit)]
             v = transit_nodes_by_domain[db][rng.randrange(params.nodes_per_transit)]
-            graph.add_edge(u, v)
+            dest.add_edge(u, v)
 
     # --- Stub domains -----------------------------------------------------
     stub_nodes: List[int] = []
@@ -153,15 +139,15 @@ def transit_stub_with_roles(
                 ids = list(range(next_id, next_id + params.nodes_per_stub))
                 next_id += params.nodes_per_stub
                 for node in ids:
-                    graph.add_node(node)
+                    dest.add_node(node)
                     roles[node] = "stub"
                     stub_nodes.append(node)
                 for u, v in _random_connected_domain(
                     ids, params.stub_edge_prob, rng
                 ):
-                    graph.add_edge(u, v)
+                    dest.add_edge(u, v)
                 # Attach the stub domain to its transit node.
-                graph.add_edge(transit_node, ids[rng.randrange(len(ids))])
+                dest.add_edge(transit_node, ids[rng.randrange(len(ids))])
 
     # --- Extra transit-stub and stub-stub edges ---------------------------
     all_transit = [n for ids in transit_nodes_by_domain for n in ids]
@@ -171,8 +157,8 @@ def transit_stub_with_roles(
         guard += 1
         u = all_transit[rng.randrange(len(all_transit))]
         v = stub_nodes[rng.randrange(len(stub_nodes))]
-        if not graph.has_edge(u, v):
-            graph.add_edge(u, v)
+        if not dest.has_edge(u, v):
+            dest.add_edge(u, v)
             added += 1
     added = 0
     guard = 0
@@ -180,10 +166,51 @@ def transit_stub_with_roles(
         guard += 1
         u = stub_nodes[rng.randrange(len(stub_nodes))]
         v = stub_nodes[rng.randrange(len(stub_nodes))]
-        if u != v and not graph.has_edge(u, v):
-            graph.add_edge(u, v)
+        if u != v and not dest.has_edge(u, v):
+            dest.add_edge(u, v)
             added += 1
+    return roles
 
-    if not is_connected(graph):
-        raise GenerationError("Transit-Stub construction produced a disconnected graph")
-    return graph, roles
+
+def transit_stub(
+    params: TransitStubParams = TransitStubParams(),
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+):
+    """Generate a Transit-Stub topology.
+
+    The result is connected by construction.  Node labels encode the role:
+    transit node ``("t", domain, index)`` and stub node
+    ``("s", domain, stub, index)`` are relabeled to consecutive integers,
+    with the role map retained in :func:`transit_stub_with_roles`.
+    """
+    graph, _ = transit_stub_with_roles(params, seed, sink=sink)
+    return graph
+
+
+def transit_stub_with_roles(
+    params: TransitStubParams = TransitStubParams(),
+    seed: Seed = None,
+    sink: Optional[EdgeSink] = None,
+):
+    """Like :func:`transit_stub` but also returns node -> role ("transit"
+    or "stub"), used by the hierarchy sanity checks ("the highest valued
+    links in TS are in the transit cloud")."""
+    rng = make_rng(seed)
+    require(
+        params.transit_domains >= 1 and params.nodes_per_transit >= 1,
+        "need at least one transit domain and node",
+    )
+    require(
+        params.nodes_per_stub >= 1 and params.stubs_per_transit_node >= 0,
+        "invalid stub parameters",
+    )
+
+    dest = sink if sink is not None else GraphSink()
+    roles = _emit_transit_stub(dest, params, rng)
+    if not dest.connected():
+        raise GenerationError(
+            "Transit-Stub construction produced a disconnected graph"
+        )
+    graph = dest.finalize(name="Transit-Stub", component="all")
+    return graph, restrict_roles(graph, roles)

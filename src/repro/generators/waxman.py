@@ -14,17 +14,47 @@ tree", which our parameter-sweep bench reproduces.
 
 The paper's headline instance is ``n=5000, alpha=0.005, beta=0.30``
 (avg degree 7.22).  All n² pairs are evaluated with numpy in row blocks,
-so the 5000-node instance is cheap.
+so the 5000-node instance is cheap — and each block's hits go to the
+sink as one ``(k, 2)`` chunk, making this the most natural streaming
+generator of the family (no membership queries at all).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.generators.base import Seed, giant_component, make_rng
-from repro.graph.core import Graph
+from repro.generators.base import Seed, make_rng, require
+from repro.generators.builder import EdgeSink, GraphSink
 
 _BLOCK_ROWS = 256
+
+
+def _emit_waxman(
+    dest: EdgeSink, positions: np.ndarray, alpha: float, beta: float, np_rng
+) -> None:
+    n = len(positions)
+    diagonal = float(np.sqrt(2.0))
+    dest.add_nodes_from(range(n))
+    for start in range(0, n, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n)
+        block = positions[start:stop]  # (b, 2)
+        # Distances from each block row to every node with larger index.
+        diff = block[:, None, :] - positions[None, :, :]  # (b, n, 2)
+        dist = np.sqrt((diff * diff).sum(axis=2))  # (b, n)
+        prob = alpha * np.exp(-dist / (beta * diagonal))
+        # Evaluate each unordered pair exactly once: keep only columns
+        # strictly above the diagonal (v > u).
+        row_ids = start + np.arange(stop - start)
+        prob[np.arange(n)[None, :] <= row_ids[:, None]] = 0.0
+        draws = np_rng.random(prob.shape)
+        hit_rows, hit_cols = np.nonzero(draws < prob)
+        if len(hit_rows):
+            chunk = np.empty((len(hit_rows), 2), dtype=np.int64)
+            chunk[:, 0] = start + hit_rows
+            chunk[:, 1] = hit_cols
+            dest.add_chunk(chunk)
 
 
 def waxman(
@@ -33,7 +63,8 @@ def waxman(
     beta: float = 0.30,
     seed: Seed = None,
     connected_only: bool = True,
-) -> Graph:
+    sink: Optional[EdgeSink] = None,
+):
     """Generate a Waxman graph.
 
     Parameters
@@ -49,38 +80,22 @@ def waxman(
         Reproducibility seed.
     connected_only:
         Return only the largest connected component (paper behaviour).
+    sink:
+        Optional edge sink (see :mod:`repro.generators.builder`).
     """
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    if not 0.0 < alpha <= 1.0:
-        raise ValueError("alpha must be in (0, 1]")
-    if beta <= 0.0:
-        raise ValueError("beta must be > 0")
+    require(n >= 1, "n must be >= 1")
+    require(0.0 < alpha <= 1.0, "alpha must be in (0, 1]")
+    require(beta > 0.0, "beta must be > 0")
     rng = make_rng(seed)
     np_rng = np.random.default_rng(rng.getrandbits(64))
 
     positions = np_rng.random((n, 2))
-    diagonal = float(np.sqrt(2.0))
-
-    graph = Graph(name=f"Waxman(n={n},a={alpha},b={beta})")
-    graph.add_nodes_from(range(n))
-
-    for start in range(0, n, _BLOCK_ROWS):
-        stop = min(start + _BLOCK_ROWS, n)
-        block = positions[start:stop]  # (b, 2)
-        # Distances from each block row to every node with larger index.
-        diff = block[:, None, :] - positions[None, :, :]  # (b, n, 2)
-        dist = np.sqrt((diff * diff).sum(axis=2))  # (b, n)
-        prob = alpha * np.exp(-dist / (beta * diagonal))
-        # Evaluate each unordered pair exactly once: keep only columns
-        # strictly above the diagonal (v > u).
-        row_ids = start + np.arange(stop - start)
-        prob[np.arange(n)[None, :] <= row_ids[:, None]] = 0.0
-        draws = np_rng.random(prob.shape)
-        hit_rows, hit_cols = np.nonzero(draws < prob)
-        for i, j in zip(hit_rows, hit_cols):
-            graph.add_edge(start + int(i), int(j))
-    return giant_component(graph) if connected_only else graph
+    name = f"Waxman(n={n},a={alpha},b={beta})"
+    dest = sink if sink is not None else GraphSink()
+    _emit_waxman(dest, positions, alpha, beta, np_rng)
+    return dest.finalize(
+        name=name, component="giant" if connected_only else "all"
+    )
 
 
 def waxman_positions(n: int, seed: Seed = None) -> np.ndarray:

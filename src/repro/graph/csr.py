@@ -28,7 +28,7 @@ Both arrays are marked read-only; mutation must go through
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class CSRGraph:
         self,
         indptr: np.ndarray,
         indices: np.ndarray,
-        nodes: List[Node],
+        nodes: Sequence[Node],
         name: str = "",
     ):
         if len(indptr) != len(nodes) + 1:
@@ -81,14 +81,44 @@ class CSRGraph:
         self.indptr.flags.writeable = False
         self.indices.flags.writeable = False
         self.name = name
-        self._nodes = list(nodes)
-        self._index = {node: i for i, node in enumerate(self._nodes)}
+        # ``range`` labels (the streaming GraphBuilder's full-graph case)
+        # are kept as a range: million-node graphs then cost O(1) label
+        # storage instead of a million boxed ints.
+        self._nodes = nodes if isinstance(nodes, range) else list(nodes)
+        # node -> index dict, built on first non-integer-range lookup.
+        self._index: Optional[Dict[Node, int]] = None
+
+    # ------------------------------------------------------------------
+    # Node lookup (lazy index; O(1) arithmetic for range labels)
+    # ------------------------------------------------------------------
+    def _node_index(self) -> Dict[Node, int]:
+        index = self._index
+        if index is None:
+            index = {node: i for i, node in enumerate(self._nodes)}
+            self._index = index
+        return index
+
+    def _lookup(self, node: Node) -> Optional[int]:
+        """Index of ``node``, or None if absent."""
+        nodes = self._nodes
+        if isinstance(nodes, range):
+            # bool is an int subtype; dict lookup would equate True == 1,
+            # so the arithmetic fast path must too.
+            if not isinstance(node, (int, np.integer)):
+                return None
+            offset = int(node) - nodes.start
+            if nodes.step != 1:
+                if offset % nodes.step:
+                    return None
+                offset //= nodes.step
+            return offset if 0 <= offset < len(nodes) else None
+        return self._node_index().get(node)
 
     # ------------------------------------------------------------------
     # Graph-compatible read API
     # ------------------------------------------------------------------
     def __contains__(self, node: Node) -> bool:
-        return node in self._index
+        return self._lookup(node) is not None
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -107,7 +137,7 @@ class CSRGraph:
         return list(self._nodes)
 
     def has_edge(self, u: Node, v: Node) -> bool:
-        iu, iv = self._index.get(u), self._index.get(v)
+        iu, iv = self._lookup(u), self._lookup(v)
         if iu is None or iv is None:
             return False
         row = self.indices[self.indptr[iu] : self.indptr[iu + 1]]
@@ -116,14 +146,14 @@ class CSRGraph:
 
     def neighbors(self, node: Node) -> List[Node]:
         """Neighbor nodes, ordered by ascending node index."""
-        i = self._index[node]
+        i = self.index_of(node)
         return [
             self._nodes[j]
             for j in self.indices[self.indptr[i] : self.indptr[i + 1]]
         ]
 
     def degree(self, node: Node) -> int:
-        i = self._index[node]
+        i = self.index_of(node)
         return int(self.indptr[i + 1] - self.indptr[i])
 
     def degrees(self) -> Dict[Node, int]:
@@ -162,7 +192,10 @@ class CSRGraph:
     # ------------------------------------------------------------------
     def index_of(self, node: Node) -> int:
         """The array index of ``node``; ``KeyError`` if absent."""
-        return self._index[node]
+        i = self._lookup(node)
+        if i is None:
+            raise KeyError(node)
+        return i
 
     def node_at(self, index: int) -> Node:
         """The node object at array ``index``."""

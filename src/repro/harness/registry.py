@@ -23,20 +23,9 @@ from typing import Callable, Dict, List, Optional
 from repro.generators import (
     TiersParams,
     TransitStubParams,
-    barabasi_albert,
-    brite,
     complete_graph,
-    erdos_renyi,
-    glp,
-    inet,
-    kary_tree,
-    linear_chain,
-    mesh,
-    plrg,
-    tiers,
-    transit_stub,
-    waxman,
 )
+from repro.generators import registry as generator_registry
 from repro.graph.core import Graph
 from repro.internet import (
     ASGraphParams,
@@ -110,17 +99,29 @@ def _register(scale_builders, name, category, make) -> None:
     )
 
 
+def _build(name: str, n: int, **params):
+    """Build a pinned instance through the generator-spec front door."""
+    return generator_registry.get(name).build(n, **params)
+
+
 # --- default scale (Figure 2 benches) ---------------------------------
-_register(_DEFAULT_BUILDERS, "Tree", CATEGORY_CANONICAL, lambda: kary_tree(3, 6))
-_register(_DEFAULT_BUILDERS, "Mesh", CATEGORY_CANONICAL, lambda: mesh(30))
+_register(
+    _DEFAULT_BUILDERS,
+    "Tree",
+    CATEGORY_CANONICAL,
+    lambda: _build("tree", 1093, branching=3, depth=6),
+)
+_register(
+    _DEFAULT_BUILDERS, "Mesh", CATEGORY_CANONICAL, lambda: _build("mesh", 900, rows=30)
+)
 _register(
     _DEFAULT_BUILDERS,
     "Random",
     CATEGORY_CANONICAL,
-    lambda: erdos_renyi(2200, 0.0019, seed=3),
+    lambda: _build("random", 2200, p=0.0019, seed=3),
 )
 _register(
-    _DEFAULT_BUILDERS, "Linear", CATEGORY_CANONICAL, lambda: linear_chain(600)
+    _DEFAULT_BUILDERS, "Linear", CATEGORY_CANONICAL, lambda: _build("linear", 600)
 )
 _register(
     _DEFAULT_BUILDERS, "Complete", CATEGORY_CANONICAL, lambda: complete_graph(64)
@@ -129,53 +130,78 @@ _register(
     _DEFAULT_BUILDERS,
     "Waxman",
     CATEGORY_GENERATED,
-    lambda: waxman(2200, alpha=0.01, beta=0.30, seed=3),
+    lambda: _build("waxman", 2200, alpha=0.01, beta=0.30, seed=3),
 )
 _register(
     _DEFAULT_BUILDERS,
     "TS",
     CATEGORY_GENERATED,
-    lambda: transit_stub(TransitStubParams(), seed=3),
+    lambda: _build("transit-stub", 1008, params=TransitStubParams(), seed=3),
 )
 _register(
-    _DEFAULT_BUILDERS, "Tiers", CATEGORY_GENERATED, lambda: tiers(TiersParams(), seed=3)
+    _DEFAULT_BUILDERS,
+    "Tiers",
+    CATEGORY_GENERATED,
+    lambda: _build("tiers", 5000, params=TiersParams(), seed=3),
 )
 _register(
-    _DEFAULT_BUILDERS, "PLRG", CATEGORY_DEGREE_BASED, lambda: plrg(2600, 2.246, seed=3)
+    _DEFAULT_BUILDERS,
+    "PLRG",
+    CATEGORY_DEGREE_BASED,
+    lambda: _build("plrg", 2600, exponent=2.246, seed=3),
 )
 _register(
     _DEFAULT_BUILDERS,
     "B-A",
     CATEGORY_DEGREE_BASED,
-    lambda: barabasi_albert(2200, 2, seed=3),
+    lambda: _build("ba", 2200, m=2, seed=3),
 )
 _register(
-    _DEFAULT_BUILDERS, "Brite", CATEGORY_DEGREE_BASED, lambda: brite(2200, 2, seed=3)
+    _DEFAULT_BUILDERS,
+    "Brite",
+    CATEGORY_DEGREE_BASED,
+    lambda: _build("brite", 2200, m=2, seed=3),
 )
-_register(_DEFAULT_BUILDERS, "BT", CATEGORY_DEGREE_BASED, lambda: glp(2200, seed=3))
-_register(_DEFAULT_BUILDERS, "Inet", CATEGORY_DEGREE_BASED, lambda: inet(2200, seed=3))
+_register(
+    _DEFAULT_BUILDERS, "BT", CATEGORY_DEGREE_BASED, lambda: _build("glp", 2200, seed=3)
+)
+_register(
+    _DEFAULT_BUILDERS,
+    "Inet",
+    CATEGORY_DEGREE_BASED,
+    lambda: _build("inet", 2200, seed=3),
+)
 
 # --- small scale (Section 5 link-value benches) ------------------------
-_register(_SMALL_BUILDERS, "Tree", CATEGORY_CANONICAL, lambda: kary_tree(3, 4))
-_register(_SMALL_BUILDERS, "Mesh", CATEGORY_CANONICAL, lambda: mesh(15))
+_register(
+    _SMALL_BUILDERS,
+    "Tree",
+    CATEGORY_CANONICAL,
+    lambda: _build("tree", 121, branching=3, depth=4),
+)
+_register(
+    _SMALL_BUILDERS, "Mesh", CATEGORY_CANONICAL, lambda: _build("mesh", 225, rows=15)
+)
 _register(
     _SMALL_BUILDERS,
     "Random",
     CATEGORY_CANONICAL,
-    lambda: erdos_renyi(330, 0.013, seed=3),
+    lambda: _build("random", 330, p=0.013, seed=3),
 )
 _register(
     _SMALL_BUILDERS,
     "Waxman",
     CATEGORY_GENERATED,
-    lambda: waxman(330, alpha=0.065, beta=0.30, seed=3),
+    lambda: _build("waxman", 330, alpha=0.065, beta=0.30, seed=3),
 )
 _register(
     _SMALL_BUILDERS,
     "TS",
     CATEGORY_GENERATED,
-    lambda: transit_stub(
-        TransitStubParams(
+    lambda: _build(
+        "transit-stub",
+        304,
+        params=TransitStubParams(
             stubs_per_transit_node=2,
             transit_domains=4,
             nodes_per_transit=4,
@@ -188,8 +214,10 @@ _register(
     _SMALL_BUILDERS,
     "Tiers",
     CATEGORY_GENERATED,
-    lambda: tiers(
-        TiersParams(
+    lambda: _build(
+        "tiers",
+        276,
+        params=TiersParams(
             mans_per_wan=8,
             lans_per_man=4,
             wan_nodes=60,
@@ -200,19 +228,32 @@ _register(
     ),
 )
 _register(
-    _SMALL_BUILDERS, "PLRG", CATEGORY_DEGREE_BASED, lambda: plrg(450, 2.246, seed=3)
+    _SMALL_BUILDERS,
+    "PLRG",
+    CATEGORY_DEGREE_BASED,
+    lambda: _build("plrg", 450, exponent=2.246, seed=3),
 )
 _register(
     _SMALL_BUILDERS,
     "B-A",
     CATEGORY_DEGREE_BASED,
-    lambda: barabasi_albert(380, 2, seed=3),
+    lambda: _build("ba", 380, m=2, seed=3),
 )
 _register(
-    _SMALL_BUILDERS, "Brite", CATEGORY_DEGREE_BASED, lambda: brite(380, 2, seed=3)
+    _SMALL_BUILDERS,
+    "Brite",
+    CATEGORY_DEGREE_BASED,
+    lambda: _build("brite", 380, m=2, seed=3),
 )
-_register(_SMALL_BUILDERS, "BT", CATEGORY_DEGREE_BASED, lambda: glp(380, seed=3))
-_register(_SMALL_BUILDERS, "Inet", CATEGORY_DEGREE_BASED, lambda: inet(380, seed=3))
+_register(
+    _SMALL_BUILDERS, "BT", CATEGORY_DEGREE_BASED, lambda: _build("glp", 380, seed=3)
+)
+_register(
+    _SMALL_BUILDERS,
+    "Inet",
+    CATEGORY_DEGREE_BASED,
+    lambda: _build("inet", 380, seed=3),
+)
 
 
 def topology(name: str, scale: str = "default") -> TopologyEntry:

@@ -1,6 +1,6 @@
 """The ``repro selfcheck`` differential/fuzzing harness.
 
-Runs seven families of checks over seeded random inputs and reports a
+Runs eight families of checks over seeded random inputs and reports a
 single pass/fail verdict, so one command answers "are the metric
 implementations still trustworthy?":
 
@@ -30,6 +30,12 @@ implementations still trustworthy?":
     the dict-of-sets oracle: freeze/thaw round-trips, vectorized BFS
     distances, ball memberships, degree vectors, shortest-path counts
     and the ``use_csr=True``/``False`` engines, all identical.
+``streaming``
+    The streaming :class:`~repro.generators.builder.GraphBuilder` vs.
+    the dict build path: every registered generator emits the identical
+    edge set per seed on both paths, random chunk streams freeze
+    bit-identically to ``Graph.freeze()`` regardless of chunking, and
+    the builder's incremental union-find agrees with ``is_connected``.
 ``faults``
     The fault-tolerant runtime (:mod:`repro.runtime`): injected crashes
     and garbage results are retried to a bitwise-identical run,
@@ -664,6 +670,104 @@ def _check_csr(rng: random.Random, report: FamilyReport) -> None:
             fail(f"engine(use_csr=True) != engine(use_csr=False) for {name}")
 
 
+#: (registry name, build params) rotation for the streaming family:
+#: cheap instances covering the chunked emitters (plrg, waxman), the
+#: exact-mode consumers (glp), the node-growth models (ba), the
+#: materialize-and-replay fallback (ab), and the canonical networks.
+_STREAMING_CASES = [
+    ("plrg", {}),
+    ("ba", {}),
+    ("ab", {}),
+    ("glp", {}),
+    ("waxman", {"alpha": 0.1, "beta": 0.3}),
+    ("random", {}),
+    ("tree", {}),
+    ("mesh", {}),
+    ("linear", {}),
+]
+
+
+def _edge_set(graph) -> set:
+    return {frozenset((int(u), int(v))) for u, v in graph.iter_edges()}
+
+
+def _check_streaming(rng: random.Random, report: FamilyReport) -> None:
+    """Differential checks: streaming GraphBuilder vs. the dict build.
+
+    The builder is only trustworthy if the *same generator code* driving
+    either sink produces the same graph — so each round replays one
+    registered generator on both paths, then probes the builder's own
+    machinery (chunk invariance, union-find) against dict oracles.
+    """
+    import numpy as np
+
+    from repro.generators import registry as generator_registry
+    from repro.generators.builder import GraphBuilder
+
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    # --- one registered generator, both paths, identical edge set -----
+    report.checks += 1
+    name, params = _STREAMING_CASES[
+        rng.randrange(len(_STREAMING_CASES))
+    ]
+    seed = rng.getrandbits(16)
+    n = rng.randint(20, 60)
+    spec = generator_registry.get(name)
+    dict_graph = spec.build(n, seed=seed, **params)
+    csr_graph = spec.build(n, seed=seed, sink=GraphBuilder(), **params)
+    if _edge_set(dict_graph) != _edge_set(csr_graph):
+        fail(f"{name}(n={n}, seed={seed}): streaming edge set != dict edge set")
+    if sorted(int(v) for v in dict_graph.nodes()) != sorted(
+        int(v) for v in csr_graph.nodes()
+    ):
+        fail(f"{name}(n={n}, seed={seed}): streaming node set != dict node set")
+
+    # --- chunk-splitting invariance vs. Graph.freeze() ----------------
+    # random_connected_graph labels its nodes 0..n-1, so the builder's
+    # full-graph finalize and Graph.freeze() must agree bit for bit no
+    # matter how the edge stream is chunked.
+    report.checks += 1
+    g = random_connected_graph(rng)
+    edges = [(u, v) for u, v in g.iter_edges()]
+    rng.shuffle(edges)
+    builder = GraphBuilder()
+    builder.add_nodes_from(range(g.number_of_nodes()))
+    pos = 0
+    while pos < len(edges):
+        take = rng.randint(1, max(1, len(edges) - pos))
+        chunk = np.asarray(edges[pos : pos + take], dtype=np.int64)
+        if rng.random() < 0.3:
+            builder.add_edges_from(chunk.tolist())
+        else:
+            builder.add_chunk(chunk)
+        pos += take
+    streamed = builder.finalize(name=g.name)
+    frozen = g.freeze()
+    if not (
+        np.array_equal(streamed.indptr, frozen.indptr)
+        and np.array_equal(streamed.indices, frozen.indices)
+    ):
+        fail("chunked GraphBuilder CSR != Graph.freeze() on the same edges")
+
+    # --- incremental union-find vs. is_connected / components ---------
+    report.checks += 1
+    g = random_graph(rng)
+    builder = GraphBuilder()
+    builder.add_nodes_from(range(g.number_of_nodes()))
+    for u, v in g.iter_edges():
+        builder.add_edge(u, v)
+    if builder.connected() != is_connected(g):
+        fail("GraphBuilder.connected() disagrees with is_connected")
+    giant = builder.finalize(component="giant")
+    want = largest_connected_component(g)
+    if _edge_set(giant) != _edge_set(want) or sorted(
+        int(v) for v in giant.nodes()
+    ) != sorted(int(v) for v in want.nodes()):
+        fail("GraphBuilder giant component != largest_connected_component")
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -679,6 +783,7 @@ _FAMILIES: Dict[str, tuple] = {
     "determinism": (_check_determinism, 2),
     "faults": (_check_faults, 3),
     "csr": (_check_csr, 1),
+    "streaming": (_check_streaming, 1),
 }
 
 

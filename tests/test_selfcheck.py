@@ -83,6 +83,7 @@ def test_run_selfcheck_passes_and_reports_all_families():
         "determinism",
         "faults",
         "csr",
+        "streaming",
     ]
     assert all(fam.checks > 0 or fam.skipped for fam in report.families)
     assert any("— OK" in line for line in lines)
@@ -187,4 +188,24 @@ def test_selfcheck_catches_csr_ball_off_by_one(monkeypatch):
 
     monkeypatch.setattr(kernels, "ball_members", shrunk)
     report = run_selfcheck(rounds=5, seed=0, families=["csr"], out=lambda _: None)
+    assert not report.ok
+
+
+def test_selfcheck_catches_builder_chunk_off_by_one(monkeypatch):
+    """A planted chunk off-by-one (first edge of every chunk dropped)
+    must flip the ``streaming`` family red."""
+    from repro.generators import builder as builder_mod
+
+    real = builder_mod.GraphBuilder.add_chunk
+
+    def drops_first(self, chunk):
+        import numpy as np
+
+        arr = np.asarray(chunk)
+        return real(self, arr[1:] if len(arr) > 1 else arr)
+
+    monkeypatch.setattr(builder_mod.GraphBuilder, "add_chunk", drops_first)
+    report = run_selfcheck(
+        rounds=8, seed=0, families=["streaming"], out=lambda _: None
+    )
     assert not report.ok

@@ -1,0 +1,101 @@
+"""Seed-determinism across the two build paths.
+
+The public contract of the sink redesign: for every registered
+generator and every seed, the dict build (``sink=None``) and the
+streaming build (``sink=GraphBuilder()``) consume the RNG identically
+and therefore produce the *same edge set* — one emission core, two
+materializations.  This suite pins that contract at three scales,
+including one (n=2000) large enough to exercise buffer doubling and
+block-chunked emission.
+"""
+
+import pytest
+
+from repro.generators import (
+    GraphBuilder,
+    TiersParams,
+    TransitStubParams,
+    available,
+    get,
+    tiers_with_roles,
+    transit_stub_with_roles,
+)
+from repro.graph.core import Graph
+from repro.graph.csr import CSRGraph
+
+SIZES = [10, 200, 2000]
+
+
+def edge_set(graph):
+    return {frozenset((int(u), int(v))) for u, v in graph.iter_edges()}
+
+
+def node_set(graph):
+    return sorted(int(node) for node in graph.nodes())
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("name", available())
+def test_streaming_and_dict_paths_agree(name, n):
+    spec = get(name)
+    dict_graph = spec.build(n, seed=7)
+    csr_graph = spec.build(n, seed=7, sink=GraphBuilder())
+    assert isinstance(dict_graph, Graph)
+    assert isinstance(csr_graph, CSRGraph)
+    assert node_set(csr_graph) == node_set(dict_graph)
+    assert edge_set(csr_graph) == edge_set(dict_graph)
+
+
+@pytest.mark.parametrize("name", available())
+def test_same_seed_reproduces_both_paths(name):
+    spec = get(name)
+    assert edge_set(spec.build(60, seed=11)) == edge_set(spec.build(60, seed=11))
+    assert edge_set(spec.build(60, seed=11, sink=GraphBuilder())) == edge_set(
+        spec.build(60, seed=11, sink=GraphBuilder())
+    )
+
+
+# ----------------------------------------------------------------------
+# Regression: roles survive component extraction and streaming builds
+# ----------------------------------------------------------------------
+
+def assert_roles_cover(graph, roles, legal):
+    nodes = set(node_set(graph))
+    assert set(roles) == nodes, "every surviving node must keep its role"
+    assert set(roles.values()) <= legal
+
+
+@pytest.mark.parametrize("sink", [None, "builder"])
+def test_transit_stub_roles_cover_final_graph(sink):
+    graph, roles = transit_stub_with_roles(
+        TransitStubParams(transit_domains=2, nodes_per_transit=3),
+        seed=3,
+        sink=GraphBuilder() if sink else None,
+    )
+    assert_roles_cover(graph, roles, {"transit", "stub"})
+    assert "transit" in set(roles.values())
+    assert "stub" in set(roles.values())
+
+
+@pytest.mark.parametrize("sink", [None, "builder"])
+def test_tiers_roles_cover_final_graph(sink):
+    graph, roles = tiers_with_roles(
+        TiersParams(wan_nodes=10, mans_per_wan=2, man_nodes=5, lans_per_man=2),
+        seed=3,
+        sink=GraphBuilder() if sink else None,
+    )
+    assert_roles_cover(graph, roles, {"wan", "man", "lan"})
+    assert {"wan", "man", "lan"} == set(roles.values())
+
+
+def test_roles_identical_across_paths():
+    params = TransitStubParams(transit_domains=2, nodes_per_transit=3)
+    _, dict_roles = transit_stub_with_roles(params, seed=5)
+    _, csr_roles = transit_stub_with_roles(params, seed=5, sink=GraphBuilder())
+    assert {int(k): v for k, v in dict_roles.items()} == {
+        int(k): v for k, v in csr_roles.items()
+    }
+    tiers_params = TiersParams(wan_nodes=10, mans_per_wan=2, man_nodes=5)
+    _, dict_roles = tiers_with_roles(tiers_params, seed=5)
+    _, csr_roles = tiers_with_roles(tiers_params, seed=5, sink=GraphBuilder())
+    assert dict_roles == csr_roles
