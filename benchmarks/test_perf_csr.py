@@ -11,10 +11,17 @@ PLRGs of three sizes:
 * **Expansion series** — the engine's full ball-growing expansion
   computation, ``MetricEngine(use_csr=True)`` vs. the dict oracle
   engine (``use_csr=False``), serial, single process, identical bits.
+* **Metric cores** — the four CSR-native metric kernels
+  (``resilience_csr``, ``distortion_csr``, ``vertex_cover_size_csr``,
+  ``count_biconnected_csr``) vs. their dict twins on the same large
+  ball (grown to about half the graph around the max-degree hub),
+  bitwise-verified before timing.
 
-The numbers land in ``BENCH_csr.json``.  The acceptance gate is the
-largest size: on the 10k-node PLRG the CSR expansion series must be at
-least 5x faster than the dict path.
+The numbers land in ``BENCH_csr.json``.  The acceptance gates are at
+the largest size: on the 10k-node PLRG the CSR expansion series must be
+at least 5x faster than the dict path, the resilience and distortion
+kernels at least 5x faster than their twins, and the cover and
+biconnectivity kernels must not lose to theirs.
 
 Timing methodology matches ``test_perf_engine.py``: CPU seconds with
 the GC paused, interleaved rounds with alternating order.
@@ -26,6 +33,7 @@ Run explicitly (excluded from quick runs by the markers):
 
 import gc
 import json
+import random
 import time
 
 import numpy as np
@@ -34,7 +42,13 @@ import pytest
 from repro.engine import MetricEngine, MetricRequest
 from repro.generators.plrg import plrg
 from repro.graph import kernels
+from repro.graph.components import count_biconnected_components
+from repro.graph.cover import vertex_cover_size
+from repro.graph.kernels_flow import resilience_csr
+from repro.graph.kernels_trees import distortion_csr
 from repro.graph.traversal import bfs_distances
+from repro.metrics.distortion import distortion_of
+from repro.metrics.resilience import resilience_of
 
 pytestmark = [pytest.mark.slow, pytest.mark.perf]
 
@@ -49,8 +63,14 @@ ROUNDS = 3
 OUTPUT = "BENCH_csr.json"
 
 #: Required CSR-over-dict speedup for the expansion series at the
-#: largest size (the PR's acceptance gate).
+#: largest size (the PR-5 acceptance gate).
 MIN_EXPANSION_SPEEDUP_AT_10K = 5.0
+
+#: Required kernel-over-twin speedup for the resilience and distortion
+#: cores at the largest size (the PR-6 acceptance gate).  The cover and
+#: biconnectivity kernels only need to not lose (> 1x).
+MIN_METRIC_SPEEDUP_AT_10K = 5.0
+METRIC_TRIALS = 3
 
 
 def _timed(fn):
@@ -137,11 +157,79 @@ def _bench_expansion(graph, csr):
     }
 
 
+def _hub_ball(graph, csr):
+    """A large deterministic ball: grown around the max-degree hub until
+    it covers about half the graph.  Returns the dict ball and its CSR
+    twin in the same canonical (ascending-index) node order."""
+    center = int(np.argmax(kernels.degree_vector(csr)))
+    dist = kernels.bfs_levels(csr, center)
+    # About half the graph: large enough that the metric inner loops
+    # dominate and the kernel-vs-twin ratio is stable run to run.
+    target = csr.number_of_nodes() // 2
+    radius = 1
+    while kernels.ball_members(dist, radius).size < target and radius < 64:
+        radius += 1
+    members = kernels.ball_members(dist, radius)
+    sub_csr = kernels.induced_subgraph(csr, members)
+    nodes = graph.nodes()
+    ball = graph.subgraph([nodes[i] for i in members.tolist()])
+    return ball, sub_csr
+
+
+#: metric name -> (dict twin runner, CSR kernel runner).  Each call
+#: constructs a fresh seeded RNG so every timed round replays the exact
+#: same draw sequence on both sides.
+METRIC_CORES = {
+    "resilience": (
+        lambda ball: resilience_of(
+            ball, rng=random.Random(SEED), trials=METRIC_TRIALS
+        ),
+        lambda sub: resilience_csr(
+            sub, rng=random.Random(SEED), trials=METRIC_TRIALS
+        ),
+    ),
+    "distortion": (
+        lambda ball: distortion_of(ball, rng=random.Random(SEED)),
+        lambda sub: distortion_csr(sub, rng=random.Random(SEED)),
+    ),
+    "vertex_cover": (
+        lambda ball: float(vertex_cover_size(ball)),
+        lambda sub: float(kernels.vertex_cover_size_csr(sub)),
+    ),
+    "biconnectivity": (
+        lambda ball: float(count_biconnected_components(ball)),
+        lambda sub: float(kernels.count_biconnected_csr(sub)),
+    ),
+}
+
+
+def _bench_metric_cores(graph, csr):
+    """Per-metric inner loops, kernel vs. twin, on the same hub ball."""
+    ball, sub_csr = _hub_ball(graph, csr)
+    results = {
+        "ball_nodes": ball.number_of_nodes(),
+        "ball_edges": ball.number_of_edges(),
+    }
+    for name, (run_twin, run_kernel) in METRIC_CORES.items():
+        # Bitwise equivalence before timing (also warms both paths).
+        assert run_kernel(sub_csr) == run_twin(ball), name
+        dict_seconds, csr_seconds = _interleaved(
+            lambda: run_twin(ball), lambda: run_kernel(sub_csr)
+        )
+        results[name] = {
+            "dict_seconds": round(dict_seconds, 4),
+            "csr_seconds": round(csr_seconds, 4),
+            "speedup": round(dict_seconds / csr_seconds, 3),
+        }
+    return results
+
+
 def test_perf_csr_kernels_beat_dict_bfs():
     record = {
         "graphs": f"plrg(n, exponent={EXPONENT}, seed={GRAPH_SEED})",
         "timing": f"summed CPU seconds over {ROUNDS} interleaved rounds",
         "min_expansion_speedup_at_largest": MIN_EXPANSION_SPEEDUP_AT_10K,
+        "min_metric_speedup_at_largest": MIN_METRIC_SPEEDUP_AT_10K,
         "sizes": [],
     }
     for n in SIZES:
@@ -153,6 +241,7 @@ def test_perf_csr_kernels_beat_dict_bfs():
             "edges": graph.number_of_edges(),
             "bfs_sweep": _bench_bfs(graph, csr),
             "expansion_series": _bench_expansion(graph, csr),
+            "metric_cores": _bench_metric_cores(graph, csr),
         }
         record["sizes"].append(entry)
 
@@ -168,3 +257,10 @@ def test_perf_csr_kernels_beat_dict_bfs():
     assert (
         largest["expansion_series"]["speedup"] >= MIN_EXPANSION_SPEEDUP_AT_10K
     ), largest
+    # The non-BFS metric kernels: >= 5x on the flow/tree cores at 10k,
+    # and the cover/biconn kernels must not lose to their twins.
+    cores = largest["metric_cores"]
+    for name in ("resilience", "distortion"):
+        assert cores[name]["speedup"] >= MIN_METRIC_SPEEDUP_AT_10K, (name, cores)
+    for name in ("vertex_cover", "biconnectivity"):
+        assert cores[name]["speedup"] > 1.0, (name, cores)

@@ -45,7 +45,11 @@ class ClassifierThresholds:
     expansion_ratio: float = 1.6
     resilience_ceiling: float = 9.0
     resilience_min_n: int = 80
-    distortion_threshold: float = 2.45
+    # Calibrated to the canonical min-index-parent BFS trees (which find
+    # slightly better trees than the legacy set-order heuristic): the
+    # high group bottoms out at Random ≈ 2.33, the low group tops out at
+    # Tiers ≈ 2.07.
+    distortion_threshold: float = 2.2
     distortion_min_n: int = 150
 
 

@@ -199,7 +199,6 @@ def _compute_center(ctx: _ComputeContext, plan: _Plan, ci: int):
     if plan.groups:
         cumulative = np.cumsum(per_level)
         nodes = ctx.csr.node_list()
-        graph = ctx.graph
         for group in plan.groups:
             rngs = {
                 member.rid: (
@@ -209,7 +208,9 @@ def _compute_center(ctx: _ComputeContext, plan: _Plan, ci: int):
                 )
                 for member in group.members
             }
-            contributions: List[Tuple[int, int, Dict[int, float]]] = []
+            # First pass: pin the (radius, size) schedule so the CSR path
+            # can slice every ball of this group in one batched call.
+            schedule: List[Tuple[int, int]] = []
             prev_size = 0
             for radius in range(1, max_radius + 1):
                 size = int(cumulative[radius])
@@ -220,20 +221,54 @@ def _compute_center(ctx: _ComputeContext, plan: _Plan, ci: int):
                     continue
                 if group.max_ball_size is not None and size > group.max_ball_size:
                     break
-                if dag is not None:
-                    ball = _policy_ball_from_dag(dag, radius)
-                else:
-                    # Canonical members: ascending node index.  The
-                    # induced subgraph (and so every evaluator float) is
-                    # a pure function of graph content.
-                    members = kernels.ball_members(dist, radius)
-                    ball = graph.subgraph([nodes[i] for i in members])
-                values = {
-                    member.rid: METRICS[member.name].evaluator(
+                schedule.append((radius, size))
+
+            # Kernelized metrics run on batched sub-CSRs (bitwise equal to
+            # the dict path — each kernel twin makes the same rng draws on
+            # the same canonical index order).  Policy balls (dag) and the
+            # dict oracle path keep the per-radius subgraph construction;
+            # the dict ball is built lazily, only for members without a
+            # kernel twin.
+            batch = None
+            if ctx.use_csr and dag is None and schedule:
+                if any(
+                    METRICS[member.name].kernel_evaluator is not None
+                    for member in group.members
+                ):
+                    batch = kernels.BallBatch(
+                        ctx.csr,
+                        [
+                            kernels.ball_members(dist, radius)
+                            for radius, _size in schedule
+                        ],
+                    )
+            contributions: List[Tuple[int, int, Dict[int, float]]] = []
+            for bi, (radius, size) in enumerate(schedule):
+                sub = batch.sub_csr(bi) if batch is not None else None
+                ball = None
+                values: Dict[int, float] = {}
+                for member in group.members:
+                    spec = METRICS[member.name]
+                    if sub is not None and spec.kernel_evaluator is not None:
+                        values[member.rid] = spec.kernel_evaluator(
+                            sub, rngs[member.rid], member.eval_params
+                        )
+                        continue
+                    if ball is None:
+                        if dag is not None:
+                            ball = _policy_ball_from_dag(dag, radius)
+                        else:
+                            # Canonical members: ascending node index.
+                            # The induced subgraph (and so every
+                            # evaluator float) is a pure function of
+                            # graph content.
+                            members = kernels.ball_members(dist, radius)
+                            ball = ctx.graph.subgraph(
+                                [nodes[i] for i in members]
+                            )
+                    values[member.rid] = spec.evaluator(
                         ball, rngs[member.rid], member.eval_params
                     )
-                    for member in group.members
-                }
                 contributions.append((radius, size, values))
             group_contributions.append(contributions)
     return counts_at, group_contributions

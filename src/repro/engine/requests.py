@@ -32,6 +32,10 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 from repro.graph.components import count_biconnected_components
 from repro.graph.core import Graph
 from repro.graph.cover import vertex_cover_size
+from repro.graph.csr import CSRGraph
+from repro.graph.kernels import count_biconnected_csr, vertex_cover_size_csr
+from repro.graph.kernels_flow import resilience_csr
+from repro.graph.kernels_trees import distortion_csr
 from repro.metrics.clustering import clustering_coefficient
 from repro.metrics.distortion import distortion_of
 from repro.metrics.pathlength import average_ball_path_length
@@ -40,16 +44,29 @@ from repro.metrics.resilience import resilience_of
 # A per-ball evaluator: (ball subgraph, per-center RNG or None, params).
 Evaluator = Callable[[Graph, Optional[random.Random], Mapping[str, Any]], float]
 
+# A CSR kernel evaluator: (ball sub-CSR, per-center RNG or None, params).
+KernelEvaluator = Callable[
+    [CSRGraph, Optional[random.Random], Mapping[str, Any]], float
+]
+
 
 @dataclasses.dataclass(frozen=True)
 class MetricSpec:
-    """How the engine computes one named metric."""
+    """How the engine computes one named metric.
+
+    ``evaluator`` is the dict-of-sets oracle; ``kernel_evaluator``, when
+    present, is its CSR twin — the engine dispatches it on the batched
+    ball sub-CSRs when ``use_csr`` is on, and the two must return
+    bitwise-identical floats (the ``kernels`` selfcheck family and
+    ``tests/test_kernels_metrics.py`` enforce it).
+    """
 
     name: str
     kind: str  # "distance" | "ball"
     uses_rng: bool
     defaults: Tuple[Tuple[str, Any], ...]
     evaluator: Optional[Evaluator] = None
+    kernel_evaluator: Optional[KernelEvaluator] = None
 
     def resolve_params(self, overrides: Mapping[str, Any]) -> Dict[str, Any]:
         """Defaults merged with ``overrides``; unknown keys are an error."""
@@ -89,6 +106,22 @@ def _eval_path_length(ball, rng, params):
     return average_ball_path_length(ball)
 
 
+def _kernel_resilience(sub, rng, params):
+    return resilience_csr(sub, rng=rng, trials=params["trials"])
+
+
+def _kernel_distortion(sub, rng, params):
+    return distortion_csr(sub, rng=rng)
+
+
+def _kernel_vertex_cover(sub, rng, params):
+    return float(vertex_cover_size_csr(sub))
+
+
+def _kernel_biconnectivity(sub, rng, params):
+    return float(count_biconnected_csr(sub))
+
+
 # The shared kwargs contract (see docs/API.md "Series function contract"):
 # every ball-growing metric accepts num_centers / centers / max_ball_size
 # / rels / seed; extras (trials, min_ball_size) are metric-specific.
@@ -125,6 +158,7 @@ METRICS: Dict[str, MetricSpec] = {
             uses_rng=True,
             defaults=_ball_defaults(10, 1500, trials=3),
             evaluator=_eval_resilience,
+            kernel_evaluator=_kernel_resilience,
         ),
         MetricSpec(
             name="distortion",
@@ -132,6 +166,7 @@ METRICS: Dict[str, MetricSpec] = {
             uses_rng=True,
             defaults=_ball_defaults(10, 1500),
             evaluator=_eval_distortion,
+            kernel_evaluator=_kernel_distortion,
         ),
         MetricSpec(
             name="vertex_cover",
@@ -139,6 +174,7 @@ METRICS: Dict[str, MetricSpec] = {
             uses_rng=False,
             defaults=_ball_defaults(10, 2500),
             evaluator=_eval_vertex_cover,
+            kernel_evaluator=_kernel_vertex_cover,
         ),
         MetricSpec(
             name="biconnectivity",
@@ -146,6 +182,7 @@ METRICS: Dict[str, MetricSpec] = {
             uses_rng=False,
             defaults=_ball_defaults(10, 2500),
             evaluator=_eval_biconnectivity,
+            kernel_evaluator=_kernel_biconnectivity,
         ),
         MetricSpec(
             name="clustering",

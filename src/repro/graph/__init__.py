@@ -9,13 +9,23 @@ want to move graphs in and out of networkx.
 from repro.graph.core import Graph
 from repro.graph.csr import CSR_LAYOUT_VERSION, CSRGraph, csr_from_graph
 from repro.graph.kernels import (
+    BallBatch,
     ball_members,
     bfs_levels,
     bfs_with_path_counts,
+    count_biconnected_csr,
     degree_vector,
     induced_subgraph,
     multi_source_distances,
+    vertex_cover_size_csr,
 )
+from repro.graph.kernels_flow import (
+    FlowCapacityOverflow,
+    bisection_cut_csr,
+    max_flow_min_cut,
+    resilience_csr,
+)
+from repro.graph.kernels_trees import distortion_csr
 from repro.graph.traversal import (
     bfs_distances,
     bfs_layers,
@@ -69,6 +79,14 @@ __all__ = [
     "ball_members",
     "degree_vector",
     "induced_subgraph",
+    "BallBatch",
+    "vertex_cover_size_csr",
+    "count_biconnected_csr",
+    "FlowCapacityOverflow",
+    "max_flow_min_cut",
+    "bisection_cut_csr",
+    "resilience_csr",
+    "distortion_csr",
     "bfs_distances",
     "bfs_layers",
     "bfs_parents",

@@ -173,12 +173,19 @@ class Graph:
         return g
 
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
-        """The subgraph induced by ``nodes`` (which must exist)."""
-        keep = set(nodes)
+        """The subgraph induced by ``nodes`` (which must exist).
+
+        Node insertion order follows the order of ``nodes`` (duplicates
+        ignored), so callers control the index order of any downstream
+        ``adjacency_lists``/``freeze`` views of the ball.
+        """
+        ordered = list(nodes)
+        keep = set(ordered)
         g = Graph(name=self.name)
-        for node in keep:
-            adj = self._adj[node] & keep
-            g._adj[node] = adj
+        for node in ordered:
+            if node in g._adj:
+                continue
+            g._adj[node] = self._adj[node] & keep
         g._num_edges = sum(len(adj) for adj in g._adj.values()) // 2
         return g
 

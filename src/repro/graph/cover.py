@@ -26,34 +26,86 @@ def matching_vertex_cover(graph: Graph) -> Set[Node]:
 
     Both endpoints of every matched edge enter the cover; the result is at
     most twice the optimum.
+
+    The matching is the *canonical handshake matching*, defined over node
+    indices (insertion order): in each round every unmatched node proposes
+    to its minimum-index unmatched neighbor, and mutual proposals are
+    matched.  The minimum-index active node is always mutually matched, so
+    the rounds terminate with a maximal matching.  The CSR kernel in
+    :mod:`repro.graph.kernels` replays exactly the same rounds.
     """
-    cover: Set[Node] = set()
-    for u, v in graph.iter_edges():
-        if u not in cover and v not in cover:
-            cover.add(u)
-            cover.add(v)
-    return cover
+    adj, nodes = graph.adjacency_lists()
+    matched = _handshake_matching([sorted(row) for row in adj])
+    return {nodes[i] for i in range(len(nodes)) if matched[i]}
+
+
+def _handshake_matching(adj) -> list:
+    """Boolean matched flags of the canonical handshake matching.
+
+    ``adj`` is an integer adjacency structure with each row ascending.
+    """
+    n = len(adj)
+    matched = [False] * n
+    while True:
+        proposal = [-1] * n
+        for u in range(n):
+            if matched[u]:
+                continue
+            for v in adj[u]:
+                if not matched[v]:
+                    proposal[u] = v
+                    break
+        progress = False
+        for u in range(n):
+            v = proposal[u]
+            if v > u and proposal[v] == u:
+                matched[u] = True
+                matched[v] = True
+                progress = True
+        if not progress:
+            return matched
 
 
 def greedy_vertex_cover(graph: Graph) -> Set[Node]:
     """Greedy max-degree unweighted vertex cover.
 
-    Repeatedly takes the highest-degree node of the remaining graph.  Not
-    a constant-factor approximation in theory but usually smaller than the
-    matching cover in practice; the Figure 8 metric uses the smaller of
-    the two.
+    Repeatedly takes the highest-residual-degree node of the remaining
+    graph, breaking ties toward the minimum node index (insertion order)
+    so the result is canonical and the CSR kernel can reproduce it
+    bitwise.  Not a constant-factor approximation in theory but usually
+    smaller than the matching cover in practice; the Figure 8 metric uses
+    the smaller of the two.
     """
-    remaining = {node: set(graph.neighbors(node)) for node in graph}
-    uncovered = graph.number_of_edges()
-    cover: Set[Node] = set()
+    adj, nodes = graph.adjacency_lists()
+    picked = _greedy_cover([sorted(row) for row in adj])
+    return {nodes[i] for i in picked}
+
+
+def _greedy_cover(adj) -> list:
+    """Indices picked by the canonical max-degree greedy cover.
+
+    ``adj`` is an integer adjacency structure with each row ascending.
+    Ties on residual degree break toward the smaller index.
+    """
+    n = len(adj)
+    deg = [len(row) for row in adj]
+    removed = [False] * n
+    uncovered = sum(deg) // 2
+    picked = []
     while uncovered > 0:
-        node = max(remaining, key=lambda n: len(remaining[n]))
-        neighbors = remaining.pop(node)
-        uncovered -= len(neighbors)
-        for v in neighbors:
-            remaining[v].discard(node)
-        cover.add(node)
-    return cover
+        best = -1
+        best_deg = -1
+        for u in range(n):
+            if not removed[u] and deg[u] > best_deg:
+                best = u
+                best_deg = deg[u]
+        removed[best] = True
+        uncovered -= best_deg
+        for v in adj[best]:
+            if not removed[v]:
+                deg[v] -= 1
+        picked.append(best)
+    return picked
 
 
 def vertex_cover_size(graph: Graph) -> int:

@@ -11,7 +11,11 @@ per-node hash-table BFS into frontier-at-a-time array operations:
   counting (the sigma of Section 5's traversal-set weights);
 * :func:`ball_members` — the index array of a ball, ascending;
 * :func:`degree_vector` — all degrees as one array;
-* :func:`induced_subgraph` — CSR-to-CSR subgraph slicing.
+* :func:`induced_subgraph` — CSR-to-CSR subgraph slicing;
+* :class:`BallBatch` — many balls sliced per numpy call;
+* :func:`matching_cover_size` / :func:`greedy_cover_size` /
+  :func:`vertex_cover_size_csr` — the canonical vertex-cover pair;
+* :func:`count_biconnected_csr` — array-stack Tarjan block counting.
 
 Every kernel is bitwise-equivalent to the dict-of-sets implementation it
 replaces (asserted by ``repro selfcheck --family csr`` and the property
@@ -105,14 +109,83 @@ def bfs_levels(
     return dist
 
 
+#: Maximum source count handled by the packed-bitmask simultaneous BFS
+#: (one int64 bit per source, keeping clear of the sign bit).
+_BITMASK_SOURCES_MAX = 62
+
+
+def _multi_source_bitmask(
+    csr: CSRGraph, sources: Sequence[int], max_depth: Optional[int]
+) -> np.ndarray:
+    """All sources' BFS levels in one synchronized sweep.
+
+    Each node carries an int64 bitmask of the sources that have reached
+    it; one level expands *every* source's frontier at once, so the
+    graph's rows are gathered once per level instead of once per level
+    per source.  Hop distances are unique, so the result is bitwise
+    identical to stacking :func:`bfs_levels` rows.
+    """
+    n = csr.number_of_nodes()
+    k = len(sources)
+    indptr = csr.indptr.astype(np.int64)
+    indices = csr.indices
+    src_arr = np.asarray(sources, dtype=np.int64)
+    if np.any((src_arr < 0) | (src_arr >= n)):
+        bad = src_arr[(src_arr < 0) | (src_arr >= n)][0]
+        raise IndexError(f"source index {bad} out of range for {n} nodes")
+    bits = np.arange(k, dtype=np.int64)
+    dist = np.full((k, n), UNREACHED, dtype=np.int32)
+    dist[bits, src_arr] = 0
+    visited = np.zeros(n, dtype=np.int64)
+    frontier_mask = np.zeros(n, dtype=np.int64)
+    np.bitwise_or.at(visited, src_arr, np.int64(1) << bits)
+    np.bitwise_or.at(frontier_mask, src_arr, np.int64(1) << bits)
+    frontier = np.unique(src_arr)
+    depth = 0
+    while frontier.size and (max_depth is None or depth < max_depth):
+        neighbors, counts = _gather_rows(indptr, indices, frontier)
+        if not neighbors.size:
+            break
+        masks = np.repeat(frontier_mask[frontier], counts)
+        frontier_mask[frontier] = 0
+        # OR the propagated masks per target node: group equal targets
+        # with a sort, then one C-speed segmented reduction.
+        order = np.argsort(neighbors, kind="stable")
+        targets = neighbors[order].astype(np.int64)
+        starts = np.flatnonzero(
+            np.concatenate(([True], targets[1:] != targets[:-1]))
+        )
+        merged = np.bitwise_or.reduceat(masks[order], starts)
+        targets = targets[starts]
+        fresh = merged & ~visited[targets]
+        keep = fresh != 0
+        if not np.any(keep):
+            break
+        depth += 1
+        targets = targets[keep]
+        fresh = fresh[keep]
+        visited[targets] |= fresh
+        frontier_mask[targets] = fresh
+        # Unpack the new bits into per-source distance rows.
+        rows, cols = np.nonzero((fresh[:, None] >> bits[None, :]) & 1)
+        dist[cols, targets[rows]] = depth
+        frontier = targets
+    return dist
+
+
 def multi_source_distances(
     csr: CSRGraph, sources: Sequence[int], max_depth: Optional[int] = None
 ) -> np.ndarray:
     """Stacked BFS distance vectors, one row per source index.
 
     Returns an int32 array of shape ``(len(sources), n)``; row ``k`` is
-    ``bfs_levels(csr, sources[k], max_depth)``.
+    ``bfs_levels(csr, sources[k], max_depth)``.  Up to
+    :data:`_BITMASK_SOURCES_MAX` sources are swept simultaneously with
+    per-node source bitmasks (hop distances are unique, so the fused
+    sweep is bitwise identical to the per-source loop it replaces).
     """
+    if 1 < len(sources) <= _BITMASK_SOURCES_MAX:
+        return _multi_source_bitmask(csr, sources, max_depth)
     n = csr.number_of_nodes()
     out = np.empty((len(sources), n), dtype=np.int32)
     for k, source in enumerate(sources):
@@ -214,3 +287,218 @@ def induced_subgraph(csr: CSRGraph, members: np.ndarray) -> CSRGraph:
     return CSRGraph(
         new_indptr.astype(np.int32), new_indices, nodes, name=csr.name
     )
+
+
+class BallBatch:
+    """Batched CSR slicing: many balls' induced subgraphs per numpy call.
+
+    Construction gathers the CSR rows of *all* balls' members with one
+    :func:`_gather_rows` call and computes every ball's membership mask,
+    rank relabelling and kept-edge filter as whole-batch array
+    operations (chunked so no intermediate exceeds ``chunk_elements``).
+    :meth:`sub_csr` then just wraps the precomputed slices.
+
+    The contract — asserted by the batching property tests — is that
+    ``BallBatch(csr, members_list).sub_csr(i)`` is *bitwise identical*
+    (same ``indptr``/``indices`` arrays, same node list) to
+    ``induced_subgraph(csr, members_list[i])``, for any grouping of
+    balls into batches.
+    """
+
+    __slots__ = ("csr", "_members", "_indptrs", "_indices")
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        members_list: Sequence[np.ndarray],
+        chunk_elements: int = 1 << 23,
+    ):
+        self.csr = csr
+        self._members = [np.asarray(m, dtype=np.int64) for m in members_list]
+        for m in self._members:
+            if m.size and np.any(m[1:] <= m[:-1]):
+                raise ValueError("members must be strictly ascending")
+        n = csr.number_of_nodes()
+        indptr64 = csr.indptr.astype(np.int64)
+        self._indptrs: List[np.ndarray] = []
+        self._indices: List[np.ndarray] = []
+        balls_per_chunk = max(1, chunk_elements // max(1, n))
+        for lo in range(0, len(self._members), balls_per_chunk):
+            chunk = self._members[lo : lo + balls_per_chunk]
+            self._slice_chunk(chunk, n, indptr64)
+
+    def _slice_chunk(
+        self, chunk: List[np.ndarray], n: int, indptr64: np.ndarray
+    ) -> None:
+        sizes = np.array([m.size for m in chunk], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        if offsets[-1] == 0:
+            for m in chunk:
+                self._indptrs.append(np.zeros(m.size + 1, dtype=np.int32))
+                self._indices.append(np.empty(0, dtype=np.int32))
+            return
+        mcat = np.concatenate(chunk)
+        neighbors, counts = _gather_rows(indptr64, self.csr.indices, mcat)
+        member_ball = np.repeat(np.arange(len(chunk)), sizes)
+        elem_ball = np.repeat(member_ball, counts)
+        keep = np.zeros((len(chunk), n), dtype=bool)
+        keep[member_ball, mcat] = True
+        rank = np.cumsum(keep, axis=1, dtype=np.int32) - 1
+        if neighbors.size:
+            kept_mask = keep[elem_ball, neighbors]
+        else:
+            kept_mask = np.empty(0, dtype=bool)
+        row_ids = np.repeat(np.arange(mcat.size), counts)
+        kept_rows = row_ids[kept_mask]
+        new_counts = np.bincount(kept_rows, minlength=mcat.size)
+        kept_indices = rank[elem_ball[kept_mask], neighbors[kept_mask]].astype(
+            np.int32
+        )
+        # ``kept_rows`` ascends, so each ball's kept edges are contiguous.
+        boundaries = np.searchsorted(kept_rows, offsets)
+        for b, m in enumerate(chunk):
+            indptr = np.zeros(m.size + 1, dtype=np.int64)
+            np.cumsum(new_counts[offsets[b] : offsets[b + 1]], out=indptr[1:])
+            self._indptrs.append(indptr.astype(np.int32))
+            self._indices.append(kept_indices[boundaries[b] : boundaries[b + 1]])
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def sub_csr(self, i: int) -> CSRGraph:
+        """Ball ``i``'s induced subgraph, bitwise-equal to
+        :func:`induced_subgraph` on the same members."""
+        csr = self.csr
+        nodes: List = [csr.node_at(int(j)) for j in self._members[i]]
+        return CSRGraph(
+            self._indptrs[i], self._indices[i], nodes, name=csr.name
+        )
+
+
+# ----------------------------------------------------------------------
+# Vertex cover kernels (canonical twins live in repro.graph.cover)
+# ----------------------------------------------------------------------
+
+def handshake_matching_flags(csr: CSRGraph) -> np.ndarray:
+    """Matched flags of the canonical handshake matching, vectorized.
+
+    Rounds mirror :func:`repro.graph.cover._handshake_matching`: every
+    unmatched node proposes its minimum-index unmatched neighbor
+    (``np.minimum.at`` over the live edge set) and mutual proposals
+    match.  Terminates because the minimum-index active node is always
+    mutually matched each round.
+    """
+    n = csr.number_of_nodes()
+    matched = np.zeros(n, dtype=bool)
+    if not csr.indices.size:
+        return matched
+    src = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(csr.indptr.astype(np.int64))
+    )
+    dst = csr.indices.astype(np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    while True:
+        live = ~(matched[src] | matched[dst])
+        proposal = np.full(n, n, dtype=np.int64)
+        np.minimum.at(proposal, src[live], dst[live])
+        candidates = np.flatnonzero((proposal < n) & (proposal > idx))
+        if candidates.size:
+            candidates = candidates[
+                proposal[proposal[candidates]] == candidates
+            ]
+        if not candidates.size:
+            return matched
+        matched[candidates] = True
+        matched[proposal[candidates]] = True
+
+
+def matching_cover_size(csr: CSRGraph) -> int:
+    """Size of the handshake-matching vertex cover (both endpoints)."""
+    return int(handshake_matching_flags(csr).sum())
+
+
+def greedy_cover_size(csr: CSRGraph) -> int:
+    """Size of the canonical max-degree greedy cover.
+
+    Mirrors :func:`repro.graph.cover._greedy_cover`: repeatedly remove
+    the maximum-residual-degree node (``np.argmax`` breaks ties toward
+    the minimum index, exactly like the twin's strict-``>`` scan).
+    """
+    deg = np.diff(csr.indptr.astype(np.int64))
+    uncovered = int(deg.sum()) // 2
+    if uncovered == 0:
+        return 0
+    deg = deg.copy()
+    removed = np.zeros(len(deg), dtype=bool)
+    indptr, indices = csr.indptr, csr.indices
+    picked = 0
+    while uncovered > 0:
+        best = int(np.argmax(np.where(removed, -1, deg)))
+        removed[best] = True
+        uncovered -= int(deg[best])
+        row = indices[indptr[best] : indptr[best + 1]]
+        live = row[~removed[row]]
+        deg[live] -= 1
+        picked += 1
+    return picked
+
+
+def vertex_cover_size_csr(csr: CSRGraph) -> int:
+    """The smaller of the matching and greedy covers (Figure 8 a–c).
+
+    Value-equal to :func:`repro.graph.cover.vertex_cover_size` on the
+    thawed graph.
+    """
+    if not csr.indices.size:
+        return 0
+    return min(matching_cover_size(csr), greedy_cover_size(csr))
+
+
+# ----------------------------------------------------------------------
+# Biconnectivity kernel (dict twin: repro.graph.components)
+# ----------------------------------------------------------------------
+
+def count_biconnected_csr(csr: CSRGraph) -> int:
+    """Number of biconnected components, by array-stack Tarjan DFS.
+
+    Counts one block per tree-edge pop event with ``low[child] >=
+    depth[parent]`` — the same events on which the dict twin
+    (:func:`repro.graph.components.biconnected_components`) emits a
+    component, so the counts agree on every graph.  No edge stack is
+    kept; only the count is needed.
+    """
+    n = csr.number_of_nodes()
+    indptr = csr.indptr.tolist()
+    indices = csr.indices.tolist()
+    depth = [-1] * n
+    low = [0] * n
+    parent = [-1] * n
+    ptr = list(indptr[:-1])
+    count = 0
+    for root in range(n):
+        if depth[root] >= 0:
+            continue
+        depth[root] = 0
+        low[root] = 0
+        stack = [root]
+        while stack:
+            u = stack[-1]
+            if ptr[u] < indptr[u + 1]:
+                v = indices[ptr[u]]
+                ptr[u] += 1
+                if depth[v] < 0:
+                    depth[v] = depth[u] + 1
+                    low[v] = depth[v]
+                    parent[v] = u
+                    stack.append(v)
+                elif v != parent[u] and depth[v] < low[u]:
+                    low[u] = depth[v]
+            else:
+                stack.pop()
+                if stack:
+                    p = stack[-1]
+                    if low[u] >= depth[p]:
+                        count += 1
+                    if low[u] < low[p]:
+                        low[p] = low[u]
+    return count

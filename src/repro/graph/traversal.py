@@ -106,23 +106,35 @@ def shortest_path_length(graph: Graph, source: Node, target: Node) -> Optional[i
 
 
 def connected_components(graph: Graph) -> List[List[Node]]:
-    """All connected components, largest first."""
-    seen: Dict[Node, bool] = {}
-    components: List[List[Node]] = []
+    """All connected components, largest first.
+
+    Each component lists its nodes in graph insertion order (not BFS
+    discovery order), and ties between equal-sized components keep the
+    insertion order of their first nodes.  This makes the result — and
+    everything built on it, e.g. ``largest_connected_component`` — a
+    pure function of the graph's canonical node order, so the dict
+    metrics and the CSR kernels that delegate to them agree bitwise.
+    """
+    comp_id: Dict[Node, int] = {}
+    sizes: List[int] = []
     for start in graph:
-        if start in seen:
+        if start in comp_id:
             continue
-        comp = [start]
-        seen[start] = True
+        cid = len(sizes)
+        comp_id[start] = cid
+        size = 1
         frontier = deque([start])
         while frontier:
             u = frontier.popleft()
             for v in graph.neighbors(u):
-                if v not in seen:
-                    seen[v] = True
-                    comp.append(v)
+                if v not in comp_id:
+                    comp_id[v] = cid
+                    size += 1
                     frontier.append(v)
-        components.append(comp)
+        sizes.append(size)
+    components: List[List[Node]] = [[] for _ in sizes]
+    for node in graph:
+        components[comp_id[node]].append(node)
     components.sort(key=len, reverse=True)
     return components
 

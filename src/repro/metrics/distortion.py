@@ -29,7 +29,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.generators.base import Seed
 from repro.graph.core import Graph
 from repro.graph.traversal import largest_connected_component
-from repro.graph.trees import bfs_tree, spanning_tree_distortion
+from repro.graph.trees import spanning_tree_distortion
 from repro.routing.policy import Relationships
 
 Node = Hashable
@@ -161,6 +161,74 @@ def _bartal_tree(graph: Graph, rng: random.Random) -> Dict[Node, Optional[Node]]
     return parent
 
 
+def _closeness_center_index(
+    adj: List[List[int]], rng: random.Random, num_sources: int
+) -> int:
+    """Index of the (sampled) closeness center, min-index tie-broken.
+
+    Sums integer BFS distances from a sample of sources and returns the
+    first index attaining the minimum total — the node pairs route
+    through most in a tree sense.  Integer arithmetic plus first-minimum
+    selection make the choice canonical: the CSR kernel's ``argmin`` over
+    the same sums lands on the same index.
+    """
+    n = len(adj)
+    if n <= num_sources:
+        sources = list(range(n))
+    else:
+        sources = rng.sample(range(n), num_sources)
+    score = [0] * n
+    for s in sources:
+        dist = [-1] * n
+        dist[s] = 0
+        frontier = [s]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                du = dist[u] + 1
+                for v in adj[u]:
+                    if dist[v] < 0:
+                        dist[v] = du
+                        nxt.append(v)
+            frontier = nxt
+        for v in range(n):
+            score[v] += dist[v]
+    return min(range(n), key=lambda v: (score[v], v))
+
+
+def _canonical_bfs_parents(adj: List[List[int]], root: int) -> List[int]:
+    """Canonical BFS-tree parents: ``parent[v]`` is the minimum-index
+    neighbor of ``v`` one BFS level closer to ``root`` (-1 for the root).
+
+    Unlike :func:`repro.graph.trees.bfs_tree`, which keeps whichever
+    parent discovered a node first in set-iteration order, this choice
+    is a pure function of the index structure, so the vectorized kernel
+    in :mod:`repro.graph.kernels_trees` rebuilds the identical tree.
+    """
+    n = len(adj)
+    dist = [-1] * n
+    dist[root] = 0
+    frontier = [root]
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            du = dist[u] + 1
+            for v in adj[u]:
+                if dist[v] < 0:
+                    dist[v] = du
+                    nxt.append(v)
+        frontier = nxt
+    parent = [-1] * n
+    for v in range(n):
+        if v == root or dist[v] < 0:
+            continue
+        for u in adj[v]:  # ascending, so the first hit is the minimum
+            if dist[u] == dist[v] - 1:
+                parent[v] = u
+                break
+    return parent
+
+
 def distortion_of(
     graph: Graph,
     rng: Optional[random.Random] = None,
@@ -169,9 +237,11 @@ def distortion_of(
 ) -> float:
     """Distortion of one (sub)graph: min over heuristic spanning trees.
 
-    Evaluates the betweenness-center BFS tree (the paper's heuristic),
-    the max-degree-rooted BFS tree, ``random_roots`` random-rooted BFS
-    trees, and optionally a Bartal divide-and-conquer tree.
+    Evaluates the closeness-center-rooted canonical BFS tree (standing in
+    for the paper's "node most pairs traverse"), the max-degree-rooted
+    tree, ``random_roots`` random-rooted trees, and optionally a Bartal
+    divide-and-conquer tree.  Every tree except Bartal's is canonical
+    (min-index parents), so the CSR kernel scores the same trees.
     """
     rng = rng if rng is not None else random.Random(0)
     component = largest_connected_component(graph)
@@ -180,20 +250,33 @@ def distortion_of(
     if component.number_of_nodes() == graph.number_of_nodes():
         component = graph
 
-    candidates: List[Dict[Node, Optional[Node]]] = []
-    center = approximate_betweenness_center(component, rng)
-    candidates.append(bfs_tree(component, center))
-    max_degree_node = max(component.nodes(), key=component.degree)
+    adj_raw, nodes = component.adjacency_lists()
+    adj = [sorted(row) for row in adj_raw]
+    n = len(adj)
+    center = _closeness_center_index(adj, rng, _BETWEENNESS_SOURCES)
+    roots = [center]
+    max_degree_node = max(range(n), key=lambda v: (len(adj[v]), -v))
     if max_degree_node != center:
-        candidates.append(bfs_tree(component, max_degree_node))
-    nodes = component.nodes()
+        roots.append(max_degree_node)
     for _ in range(random_roots):
-        candidates.append(bfs_tree(component, nodes[rng.randrange(len(nodes))]))
+        roots.append(rng.randrange(n))
+
+    best: Optional[float] = None
+    for root in roots:
+        parent_idx = _canonical_bfs_parents(adj, root)
+        parent: Dict[Node, Optional[Node]] = {
+            nodes[v]: (nodes[parent_idx[v]] if parent_idx[v] >= 0 else None)
+            for v in range(n)
+        }
+        value = spanning_tree_distortion(component, parent)
+        if best is None or value < best:
+            best = value
     if use_bartal:
-        candidates.append(_bartal_tree(component, rng))
-    return min(
-        spanning_tree_distortion(component, parent) for parent in candidates
-    )
+        value = spanning_tree_distortion(component, _bartal_tree(component, rng))
+        if value < best:
+            best = value
+    assert best is not None
+    return best
 
 
 def bartal_distortion_of(graph: Graph, rng: Optional[random.Random] = None) -> float:

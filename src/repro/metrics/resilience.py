@@ -35,6 +35,8 @@ def resilience_of(graph: Graph, rng: Optional[random.Random] = None, trials: int
     component = largest_connected_component(graph)
     if component.number_of_nodes() < 2:
         return 0.0
+    if component.number_of_nodes() == graph.number_of_nodes():
+        component = graph  # connected: keep the caller's node order
     return float(bisection_cut_size(component, rng=rng, trials=trials))
 
 

@@ -28,6 +28,7 @@ implementation, independent of the topology under test:
 
 from __future__ import annotations
 
+import os
 import tempfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -190,13 +191,15 @@ def check_engine_equivalence(
     num_centers: int = 4,
     max_ball_size: Optional[int] = 60,
 ) -> List[str]:
-    """Serial, parallel, cached, and dict-oracle engine paths must agree
-    bitwise.
+    """Serial, parallel, cached, journaled, and dict-oracle engine paths
+    must agree bitwise.
 
     The serial engine (CSR kernels) is the reference; the parallel
-    engine, the cached engine (cold and warm), and the dict-of-sets
-    oracle engine (``use_csr=False``) must all reproduce it exactly.
-    Also cross-checks RNG-free ball metrics against the legacy
+    engine, the cached engine (cold and warm), the journaled engine
+    (cold and resumed — the resume must recompute **zero** centers), and
+    the dict-of-sets oracle engine (``use_csr=False``, which also
+    disables every metric kernel) must all reproduce it exactly.  Also
+    cross-checks RNG-free ball metrics against the legacy
     :func:`repro.metrics.balls.ball_growing_series` machinery, closing
     the loop back to the pre-engine implementation.
     """
@@ -245,6 +248,37 @@ def check_engine_equivalence(
             problems.append(
                 "cache reported no hits on the second pass: "
                 f"{cached_engine.stats}"
+            )
+
+    # The journal rides on the supervised executor, so give both runs an
+    # explicit fault-free runtime (empty FaultPlan keeps them fault-free
+    # even under a REPRO_FAULTS environment).
+    from repro.runtime import FaultPlan, RuntimePolicy
+
+    no_faults = lambda: RuntimePolicy(backoff=0.0, faults=FaultPlan([]))
+    with tempfile.TemporaryDirectory(prefix="repro-selfcheck-journal-") as tmp:
+        jpath = os.path.join(tmp, "journal.jsonl")
+        cold = MetricEngine(
+            workers=0, use_cache=False, runtime=no_faults(), journal=jpath
+        ).compute(graph, requests())
+        resumed_engine = MetricEngine(
+            workers=0, use_cache=False, runtime=no_faults(), journal=jpath
+        )
+        resumed = resumed_engine.compute(graph, requests())
+        for name in metrics:
+            if cold[name] != serial[name]:
+                problems.append(
+                    f"engine(journal, cold) != engine(cache=off) for {name}"
+                )
+            if resumed[name] != serial[name]:
+                problems.append(
+                    f"engine(journal, resumed) != engine(cache=off) for {name}"
+                )
+        if resumed_engine.stats["centers_computed"] != 0:
+            problems.append(
+                "journal resume recomputed "
+                f"{resumed_engine.stats['centers_computed']} centers "
+                "despite a complete journal"
             )
 
     for name in metrics:

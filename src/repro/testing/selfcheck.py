@@ -1,6 +1,6 @@
 """The ``repro selfcheck`` differential/fuzzing harness.
 
-Runs eight families of checks over seeded random inputs and reports a
+Runs nine families of checks over seeded random inputs and reports a
 single pass/fail verdict, so one command answers "are the metric
 implementations still trustworthy?":
 
@@ -36,6 +36,16 @@ implementations still trustworthy?":
     edge set per seed on both paths, random chunk streams freeze
     bit-identically to ``Graph.freeze()`` regardless of chunking, and
     the builder's incremental union-find agrees with ``is_connected``.
+``kernels``
+    The CSR-native metric kernels vs. their pure-Python twins, in four
+    sub-streams mirroring the kernel modules: *flow* (batched
+    Edmonds–Karp max-flow/min-cut vs. Dinic, incl. the big-int overflow
+    fallback, plus ``bisection_cut_csr``/``resilience_csr`` vs. the
+    multilevel partitioner under a shared RNG stream), *tree*
+    (``distortion_csr`` vs. ``distortion_of``), *biconn*
+    (``count_biconnected_csr`` vs. the Tarjan dict walk) and *cover*
+    (``vertex_cover_size_csr`` vs. the matching/greedy heuristic) — all
+    bitwise, plus ``BallBatch`` sub-CSRs vs. per-ball induced subgraphs.
 ``faults``
     The fault-tolerant runtime (:mod:`repro.runtime`): injected crashes
     and garbage results are retried to a bitwise-identical run,
@@ -768,6 +778,140 @@ def _check_streaming(rng: random.Random, report: FamilyReport) -> None:
         fail("GraphBuilder giant component != largest_connected_component")
 
 
+def _check_kernels(rng: random.Random, report: FamilyReport) -> None:
+    """Differential checks: CSR metric kernels vs. their dict twins.
+
+    Four sub-streams, one per kernel surface (flow, tree, biconn,
+    cover), each asserting **bitwise** equality — the kernels are not
+    approximations of the pure-Python metric cores, they are the same
+    canonical algorithms re-expressed over arrays, so any drift is a
+    bug.  The RNG-consuming kernels are driven with a fresh
+    ``random.Random`` seeded identically to the twin's, which also
+    verifies the kernels draw the same stream in the same order.
+    """
+    import numpy as np
+
+    from repro.graph import kernels as kernels_mod
+    from repro.graph import kernels_flow as flow_mod
+    from repro.graph import kernels_trees as trees_mod
+    from repro.graph.components import count_biconnected_components
+
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    # --- flow: array Edmonds–Karp vs. Dinic, cut certified ------------
+    report.checks += 1
+    n = rng.randint(3, 7)
+    arcs = []
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.5:
+                arcs.append((u, v, rng.randint(0, 5)))
+    flow, reachable = flow_mod.max_flow_min_cut(n, arcs, 0, n - 1)
+    dinic = Dinic(n)
+    for u, v, cap in arcs:
+        dinic.add_edge(u, v, float(cap))
+    if float(flow) != dinic.max_flow(0, n - 1):
+        fail(f"max_flow_min_cut flow {flow} != Dinic on {arcs}")
+    if not reachable[0] or reachable[n - 1]:
+        fail("min-cut side must contain the source and exclude the sink")
+    crossing = sum(c for u, v, c in arcs if reachable[u] and not reachable[v])
+    if crossing != flow:
+        fail(
+            f"residual-reachable side cuts {crossing} capacity but the "
+            f"flow is {flow} — the cut does not certify the flow"
+        )
+
+    # --- flow: int64 overflow falls back to the big-int twin ----------
+    # Scaling every capacity by 2**61 scales the max flow linearly and
+    # preserves the (unique, inclusion-minimal) source-side min cut,
+    # while pushing the totals past the int64-safe bound so
+    # ``max_flow_min_cut`` must take the arbitrary-precision path.
+    report.checks += 1
+    scale = 1 << 61
+    big_flow, big_reach = flow_mod.max_flow_min_cut(
+        n, [(u, v, c * scale) for u, v, c in arcs], 0, n - 1
+    )
+    if big_flow != flow * scale:
+        fail(
+            f"big-int fallback flow {big_flow} != scaled array flow "
+            f"{flow * scale}"
+        )
+    if big_reach != reachable:
+        fail("big-int fallback returned a different min-cut side")
+
+    # --- flow: balanced bisection + resilience vs. the dict twins -----
+    report.checks += 1
+    g = random_connected_graph(rng)
+    stream = rng.getrandbits(32)
+    got_cut = flow_mod.bisection_cut_csr(
+        g.freeze(), rng=random.Random(stream), trials=3
+    )
+    want_cut = partition_mod.bisection_cut_size(
+        g, rng=random.Random(stream), trials=3
+    )
+    if got_cut != want_cut:
+        fail(
+            f"bisection_cut_csr {got_cut} != bisection_cut_size "
+            f"{want_cut} for the same RNG stream"
+        )
+
+    report.checks += 1
+    gd = random_graph(rng)  # possibly disconnected: exercises delegation
+    csr_d = gd.freeze()
+    stream = rng.getrandbits(32)
+    got_r = flow_mod.resilience_csr(csr_d, rng=random.Random(stream), trials=3)
+    want_r = resilience_mod.resilience_of(
+        gd, rng=random.Random(stream), trials=3
+    )
+    if got_r != want_r:
+        fail(f"resilience_csr {got_r} != resilience_of {want_r}")
+
+    # --- tree: spanning-tree distortion kernel vs. the dict twin ------
+    report.checks += 1
+    stream = rng.getrandbits(32)
+    got_d = trees_mod.distortion_csr(csr_d, rng=random.Random(stream))
+    want_d = distortion_of(gd, rng=random.Random(stream))
+    if got_d != want_d:
+        fail(f"distortion_csr {got_d} != distortion_of {want_d}")
+
+    # --- biconn: array-stack Tarjan vs. the recursive dict walk -------
+    report.checks += 1
+    got_b = kernels_mod.count_biconnected_csr(csr_d)
+    want_b = count_biconnected_components(gd)
+    if got_b != want_b:
+        fail(
+            f"count_biconnected_csr {got_b} != "
+            f"count_biconnected_components {want_b}"
+        )
+
+    # --- cover: matching/greedy kernel vs. the dict heuristic ---------
+    report.checks += 1
+    got_c = kernels_mod.vertex_cover_size_csr(csr_d)
+    want_c = vertex_cover_size(gd)
+    if got_c != want_c:
+        fail(f"vertex_cover_size_csr {got_c} != vertex_cover_size {want_c}")
+
+    # --- BallBatch: batched sub-CSRs == one-at-a-time extraction ------
+    report.checks += 1
+    csr = g.freeze()
+    center = rng.randrange(csr.number_of_nodes())
+    dist = kernels_mod.bfs_levels(csr, center)
+    members_list = [
+        kernels_mod.ball_members(dist, radius)
+        for radius in range(1, rng.randint(2, 4) + 1)
+    ]
+    batch = kernels_mod.BallBatch(csr, members_list)
+    for i, members in enumerate(members_list):
+        batched = batch.sub_csr(i)
+        solo = kernels_mod.induced_subgraph(csr, members)
+        if not (
+            np.array_equal(batched.indptr, solo.indptr)
+            and np.array_equal(batched.indices, solo.indices)
+        ):
+            fail(f"BallBatch.sub_csr({i}) != induced_subgraph on ball {i}")
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -784,6 +928,7 @@ _FAMILIES: Dict[str, tuple] = {
     "faults": (_check_faults, 3),
     "csr": (_check_csr, 1),
     "streaming": (_check_streaming, 1),
+    "kernels": (_check_kernels, 1),
 }
 
 

@@ -320,3 +320,160 @@ def test_cache_key_covers_params_and_seed():
     k2 = cache_key(fp, "resilience", {**base, "seed": 2})
     k3 = cache_key(fp, "distortion", base)
     assert len({k1, k2, k3}) == 3
+
+
+# ----------------------------------------------------------------------
+# Metric kernels on/off: the CSR kernel layer must be invisible
+# ----------------------------------------------------------------------
+
+def _strip_kernels(monkeypatch):
+    """Disable every registered kernel_evaluator, keeping use_csr=True.
+
+    This isolates the kernel layer from the CSR representation: the
+    engine still runs on frozen graphs and batched distances, but every
+    ball metric falls back to its dict evaluator on thawed balls.
+    """
+    import dataclasses
+
+    from repro.engine import requests as requests_mod
+
+    for name, spec in list(requests_mod.METRICS.items()):
+        if spec.kernel_evaluator is not None:
+            monkeypatch.setitem(
+                requests_mod.METRICS,
+                name,
+                dataclasses.replace(spec, kernel_evaluator=None),
+            )
+
+
+@pytest.mark.parametrize("graph_name,graph", graphs())
+def test_kernels_on_off_bitwise_identical(graph_name, graph, monkeypatch):
+    # All seven series with the CSR metric kernels dispatched, vs. the
+    # same engine with every kernel_evaluator stripped: bitwise equal,
+    # including the RunReport status blocks.
+    requests = [request_for(name) for name in sorted(LEGACY_FUNCTIONS)]
+    kernel_engine = engine()
+    with_kernels = kernel_engine.compute(graph, requests)
+    _strip_kernels(monkeypatch)
+    plain_engine = engine()
+    without_kernels = plain_engine.compute(graph, requests)
+    for metric in LEGACY_FUNCTIONS:
+        assert with_kernels[metric] == without_kernels[metric], metric
+    assert kernel_engine.last_run == plain_engine.last_run
+
+
+def test_kernel_registry_covers_the_non_bfs_ball_metrics():
+    from repro.engine.requests import METRICS
+
+    kernelized = {n for n, s in METRICS.items() if s.kernel_evaluator is not None}
+    assert kernelized == {
+        "resilience",
+        "distortion",
+        "vertex_cover",
+        "biconnectivity",
+    }
+
+
+# ----------------------------------------------------------------------
+# Journal resume with kernels: SIGKILL survival, zero recomputation
+# ----------------------------------------------------------------------
+
+ENGINE_KILL_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.engine import MetricEngine, MetricRequest
+from repro.generators.plrg import plrg
+from repro.runtime import FaultPlan, RuntimePolicy
+graph = plrg(250, 2.246, seed=2)
+requests = [
+    MetricRequest(name, num_centers=4, max_ball_size=200, seed=7)
+    for name in (
+        "resilience", "distortion", "vertex_cover",
+        "biconnectivity", "clustering", "path_length",
+    )
+]
+print("started", flush=True)
+MetricEngine(
+    workers=0, use_cache=False,
+    runtime=RuntimePolicy(backoff=0.0, faults=FaultPlan([])),
+    journal={journal!r},
+).compute(graph, requests)
+print("finished", flush=True)
+"""
+
+
+@pytest.mark.slow
+def test_sigkill_mid_compute_then_resume_recomputes_only_the_rest(tmp_path):
+    import os
+    import signal
+    import subprocess
+    import sys as _sys
+    import time
+
+    from repro.runtime import FaultPlan, Journal, RuntimePolicy
+
+    jpath = str(tmp_path / "engine-kill.jsonl")
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    script = ENGINE_KILL_SCRIPT.format(src=src, journal=jpath)
+    proc = subprocess.Popen(
+        [_sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        cwd=str(tmp_path),
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if os.path.exists(jpath) and any(
+                key.startswith("center|") for key in Journal(jpath).keys()
+            ):
+                break
+            if proc.poll() is not None:
+                pytest.fail("engine subprocess finished before it was killed")
+            time.sleep(0.02)
+        else:
+            pytest.fail("engine subprocess never journaled a center")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    survived = [k for k in Journal(jpath).keys() if k.startswith("center|")]
+    assert survived  # the journal outlived the SIGKILL
+
+    graph = plrg(250, 2.246, seed=2)
+    requests = [
+        MetricRequest(name, num_centers=4, max_ball_size=200, seed=SEED)
+        for name in (
+            "resilience", "distortion", "vertex_cover",
+            "biconnectivity", "clustering", "path_length",
+        )
+    ]
+    clean = engine().compute(graph, requests)
+
+    resumed_engine = MetricEngine(
+        workers=0,
+        use_cache=False,
+        runtime=RuntimePolicy(backoff=0.0, faults=FaultPlan([])),
+        journal=jpath,
+    )
+    resumed = resumed_engine.compute(graph, requests)
+    for req in requests:
+        assert resumed[req.name] == clean[req.name], req.name
+    # Every center journaled before the kill was skipped, not redone.
+    assert resumed_engine.stats["journal_skipped"] == len(survived)
+    assert resumed_engine.stats["journal_skipped"] > 0
+
+    # A second resume over the now-complete journal recomputes nothing.
+    final_engine = MetricEngine(
+        workers=0,
+        use_cache=False,
+        runtime=RuntimePolicy(backoff=0.0, faults=FaultPlan([])),
+        journal=jpath,
+    )
+    final = final_engine.compute(graph, requests)
+    for req in requests:
+        assert final[req.name] == clean[req.name], req.name
+    assert final_engine.stats["centers_computed"] == 0

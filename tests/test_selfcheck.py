@@ -84,6 +84,7 @@ def test_run_selfcheck_passes_and_reports_all_families():
         "faults",
         "csr",
         "streaming",
+        "kernels",
     ]
     assert all(fam.checks > 0 or fam.skipped for fam in report.families)
     assert any("— OK" in line for line in lines)
@@ -189,6 +190,103 @@ def test_selfcheck_catches_csr_ball_off_by_one(monkeypatch):
     monkeypatch.setattr(kernels, "ball_members", shrunk)
     report = run_selfcheck(rounds=5, seed=0, families=["csr"], out=lambda _: None)
     assert not report.ok
+
+
+def test_selfcheck_catches_kernel_cut_off_by_one(monkeypatch):
+    """Flow sub-stream: a planted +1 in the CSR cut counter desyncs
+    ``bisection_cut_csr`` from the dict partitioner."""
+    from repro.graph import kernels_flow
+
+    real = kernels_flow._cut_csr
+
+    def off_by_one(level, side):
+        return real(level, side) + 1
+
+    monkeypatch.setattr(kernels_flow, "_cut_csr", off_by_one)
+    report = run_selfcheck(
+        rounds=5, seed=0, families=["kernels"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "bisection" in messages or "resilience" in messages
+
+
+def test_selfcheck_catches_kernel_bigint_fallback_off_by_one(monkeypatch):
+    """Flow sub-stream: corrupting only the big-integer fallback is
+    caught by the capacity-scaling check, proving that leg really runs."""
+    from repro.graph import kernels_flow
+
+    real = kernels_flow._max_flow_bigint
+
+    def off_by_one(num_nodes, arcs, source, sink):
+        flow, reachable = real(num_nodes, arcs, source, sink)
+        return flow + 1, reachable
+
+    monkeypatch.setattr(kernels_flow, "_max_flow_bigint", off_by_one)
+    report = run_selfcheck(
+        rounds=5, seed=0, families=["kernels"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "big-int" in messages
+
+
+def test_selfcheck_catches_kernel_tree_distance_off_by_one(monkeypatch):
+    """Tree sub-stream: a planted +1 in the vectorized tree-distance
+    accumulator desyncs ``distortion_csr`` from ``distortion_of``."""
+    from repro.graph import kernels_trees
+
+    real = kernels_trees.tree_edge_distance_total
+
+    def off_by_one(*args, **kwargs):
+        return real(*args, **kwargs) + 1
+
+    monkeypatch.setattr(kernels_trees, "tree_edge_distance_total", off_by_one)
+    report = run_selfcheck(
+        rounds=5, seed=0, families=["kernels"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "distortion" in messages
+
+
+def test_selfcheck_catches_kernel_biconn_off_by_one(monkeypatch):
+    """Biconn sub-stream: the array-stack Tarjan count drifting by one
+    block must flip the family red."""
+    from repro.graph import kernels
+
+    real = kernels.count_biconnected_csr
+
+    def off_by_one(csr):
+        return real(csr) + 1
+
+    monkeypatch.setattr(kernels, "count_biconnected_csr", off_by_one)
+    report = run_selfcheck(
+        rounds=5, seed=0, families=["kernels"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "biconnected" in messages
+
+
+def test_selfcheck_catches_kernel_cover_off_by_one(monkeypatch):
+    """Cover sub-stream: an off-by-one in the vectorized greedy cover
+    (the usual winner of the min) desyncs the cover kernel from the
+    dict heuristic."""
+    from repro.graph import kernels
+
+    real = kernels.greedy_cover_size
+
+    def off_by_one(csr):
+        return real(csr) + 1
+
+    monkeypatch.setattr(kernels, "greedy_cover_size", off_by_one)
+    report = run_selfcheck(
+        rounds=8, seed=0, families=["kernels"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "cover" in messages
 
 
 def test_selfcheck_catches_builder_chunk_off_by_one(monkeypatch):

@@ -24,7 +24,7 @@ def test_coarsen_halves_a_matching_friendly_graph():
     # A perfect matching (disjoint edges) coarsens to exactly n/2 nodes.
     g = Graph([(2 * i, 2 * i + 1) for i in range(20)])
     adj, _ = to_weighted_adjacency(g)
-    coarse, weights, mapping = P._coarsen(adj, [1] * 40, random.Random(0), 10)
+    coarse, weights, mapping = P._coarsen(adj, [1] * 40, 10)
     assert len(coarse) == 20
     assert sum(weights) == 40
     assert all(w == 2 for w in weights)
@@ -37,14 +37,14 @@ def test_coarsen_respects_weight_cap():
     g = Graph([(0, i) for i in range(1, 30)])
     adj, _ = to_weighted_adjacency(g)
     node_w = [1] * 30
-    _coarse, weights, _mapping = P._coarsen(adj, node_w, random.Random(0), 2)
+    _coarse, weights, _mapping = P._coarsen(adj, node_w, 2)
     assert max(weights) <= 2
 
 
 def test_coarsen_preserves_total_edge_weight_across_cut():
     g = Graph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
     adj, _ = to_weighted_adjacency(g)
-    coarse, weights, mapping = P._coarsen(adj, [1] * 4, random.Random(1), 2)
+    coarse, weights, mapping = P._coarsen(adj, [1] * 4, 2)
     # Edge weight between coarse nodes equals the number of fine edges
     # crossing them.
     fine_cross = 0
@@ -76,7 +76,7 @@ def test_fm_refine_fixes_a_bad_split():
     side = [0] * 16
     for node in list(range(4)) + list(range(10, 14)):
         side[index[node]] = 1
-    refined = P._fm_refine(adj, [1] * 16, side, 0.1, random.Random(0))
+    refined = P._fm_refine(adj, [1] * 16, side, 0.1)
     assert P._cut_size(adj, refined) == 1
 
 
@@ -89,7 +89,7 @@ def test_fm_refine_never_worsens():
     adj, _ = to_weighted_adjacency(g)
     side = [rng.randrange(2) for _ in range(40)]
     start_cut = P._cut_size(adj, side)
-    refined = P._fm_refine(adj, [1] * 40, side, 0.1, random.Random(3))
+    refined = P._fm_refine(adj, [1] * 40, side, 0.1)
     assert P._cut_size(adj, refined) <= start_cut
 
 
