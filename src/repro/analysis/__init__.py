@@ -5,20 +5,24 @@ from repro.analysis.classify import (
     HIGH,
     LOW,
     PAPER_SIGNATURES,
+    SIGNATURE_HINTS,
     ClassifierThresholds,
     classify_distortion,
     classify_expansion,
     classify_resilience,
     signature,
+    signature_requests,
 )
 
 __all__ = [
     "HIGH",
     "LOW",
     "PAPER_SIGNATURES",
+    "SIGNATURE_HINTS",
     "ClassifierThresholds",
     "classify_distortion",
     "classify_expansion",
     "classify_resilience",
     "signature",
+    "signature_requests",
 ]

@@ -123,3 +123,41 @@ PAPER_SIGNATURES = {
     "TS": "HLL",
     "Waxman": "HHH",
 }
+
+# One-line readings of the common signatures, shown by the CLI and the
+# service after classifying a graph.
+SIGNATURE_HINTS = {
+    "HHL": "Internet-like (matches AS/RL/PLRG in the paper)",
+    "HLL": "tree-like (matches Tree/Transit-Stub)",
+    "LHL": "Tiers-like",
+    "HHH": "random-like (matches Random/Waxman)",
+    "LHH": "mesh-like",
+    "LLL": "chain-like",
+}
+
+
+def signature_requests(centers: int, max_ball: int, seed):
+    """The engine requests behind one L/H signature classification.
+
+    ``repro signature`` and the service's ``signature`` op both build
+    their shared :class:`~repro.engine.MetricEngine` pass through this
+    function, so a daemon answer is bitwise-identical to the CLI run:
+    same centers floor for expansion, same ball cap, same seed routing.
+    """
+    from repro.engine import MetricRequest  # local: keeps import acyclic
+
+    return [
+        MetricRequest("expansion", num_centers=max(centers, 16), seed=seed),
+        MetricRequest(
+            "resilience",
+            num_centers=centers,
+            max_ball_size=max_ball,
+            seed=seed,
+        ),
+        MetricRequest(
+            "distortion",
+            num_centers=centers,
+            max_ball_size=max_ball,
+            seed=seed,
+        ),
+    ]

@@ -30,7 +30,11 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.analysis import signature as metric_signature
+from repro.analysis import (
+    SIGNATURE_HINTS,
+    signature as metric_signature,
+    signature_requests,
+)
 from repro.engine import MetricEngine, MetricRequest
 from repro.runtime import RuntimePolicy
 from repro.runtime import faults as _faults
@@ -63,6 +67,8 @@ __all__ = [
     "cmd_report",
     "cmd_sweep",
     "cmd_selfcheck",
+    "cmd_serve",
+    "cmd_query",
 ]
 
 
@@ -240,6 +246,29 @@ def _make_engine(
     )
 
 
+def _version() -> str:
+    """The installed distribution version, falling back to the source
+    tree's ``repro.__version__`` when running uninstalled."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+def _parse_tcp(text: str) -> tuple:
+    """``host:port`` -> ``(host, port)`` for --tcp flags."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI (exposed for shell-completion tooling)."""
     parser = argparse.ArgumentParser(
@@ -248,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction toolkit for 'Network Topology Generators: "
             "Degree-Based vs. Structural' (SIGCOMM 2002)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_generate(sub)
@@ -365,7 +397,122 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="run only this family (repeatable); default: all",
     )
+    _add_serve(sub)
+    _add_query(sub)
     return parser
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "run the long-lived analysis daemon (newline-delimited JSON "
+            "over a unix socket; see docs/SERVICE.md)"
+        ),
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        help=f"unix socket path (default {_service_default_socket()!r})",
+    )
+    p.add_argument(
+        "--tcp",
+        type=_parse_tcp,
+        default=None,
+        metavar="HOST:PORT",
+        help="also listen on TCP (port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        help="queue watermark past which requests answer 'busy'",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="series cache directory (default .repro-cache/)",
+    )
+    p.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=None,
+        help="LRU bound on cached series count (default unbounded)",
+    )
+    p.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        help="LRU bound on cached series bytes (default unbounded)",
+    )
+    _add_engine_flags(p)
+
+
+def _add_query(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "query",
+        help="send one request to a running `repro serve` daemon",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        help=f"daemon unix socket (default {_service_default_socket()!r})",
+    )
+    p.add_argument(
+        "--tcp",
+        type=_parse_tcp,
+        default=None,
+        metavar="HOST:PORT",
+        help="connect over TCP instead of the unix socket",
+    )
+    p.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds, enforced by the daemon",
+    )
+    ops = p.add_subparsers(dest="query_op", required=True)
+    metric = ops.add_parser("metric", help="one metric series")
+    metric.add_argument("edgelist", help="edge-list path on the daemon host")
+    metric.add_argument(
+        "metric_name",
+        choices=sorted(n for n, e in METRIC_CHOICES.items() if e is not None),
+    )
+    metric.add_argument("--centers", type=int, default=12)
+    metric.add_argument("--max-ball", type=int, default=900)
+    metric.add_argument("--seed", type=int, default=1)
+    signature = ops.add_parser("signature", help="the L/H signature")
+    signature.add_argument("edgelist", help="edge-list path on the daemon host")
+    signature.add_argument("--centers", type=int, default=12)
+    signature.add_argument("--max-ball", type=int, default=900)
+    signature.add_argument("--seed", type=int, default=1)
+    compare = ops.add_parser("compare", help="markdown comparison report")
+    compare.add_argument("edgelists", nargs="+")
+    compare.add_argument("--centers", type=int, default=6)
+    compare.add_argument("--max-ball", type=int, default=500)
+    compare.add_argument("--out", help="also write the report here")
+    sweep_row = ops.add_parser("sweep-row", help="one Appendix-C sweep row")
+    sweep_row.add_argument("generator", choices=sorted(SWEEP_GRIDS))
+    sweep_row.add_argument(
+        "--param",
+        action="append",
+        dest="params",
+        default=[],
+        metavar="NAME=VALUE",
+        help="generator parameter (repeatable), e.g. --param n=400",
+    )
+    sweep_row.add_argument("--classify", action="store_true")
+    sweep_row.add_argument("--centers", type=int, default=6)
+    sweep_row.add_argument("--max-ball", type=int, default=700)
+    sweep_row.add_argument("--seed", type=int, default=5)
+    ops.add_parser("status", help="daemon queue/coalescing/cache counters")
+    ops.add_parser("shutdown", help="ask the daemon to drain and exit")
+
+
+def _service_default_socket() -> str:
+    from repro.service import DEFAULT_SOCKET
+
+    return DEFAULT_SOCKET
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -419,23 +566,7 @@ def cmd_signature(args: argparse.Namespace) -> int:
     graph = _load_graph(args.edgelist)
     series = _make_engine(args).compute(
         graph,
-        [
-            MetricRequest(
-                "expansion", num_centers=max(args.centers, 16), seed=args.seed
-            ),
-            MetricRequest(
-                "resilience",
-                num_centers=args.centers,
-                max_ball_size=args.max_ball,
-                seed=args.seed,
-            ),
-            MetricRequest(
-                "distortion",
-                num_centers=args.centers,
-                max_ball_size=args.max_ball,
-                seed=args.seed,
-            ),
-        ],
+        signature_requests(args.centers, args.max_ball, args.seed),
     )
     sig = metric_signature(
         series["expansion"],
@@ -443,18 +574,18 @@ def cmd_signature(args: argparse.Namespace) -> int:
         series["distortion"],
         graph.number_of_nodes(),
     )
-    print(f"signature (expansion/resilience/distortion): {sig}")
-    hints = {
-        "HHL": "Internet-like (matches AS/RL/PLRG in the paper)",
-        "HLL": "tree-like (matches Tree/Transit-Stub)",
-        "LHL": "Tiers-like",
-        "HHH": "random-like (matches Random/Waxman)",
-        "LHH": "mesh-like",
-        "LLL": "chain-like",
-    }
-    if sig in hints:
-        print(f"interpretation: {hints[sig]}")
+    _print_signature(sig)
     return 0
+
+
+def _print_signature(sig: str) -> None:
+    """Signature output shared by ``signature`` and ``query signature``
+    (the request construction is shared too, via
+    :func:`repro.analysis.signature_requests` — that pairing is what
+    keeps daemon answers byte-identical to local runs)."""
+    print(f"signature (expansion/resilience/distortion): {sig}")
+    if sig in SIGNATURE_HINTS:
+        print(f"interpretation: {SIGNATURE_HINTS[sig]}")
 
 
 def cmd_hierarchy(args: argparse.Namespace) -> int:
@@ -607,6 +738,139 @@ def cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the long-lived analysis daemon (docs/SERVICE.md).
+
+    Binds the unix socket (and ``--tcp`` listener), then serves until
+    ``SIGTERM``/``SIGINT`` or a ``shutdown`` request drains it: admitted
+    work is finished and answered before the sockets close.
+    """
+    from repro.service import DEFAULT_SOCKET, ReproServer
+
+    socket_path = args.socket
+    if socket_path is None and args.tcp is None:
+        socket_path = DEFAULT_SOCKET
+    server = ReproServer(
+        socket_path=socket_path,
+        tcp=args.tcp,
+        max_pending=args.max_pending,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        runtime=_runtime_policy(args),
+        cache_max_entries=args.max_cache_entries,
+        cache_max_bytes=args.max_cache_bytes,
+    )
+    where = []
+    if socket_path is not None:
+        where.append(f"unix:{socket_path}")
+    print(f"repro serve: listening on {', '.join(where) or 'tcp'}", flush=True)
+    server.serve_forever()
+    print("repro serve: drained, bye", flush=True)
+    return 0
+
+
+def _sweep_row_params(pairs: List[str]) -> Dict[str, object]:
+    """``--param n=400`` pairs -> a generator kwargs dict (ints, floats
+    and strings, like the sweep grids use)."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        name, sep, text = pair.partition("=")
+        if not sep or not name:
+            raise CLIError(f"--param expects NAME=VALUE, got {pair!r}")
+        try:
+            value: object = int(text)
+        except ValueError:
+            try:
+                value = float(text)
+            except ValueError:
+                value = text
+        params[name] = value
+    return params
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``query``: one request to a running daemon, printed exactly as
+    the equivalent local command would print it."""
+    import json as _json
+
+    from repro.service import DEFAULT_SOCKET, ServiceClient, ServiceError
+
+    socket_path = args.socket
+    if socket_path is None and args.tcp is None:
+        socket_path = DEFAULT_SOCKET
+    deadline = args.request_deadline
+    try:
+        with ServiceClient(socket_path=socket_path, tcp=args.tcp) as client:
+            if args.query_op == "metric":
+                engine_name = METRIC_CHOICES[args.metric_name]
+                params = {"num_centers": args.centers, "seed": args.seed}
+                if engine_name != "expansion":
+                    params["max_ball_size"] = args.max_ball
+                series = client.metric(
+                    args.edgelist, engine_name, params=params, deadline=deadline
+                )
+                title, x_label, y_label = _SERIES_LABELS[engine_name]
+                print(format_series(title, series, x_label, y_label))
+            elif args.query_op == "signature":
+                result = client.signature(
+                    args.edgelist,
+                    centers=args.centers,
+                    max_ball=args.max_ball,
+                    seed=args.seed,
+                    deadline=deadline,
+                )
+                _print_signature(result["signature"])
+            elif args.query_op == "compare":
+                report = client.compare(
+                    args.edgelists,
+                    centers=args.centers,
+                    max_ball=args.max_ball,
+                    deadline=deadline,
+                )
+                print(report)
+                if args.out:
+                    with open(args.out, "w", encoding="utf-8") as handle:
+                        handle.write(report)
+            elif args.query_op == "sweep-row":
+                row = client.sweep_row(
+                    args.generator,
+                    _sweep_row_params(args.params),
+                    classify=args.classify,
+                    centers=args.centers,
+                    max_ball=args.max_ball,
+                    seed=args.seed,
+                    deadline=deadline,
+                )
+                print(
+                    format_table(
+                        ["generator", "params", "nodes", "avg deg",
+                         "signature", "status"],
+                        [[
+                            row["generator"],
+                            row["params"],
+                            row["nodes"],
+                            f"{row['average_degree']:.2f}",
+                            row["signature"] or "-",
+                            row["status"] or "-",
+                        ]],
+                    )
+                )
+            elif args.query_op == "status":
+                print(_json.dumps(client.status(), indent=2, sort_keys=True))
+            elif args.query_op == "shutdown":
+                client.shutdown()
+                print("daemon draining")
+    except ServiceError as exc:
+        raise CLIError(f"daemon refused request ({exc.code}): {exc}") from exc
+    except (ConnectionError, OSError) as exc:
+        target = socket_path if args.tcp is None else f"{args.tcp}"
+        raise CLIError(
+            f"cannot reach daemon at {target}: {exc} (is `repro serve` running?)"
+        ) from exc
+    return 0
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "info": cmd_info,
@@ -617,17 +881,26 @@ COMMANDS = {
     "report": cmd_report,
     "sweep": cmd_sweep,
     "selfcheck": cmd_selfcheck,
+    "serve": cmd_serve,
+    "query": cmd_query,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``Ctrl-C`` anywhere inside a subcommand exits with the conventional
+    130 (128+SIGINT) and a one-line notice instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

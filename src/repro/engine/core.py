@@ -354,6 +354,10 @@ class MetricEngine:
         A :class:`repro.runtime.Journal` (or path) checkpointing every
         completed (graph, plan, center) task; a later engine given the
         same journal skips those tasks entirely (``--resume``).
+    cache:
+        An already-open :class:`~repro.engine.cache.SeriesCache` to use
+        instead of opening ``cache_dir`` — the service daemon shares
+        one sharded store across every pass this way.
 
     After every :meth:`compute`, :attr:`last_run` holds a
     :class:`repro.runtime.RunReport` with the per-center
@@ -382,11 +386,12 @@ class MetricEngine:
         runtime: Optional[RuntimePolicy] = None,
         journal: Optional[Union[Journal, str]] = None,
         use_csr: bool = True,
+        cache: Optional[SeriesCache] = None,
     ):
         self.workers = int(workers)
         self.use_cache = bool(use_cache)
         self.use_csr = bool(use_csr)
-        self.cache = SeriesCache(cache_dir)
+        self.cache = cache if cache is not None else SeriesCache(cache_dir)
         if runtime is None and os.environ.get(_faults.ENV_VAR):
             # Injected faults only make sense under supervision.
             runtime = RuntimePolicy()

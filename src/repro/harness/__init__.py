@@ -19,7 +19,14 @@ from repro.harness.export import (
 )
 from repro.harness.plots import ascii_plot
 from repro.harness.tables import format_series, format_table
-from repro.harness.sweep import SWEEP_GRIDS, SweepRow, sweep
+from repro.harness.sweep import (
+    SWEEP_GRIDS,
+    SweepRow,
+    run_sweep_row,
+    sweep,
+    sweep_row_key,
+    sweep_row_request,
+)
 from repro.harness.report import (
     ReportInput,
     TopologyReport,
@@ -45,7 +52,10 @@ __all__ = [
     "format_table",
     "SWEEP_GRIDS",
     "SweepRow",
+    "run_sweep_row",
     "sweep",
+    "sweep_row_key",
+    "sweep_row_request",
     "ReportInput",
     "TopologyReport",
     "analyse_topology",

@@ -81,7 +81,7 @@ SWEEP_GRIDS: Dict[str, Tuple[Callable[..., Graph], List[Dict]]] = {
 }
 
 
-def _row_key(
+def sweep_row_key(
     generator_name: str,
     params_text: str,
     classify: bool,
@@ -89,10 +89,19 @@ def _row_key(
     max_ball_size: int,
     seed,
 ) -> str:
+    """Stable identity of one sweep row.
+
+    Doubles as the journal checkpoint key *and* the service daemon's
+    coalescing token for ``sweep-row`` requests, so a row in flight on
+    the daemon is never computed twice for concurrent clients.
+    """
     return (
         f"sweeprow|{generator_name}|{params_text}|classify={classify}"
         f"|centers={num_centers}|ball={max_ball_size}|seed={seed!r}"
     )
+
+
+_row_key = sweep_row_key  # historical internal name
 
 
 def sweep(
@@ -197,3 +206,69 @@ def sweep(
             journal.append(key, payload)
         rows.append(row)
     return rows
+
+
+# ----------------------------------------------------------------------
+# Service integration: one sweep row as a daemon request
+# ----------------------------------------------------------------------
+
+def sweep_row_request(
+    generator_name: str,
+    params: Dict,
+    classify: bool = False,
+    num_centers: int = 6,
+    max_ball_size: int = 700,
+    seed: Seed = 5,
+) -> Dict:
+    """The ``sweep-row`` service payload for one grid point.
+
+    A whole ``repro sweep`` grid can be fanned out to a daemon by
+    sending one of these per row; the daemon coalesces duplicates by
+    :func:`sweep_row_key` and executes each through
+    :func:`run_sweep_row`, so distributed and local sweeps produce
+    identical :class:`SweepRow` payloads.
+    """
+    if generator_name not in SWEEP_GRIDS:
+        raise ValueError(
+            f"unknown sweep generator {generator_name!r}; "
+            f"available: {sorted(SWEEP_GRIDS)}"
+        )
+    return {
+        "generator": generator_name,
+        "params": dict(params),
+        "classify": bool(classify),
+        "centers": int(num_centers),
+        "max_ball": int(max_ball_size),
+        "seed": seed,
+    }
+
+
+def run_sweep_row(
+    payload: Dict, engine: Optional[MetricEngine] = None
+) -> SweepRow:
+    """Execute one ``sweep-row`` service payload; inverse of
+    :func:`sweep_row_request`.
+
+    Runs exactly the :func:`sweep` path for a single parameter set, so
+    a daemon-computed row is identical to the same row of a local
+    ``repro sweep`` run (generator seeding, engine requests and
+    signature thresholds included).
+    """
+    generator_name = payload["generator"]
+    if generator_name not in SWEEP_GRIDS:
+        raise ValueError(
+            f"unknown sweep generator {generator_name!r}; "
+            f"available: {sorted(SWEEP_GRIDS)}"
+        )
+    make, _grid = SWEEP_GRIDS[generator_name]
+    rows = sweep(
+        generator_name,
+        make,
+        [dict(payload["params"])],
+        classify=bool(payload.get("classify", False)),
+        num_centers=int(payload.get("centers", 6)),
+        max_ball_size=int(payload.get("max_ball", 700)),
+        seed=payload.get("seed", 5),
+        engine=engine,
+    )
+    return rows[0]

@@ -30,6 +30,7 @@ from repro.runtime.faults import (
     apply_fault,
     plan_from_env,
 )
+from repro.runtime.drain import DrainSignal
 from repro.runtime.journal import Journal, as_journal
 from repro.runtime.status import (
     CenterStatus,
@@ -55,6 +56,7 @@ __all__ = [
     "InjectedHang",
     "apply_fault",
     "plan_from_env",
+    "DrainSignal",
     "Journal",
     "as_journal",
     "CenterStatus",

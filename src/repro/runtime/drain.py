@@ -1,0 +1,86 @@
+"""Graceful-drain signal plumbing for long-lived processes.
+
+The ``repro serve`` daemon must treat ``SIGTERM`` (and ``SIGINT``) as a
+*drain* request — stop admitting work, finish what is in flight, then
+exit cleanly — rather than dying mid-computation.  The supervision and
+journal layers already make abrupt death survivable; this helper makes
+polite death *clean*, so an orchestrator's ordinary stop signal never
+leaves half-answered connections behind.
+
+:class:`DrainSignal` is deliberately tiny and reusable: it installs a
+handler that flips a :class:`threading.Event` (and remembers which
+signal fired), restoring the previous handlers on exit.  Installation
+is a no-op off the main thread — Python only delivers signals to the
+main thread, and background-thread servers (tests, the selfcheck
+family) are stopped by their owner calling ``request_drain`` directly.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import List, Optional
+
+
+class DrainSignal:
+    """A drain request latch, optionally wired to process signals.
+
+    Usage::
+
+        drain = DrainSignal()
+        with drain.installed(signal.SIGTERM):
+            while not drain.requested:
+                ...accept and serve work...
+        # previous handlers are restored here
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.signal_number: Optional[int] = None
+
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+    def request_drain(self, signum: Optional[int] = None) -> None:
+        """Flip the latch (callable from any thread or signal handler)."""
+        if signum is not None and self.signal_number is None:
+            self.signal_number = signum
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def installed(self, *signals: int) -> "_InstalledHandlers":
+        """Context manager installing this latch as the handler for
+        ``signals`` (restoring the previous handlers on exit)."""
+        return _InstalledHandlers(self, signals)
+
+
+class _InstalledHandlers:
+    def __init__(self, drain: DrainSignal, signals) -> None:
+        self._drain = drain
+        self._signals = list(signals)
+        self._previous: List = []
+
+    def __enter__(self) -> DrainSignal:
+        if threading.current_thread() is not threading.main_thread():
+            # Signals are delivered to the main thread only; a
+            # background-thread server drains via request_drain().
+            self._signals = []
+            return self._drain
+        for signum in self._signals:
+            handler = signal.signal(
+                signum,
+                lambda s, _frame: self._drain.request_drain(s),
+            )
+            self._previous.append((signum, handler))
+        return self._drain
+
+    def __exit__(self, *exc) -> None:
+        for signum, handler in self._previous:
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return None

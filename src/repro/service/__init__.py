@@ -1,0 +1,74 @@
+"""Long-lived topology-analysis service: the ``repro serve`` daemon.
+
+The paper's workload is query-shaped — the same metric, signature and
+comparison questions asked over and over against many generated and
+measured topologies.  This package re-fronts the batch runtime (engine,
+cache, supervision, provenance) as a long-lived server:
+
+:mod:`repro.service.protocol`
+    Newline-delimited JSON requests/responses, validated against a
+    versioned schema (``metric``, ``signature``, ``compare``,
+    ``sweep-row``, ``status``, ``shutdown``).
+
+:mod:`repro.service.scheduler`
+    The coalescing scheduler: duplicate in-flight requests (detected by
+    the engine's own cache-key identity) share one computation, and
+    compatible queued requests for the same graph are batched through a
+    single :class:`~repro.engine.MetricEngine` pass.
+
+:mod:`repro.service.server`
+    Unix-socket (and optional TCP) listener with a bounded admission
+    queue, ``busy`` backpressure past ``--max-pending``, per-request
+    deadlines via :class:`~repro.runtime.RuntimePolicy`, and graceful
+    drain on ``SIGTERM``.
+
+:mod:`repro.service.client`
+    The blocking reference client behind ``repro query``.
+
+Daemon answers are bitwise-identical to the equivalent CLI runs
+(``repro metric`` / ``repro signature`` / ``repro compare``) for the
+same seed — the ``service`` selfcheck family and the ``service-smoke``
+CI job hold that line.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    COMPUTE_OPS,
+    CONTROL_OPS,
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_DRAINING,
+    ERR_FAILED,
+    ERR_NOT_FOUND,
+    ERR_UNSUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    parse_request,
+    validate_request,
+)
+from repro.service.scheduler import CoalescingScheduler, GraphStore, Job
+from repro.service.server import DEFAULT_SOCKET, ReproServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "COMPUTE_OPS",
+    "CONTROL_OPS",
+    "ERR_BAD_REQUEST",
+    "ERR_BUSY",
+    "ERR_DRAINING",
+    "ERR_FAILED",
+    "ERR_NOT_FOUND",
+    "ERR_UNSUPPORTED_VERSION",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "validate_request",
+    "CoalescingScheduler",
+    "GraphStore",
+    "Job",
+    "ReproServer",
+    "DEFAULT_SOCKET",
+    "ServiceClient",
+    "ServiceError",
+]

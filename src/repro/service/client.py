@@ -1,0 +1,207 @@
+"""A small blocking client for the ``repro serve`` daemon.
+
+Connects over the unix socket (or TCP), speaks one request / one
+response per line, and raises :class:`ServiceError` for protocol-level
+failures so callers handle ``busy``/``draining`` distinctly from
+transport errors.  ``repro query`` and the service selfcheck family are
+built on this; it is also the reference client for the wire format
+documented in ``docs/SERVICE.md``.
+
+    with ServiceClient("/tmp/repro.sock") as client:
+        series = client.metric("plrg.edges", "expansion",
+                               params={"num_centers": 12, "seed": 1})
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.service import protocol
+from repro.service.protocol import PROTOCOL_VERSION, Request
+
+
+class ServiceError(Exception):
+    """An error response from the daemon; carries the protocol code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """One connection to a running daemon (context manager)."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        tcp: Optional[Tuple[str, int]] = None,
+        timeout: Optional[float] = None,
+    ):
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("give exactly one of socket_path or tcp")
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            host, port = self.tcp
+            sock = socket.create_connection(
+                (host, int(port)), timeout=self.timeout
+            )
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _read_line(self) -> bytes:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line, self._buffer = (
+                    self._buffer[:newline],
+                    self._buffer[newline + 1:],
+                )
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        op: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        request_id: Optional[Any] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Send one request, return the full decoded response object.
+
+        Raises :class:`ServiceError` when the daemon answers
+        ``ok: false`` (the error code is preserved) and
+        :class:`ConnectionError` on transport failure.
+        """
+        self.connect()
+        wire = Request(
+            op=op, id=request_id, payload=dict(payload or {}), deadline=deadline
+        ).to_wire()
+        self._sock.sendall(protocol.encode_line(wire))
+        response = protocol.decode_line(self._read_line())
+        if response.get("v") != PROTOCOL_VERSION:
+            raise ServiceError(
+                protocol.ERR_UNSUPPORTED_VERSION,
+                f"server answered protocol v{response.get('v')!r}",
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", protocol.ERR_FAILED),
+                error.get("message", "unknown server error"),
+            )
+        return response
+
+    # Convenience wrappers returning the useful piece of each result.
+    def metric(
+        self,
+        graph: str,
+        metric: str,
+        params: Optional[Mapping[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        response = self.request(
+            "metric",
+            {"graph": graph, "metric": metric, "params": dict(params or {})},
+            deadline=deadline,
+        )
+        return [tuple(point) for point in response["result"]["series"]]
+
+    def signature(
+        self,
+        graph: str,
+        centers: int = 12,
+        max_ball: int = 900,
+        seed: int = 1,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        response = self.request(
+            "signature",
+            {
+                "graph": graph,
+                "centers": centers,
+                "max_ball": max_ball,
+                "seed": seed,
+            },
+            deadline=deadline,
+        )
+        return response["result"]
+
+    def compare(
+        self,
+        graphs: List[str],
+        centers: int = 6,
+        max_ball: int = 500,
+        deadline: Optional[float] = None,
+    ) -> str:
+        response = self.request(
+            "compare",
+            {"graphs": list(graphs), "centers": centers, "max_ball": max_ball},
+            deadline=deadline,
+        )
+        return response["result"]["report_markdown"]
+
+    def sweep_row(
+        self,
+        generator: str,
+        params: Mapping[str, Any],
+        classify: bool = False,
+        centers: int = 6,
+        max_ball: int = 700,
+        seed: int = 5,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        response = self.request(
+            "sweep-row",
+            {
+                "generator": generator,
+                "params": dict(params),
+                "classify": classify,
+                "centers": centers,
+                "max_ball": max_ball,
+                "seed": seed,
+            },
+            deadline=deadline,
+        )
+        return response["result"]["row"]
+
+    def status(self) -> Dict[str, Any]:
+        return self.request("status")["result"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")["result"]

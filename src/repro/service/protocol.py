@@ -1,0 +1,259 @@
+"""The wire protocol of the ``repro serve`` daemon.
+
+Newline-delimited JSON over a unix socket (or TCP): each request is one
+JSON object on one line, each response one JSON object on one line, in
+request order per connection.  Every request names the protocol version
+and an operation::
+
+    {"v": 1, "op": "metric", "id": "r1",
+     "graph": "plrg.edges", "metric": "expansion",
+     "params": {"num_centers": 12, "seed": 1}}
+
+and every response echoes ``v`` and ``id``::
+
+    {"v": 1, "id": "r1", "ok": true,
+     "result": {"metric": "expansion", "series": [[0, 0.001], ...]},
+     "provenance": {"source": "computed", "report": {...}}}
+
+or, on failure::
+
+    {"v": 1, "id": "r1", "ok": false,
+     "error": {"code": "busy", "message": "queue full (8 pending)"}}
+
+Operations (see ``docs/SERVICE.md`` for full field tables):
+
+``metric``
+    One engine metric series for an edge-list file on the server's
+    filesystem.  Coalesced and batched by the scheduler.
+``signature``
+    The Section 4.4 L/H signature (three metrics in one engine pass).
+``compare``
+    The markdown comparison report over several edge lists.
+``sweep-row``
+    One Appendix-C sweep row (generator name + parameter set).
+``status``
+    Daemon counters: queue depth, coalescing/batching/compute totals,
+    cache statistics.  Never queued, never rejected.
+``shutdown``
+    Graceful drain: finish in-flight work, then exit.
+
+Validation is schema-driven: each op declares its fields with types,
+requiredness and defaults; unknown fields, wrong types and missing
+required fields are rejected with a ``bad-request`` error *before* the
+request can occupy a queue slot.  Floats survive the JSON round trip
+bitwise (``repr`` round-tripping), which is what makes daemon answers
+byte-identical to CLI runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Version of the request/response schema.  A request naming any other
+#: version is rejected with ``unsupported-version`` so client and daemon
+#: can never silently disagree about field semantics.
+PROTOCOL_VERSION = 1
+
+# Error codes (the "429-style" admission errors and friends).
+ERR_BAD_REQUEST = "bad-request"
+ERR_UNSUPPORTED_VERSION = "unsupported-version"
+ERR_BUSY = "busy"  # queue past --max-pending: back off and retry
+ERR_DRAINING = "draining"  # server is shutting down; no new work
+ERR_NOT_FOUND = "not-found"  # graph file missing/unreadable
+ERR_FAILED = "failed"  # computation raised; message has the cause
+
+#: Ops that perform engine work (admitted through the bounded queue).
+COMPUTE_OPS = ("metric", "signature", "compare", "sweep-row")
+#: Ops answered immediately by the server itself.
+CONTROL_OPS = ("status", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A malformed or inadmissible request; carries the error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclasses.dataclass(frozen=True)
+class Field:
+    """One schema field: accepted types, requiredness, default."""
+
+    types: Tuple[type, ...]
+    required: bool = False
+    default: Any = None
+
+
+#: op -> {field name -> Field}.  ``v``, ``op``, ``id`` and ``deadline``
+#: are envelope fields shared by every op (validated separately).
+SCHEMAS: Dict[str, Dict[str, Field]] = {
+    "metric": {
+        "graph": Field((str,), required=True),
+        "metric": Field((str,), required=True),
+        "params": Field((dict,), default={}),
+    },
+    "signature": {
+        "graph": Field((str,), required=True),
+        "centers": Field((int,), default=12),
+        "max_ball": Field((int,), default=900),
+        "seed": Field((int,), default=1),
+    },
+    "compare": {
+        "graphs": Field((list,), required=True),
+        "centers": Field((int,), default=6),
+        "max_ball": Field((int,), default=500),
+    },
+    "sweep-row": {
+        "generator": Field((str,), required=True),
+        "params": Field((dict,), required=True),
+        "classify": Field((bool,), default=False),
+        "centers": Field((int,), default=6),
+        "max_ball": Field((int,), default=700),
+        "seed": Field((int,), default=5),
+    },
+    "status": {},
+    "shutdown": {},
+}
+
+_ENVELOPE_FIELDS = frozenset(("v", "op", "id", "deadline"))
+
+
+@dataclasses.dataclass
+class Request:
+    """A validated request: the op, the client's id, and its payload
+    (schema defaults filled in)."""
+
+    op: str
+    id: Optional[Any] = None
+    payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    deadline: Optional[float] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The flat JSON object this request travels as."""
+        obj: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": self.op}
+        if self.id is not None:
+            obj["id"] = self.id
+        if self.deadline is not None:
+            obj["deadline"] = self.deadline
+        obj.update(self.payload)
+        return obj
+
+
+def validate_request(obj: Any) -> Request:
+    """Check one decoded JSON object against the versioned schema.
+
+    Returns a :class:`Request` with defaults filled in, or raises
+    :class:`ProtocolError` naming exactly what was wrong.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(ERR_BAD_REQUEST, "request must be a JSON object")
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ERR_UNSUPPORTED_VERSION,
+            f"protocol version {version!r} not supported "
+            f"(this daemon speaks v{PROTOCOL_VERSION})",
+        )
+    op = obj.get("op")
+    if not isinstance(op, str) or op not in SCHEMAS:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"unknown op {op!r}; available: {sorted(SCHEMAS)}",
+        )
+    request_id = obj.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise ProtocolError(ERR_BAD_REQUEST, "id must be a string or int")
+    deadline = obj.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool) \
+                or deadline <= 0:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, "deadline must be a positive number of seconds"
+            )
+        deadline = float(deadline)
+    schema = SCHEMAS[op]
+    unknown = set(obj) - _ENVELOPE_FIELDS - set(schema)
+    if unknown:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"op {op!r} got unknown fields {sorted(unknown)}; "
+            f"accepts {sorted(schema)}",
+        )
+    payload: Dict[str, Any] = {}
+    for name, field in schema.items():
+        if name in obj:
+            value = obj[name]
+            if not isinstance(value, field.types) or isinstance(value, bool) \
+                    and bool not in field.types:
+                expected = "/".join(t.__name__ for t in field.types)
+                raise ProtocolError(
+                    ERR_BAD_REQUEST,
+                    f"field {name!r} of op {op!r} must be {expected}, "
+                    f"got {type(value).__name__}",
+                )
+            payload[name] = value
+        elif field.required:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, f"op {op!r} requires field {name!r}"
+            )
+        else:
+            # Copy mutable defaults so handlers can't alias the schema.
+            default = field.default
+            payload[name] = dict(default) if isinstance(default, dict) else default
+    return Request(op=op, id=request_id, payload=payload, deadline=deadline)
+
+
+def parse_request(line: str) -> Request:
+    """Decode and validate one request line."""
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(ERR_BAD_REQUEST, f"invalid JSON: {exc}") from exc
+    return validate_request(obj)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+def ok_response(
+    request: Optional[Request],
+    result: Mapping[str, Any],
+    provenance: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "id": request.id if request is not None else None,
+        "ok": True,
+        "result": dict(result),
+    }
+    if provenance is not None:
+        response["provenance"] = dict(provenance)
+    return response
+
+
+def error_response(
+    request: Optional[Request], code: str, message: str
+) -> Dict[str, Any]:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request.id if request is not None else None,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode_line(obj: Mapping[str, Any]) -> bytes:
+    """One response/request as a wire line (compact JSON + newline)."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`encode_line` (no schema validation)."""
+    obj = json.loads(line.decode("utf-8"))
+    if not isinstance(obj, dict):
+        raise ProtocolError(ERR_BAD_REQUEST, "wire object must be a JSON object")
+    return obj

@@ -1,0 +1,308 @@
+"""The ``repro serve`` daemon: sockets, admission, graceful drain.
+
+:class:`ReproServer` listens on a unix socket (and optionally TCP),
+speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol`, and pushes every compute request through
+the :class:`~repro.service.scheduler.CoalescingScheduler`:
+
+* **Admission** — requests are parsed and validated in the connection
+  thread; malformed ones are rejected without touching the queue, and a
+  queue past ``max_pending`` answers ``busy`` (the 429 of this
+  protocol) so clients back off instead of piling up.
+* **Control ops** — ``status`` and ``shutdown`` are answered
+  immediately by the server itself, even while the queue is full, so
+  observability and drain never queue behind work.
+* **Graceful drain** — ``SIGTERM``/``SIGINT`` (or a ``shutdown``
+  request) stop the accept loop, let the scheduler finish everything
+  already admitted, answer the in-flight connections, then close the
+  sockets and remove the socket file.  Work arriving during the drain
+  is refused with a ``draining`` error.
+
+The server runs connection threads (one per client; clients may
+pipeline many requests over one connection) against the scheduler's
+single worker thread.  For tests and the selfcheck family,
+:meth:`start_in_background` runs the accept loop in a daemon thread —
+signal handlers are skipped off the main thread and the owner stops the
+server with :meth:`initiate_drain` + :meth:`wait_closed`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.cache import SeriesCache
+from repro.runtime import DrainSignal, RuntimePolicy
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, Request
+from repro.service.scheduler import CoalescingScheduler, GraphStore
+
+DEFAULT_SOCKET = ".repro.sock"
+
+
+class ReproServer:
+    """Long-lived topology-analysis daemon.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket to listen on (created at start, removed at close).
+        ``None`` disables the unix listener (then ``tcp`` is required).
+    tcp:
+        Optional ``(host, port)`` for an additional TCP listener.
+    max_pending:
+        Queue watermark past which compute requests answer ``busy``.
+    workers / use_cache / cache_dir / runtime:
+        Engine configuration, exactly as on the CLI; every pass shares
+        one sharded :class:`SeriesCache` so daemon, CLI runs and tests
+        see each other's entries.
+    cache_max_entries / cache_max_bytes:
+        LRU bounds on that shared cache.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = DEFAULT_SOCKET,
+        tcp: Optional[Tuple[str, int]] = None,
+        max_pending: int = 32,
+        workers: int = 0,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+        runtime: Optional[RuntimePolicy] = None,
+        cache_max_entries: Optional[int] = None,
+        cache_max_bytes: Optional[int] = None,
+    ):
+        if socket_path is None and tcp is None:
+            raise ValueError("need a unix socket path or a TCP address")
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.cache = SeriesCache(
+            cache_dir, max_entries=cache_max_entries, max_bytes=cache_max_bytes
+        )
+        self.scheduler = CoalescingScheduler(
+            max_pending=max_pending,
+            workers=workers,
+            use_cache=use_cache,
+            cache=self.cache,
+            policy=runtime,
+            graphs=GraphStore(),
+        )
+        self.drain = DrainSignal()
+        self._listeners: List[socket.socket] = []
+        self._connections: "set[socket.socket]" = set()
+        self._conn_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self.tcp_address: Optional[Tuple[str, int]] = None  # set after bind
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _bind(self) -> None:
+        if self.socket_path is not None:
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-posix
+                raise OSError("unix sockets unsupported; use --tcp")
+            try:
+                os.unlink(self.socket_path)  # a stale socket from a kill -9
+            except OSError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+            listener.listen(64)
+            listener.settimeout(0.2)
+            self._listeners.append(listener)
+        if self.tcp is not None:
+            host, port = self.tcp
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((host, int(port)))
+            listener.listen(64)
+            listener.settimeout(0.2)
+            self.tcp_address = listener.getsockname()[:2]
+            self._listeners.append(listener)
+
+    def serve_forever(self) -> None:
+        """Bind, serve until a drain is requested, then drain and close.
+
+        Installs ``SIGTERM``/``SIGINT`` drain handlers when running on
+        the main thread (background-thread servers are drained by their
+        owner instead).
+        """
+        self._bind()
+        self.scheduler.start()
+        try:
+            with self.drain.installed(signal.SIGTERM, signal.SIGINT):
+                self._accept_loop()
+        finally:
+            self._shutdown()
+
+    def start_in_background(self) -> "ReproServer":
+        """Bind and serve from a daemon thread (tests, selfcheck)."""
+        self._bind()
+        self.scheduler.start()
+
+        def run() -> None:
+            try:
+                self._accept_loop()
+            finally:
+                self._shutdown()
+
+        self._accept_thread = threading.Thread(
+            target=run, name="repro-serve", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def initiate_drain(self) -> None:
+        """Ask the server to stop accepting and wind down."""
+        self.drain.request_drain()
+
+    def wait_closed(self, timeout: Optional[float] = 10.0) -> bool:
+        """Block until the server has fully shut down."""
+        closed = self._closed.wait(timeout)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout)
+        return closed
+
+    def __enter__(self) -> "ReproServer":
+        return self.start_in_background()
+
+    def __exit__(self, *exc) -> None:
+        self.initiate_drain()
+        self.wait_closed()
+
+    def _accept_loop(self) -> None:
+        while not self.drain.requested:
+            for listener in self._listeners:
+                try:
+                    conn, _addr = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                conn.settimeout(None)
+                with self._conn_lock:
+                    self._connections.add(conn)
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-serve-conn",
+                    daemon=True,
+                ).start()
+
+    def _shutdown(self) -> None:
+        """Drain the queue, answer stragglers, close every socket."""
+        for listener in self._listeners:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        # Finish everything already admitted before tearing down
+        # connections: clients blocked on an admitted request must get
+        # their answer.
+        self.scheduler.stop()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self._closed.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            buffer = b""
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    try:
+                        chunk = conn.recv(65536)
+                    except OSError:
+                        return
+                    if not chunk:
+                        return
+                    buffer += chunk
+                    continue
+                line, buffer = buffer[:newline], buffer[newline + 1:]
+                if not line.strip():
+                    continue
+                response = self._handle_line(line)
+                try:
+                    conn.sendall(protocol.encode_line(response))
+                except OSError:
+                    return
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = protocol.parse_request(line.decode("utf-8", "replace"))
+        except ProtocolError as exc:
+            return protocol.error_response(None, exc.code, str(exc))
+        try:
+            if request.op == "status":
+                return protocol.ok_response(request, self.status())
+            if request.op == "shutdown":
+                self.initiate_drain()
+                return protocol.ok_response(request, {"draining": True})
+            return self._handle_compute(request)
+        except ProtocolError as exc:
+            return protocol.error_response(request, exc.code, str(exc))
+        except Exception as exc:  # defensive: a bug must answer, not hang
+            return protocol.error_response(
+                request, protocol.ERR_FAILED,
+                f"{exc.__class__.__name__}: {exc}",
+            )
+
+    def _handle_compute(self, request: Request) -> Dict[str, Any]:
+        if self.drain.requested:
+            raise ProtocolError(
+                protocol.ERR_DRAINING, "server is draining; no new work"
+            )
+        job = self.scheduler.prepare(request)
+        primary, coalesced = self.scheduler.submit(job)
+        primary.done.wait()
+        if primary.error is not None:
+            code, message = primary.error
+            return protocol.error_response(request, code, message)
+        provenance = dict(primary.provenance or {})
+        if coalesced:
+            # The answer is this very computation's output, shared; the
+            # underlying source is preserved for post-mortems.
+            provenance = {
+                "source": "coalesced",
+                "coalesced_with": provenance.get("source", "computed"),
+                "report": provenance.get("report", {}),
+            }
+        return protocol.ok_response(request, primary.result, provenance)
+
+    def status(self) -> Dict[str, Any]:
+        """The ``status`` op payload."""
+        state = self.scheduler.snapshot()
+        state["protocol"] = protocol.PROTOCOL_VERSION
+        state["socket"] = self.socket_path
+        if self.tcp_address is not None:
+            state["tcp"] = list(self.tcp_address)
+        state["draining"] = state["draining"] or self.drain.requested
+        return state

@@ -1,6 +1,6 @@
 """The ``repro selfcheck`` differential/fuzzing harness.
 
-Runs nine families of checks over seeded random inputs and reports a
+Runs ten families of checks over seeded random inputs and reports a
 single pass/fail verdict, so one command answers "are the metric
 implementations still trustworthy?":
 
@@ -52,6 +52,14 @@ implementations still trustworthy?":
     exhausted retries degrade only the faulted metric, checkpoint
     journals resume with zero recomputation, and corrupted cache
     entries are quarantined and healed.
+``service``
+    The ``repro serve`` daemon vs. the engine it fronts: a background
+    server on a throwaway unix socket must answer ``metric`` and
+    ``signature`` requests bitwise-identically to a direct
+    :class:`~repro.engine.MetricEngine` computation, and a duplicate
+    request must be answered from the first computation (coalesced or
+    cache-served) — the provenance counters prove the engine ran the
+    BFS exactly once.
 
 The harness doubles as a fuzzer: ``--rounds N`` draws N random inputs
 per family from ``--seed``, so CI can run a deep nightly sweep while the
@@ -547,11 +555,14 @@ def _check_faults(rng: random.Random, report: FamilyReport) -> None:
     with tempfile.TemporaryDirectory() as tmp:
         first_engine = MetricEngine(workers=0, use_cache=True, cache_dir=tmp)
         first = first_engine.compute(g, requests)
-        for name in os.listdir(tmp):
-            path = os.path.join(tmp, name)
-            if os.path.isfile(path):
-                with open(path, "a", encoding="utf-8") as handle:
-                    handle.write("~corrupt~")
+        # Entries live in hash-prefix shard subdirectories; corrupt
+        # every committed one, wherever it landed.
+        for dirpath, _dirnames, filenames in os.walk(tmp):
+            for name in filenames:
+                if name.endswith(".json"):
+                    path = os.path.join(dirpath, name)
+                    with open(path, "a", encoding="utf-8") as handle:
+                        handle.write("~corrupt~")
         engine = MetricEngine(workers=0, use_cache=True, cache_dir=tmp)
         healed = engine.compute(g, requests)
         if healed != first:
@@ -912,6 +923,94 @@ def _check_kernels(rng: random.Random, report: FamilyReport) -> None:
             fail(f"BallBatch.sub_csr({i}) != induced_subgraph on ball {i}")
 
 
+def _check_service(rng: random.Random, report: FamilyReport) -> None:
+    """Differential checks: the ``repro serve`` daemon vs. the engine.
+
+    Each round boots a real background server on a throwaway unix
+    socket, asks it over the wire, and compares against a direct
+    :class:`~repro.engine.MetricEngine` computation on the same graph —
+    **bitwise**, because the protocol's JSON floats round-trip through
+    ``repr`` and the engine is deterministic per seed.  A duplicate
+    request then probes the exactly-once-compute contract through the
+    daemon's own provenance counters.
+    """
+    import os
+    import tempfile
+
+    from repro.analysis import signature as metric_signature
+    from repro.analysis import signature_requests
+    from repro.engine import MetricEngine
+    from repro.graph.io import read_edgelist, write_edgelist
+    from repro.service import ReproServer, ServiceClient
+
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    def points(series) -> list:
+        return [(float(x), float(y)) for x, y in series]
+
+    seed = rng.getrandbits(16)
+    centers, max_ball = 4, 64
+    engine = MetricEngine(workers=0, use_cache=False)
+    with tempfile.TemporaryDirectory(prefix="repro-svc-") as tmp:
+        path = os.path.join(tmp, "g.edges")
+        write_edgelist(random_connected_graph(rng, 8, 14), path)
+        # The daemon reads the edge list off disk; the direct engine
+        # must see the identical load (node order feeds center
+        # sampling), exactly as `repro metric` would.
+        g = read_edgelist(path)
+        sock = os.path.join(tmp, "s.sock")
+        server = ReproServer(
+            socket_path=sock, cache_dir=os.path.join(tmp, "cache")
+        )
+        with server, ServiceClient(sock) as client:
+            # --- metric: daemon answer == direct engine, bitwise ------
+            report.checks += 1
+            params = {"num_centers": centers, "seed": seed}
+            got = client.metric(path, "expansion", params=params)
+            want = engine.compute_one(g, "expansion", **params)
+            if points(got) != points(want):
+                fail(
+                    f"daemon expansion series != direct engine series "
+                    f"(seed={seed})"
+                )
+
+            # --- duplicate request: exactly one computation -----------
+            report.checks += 1
+            again = client.metric(path, "expansion", params=params)
+            counters = client.status()["counters"]
+            if points(again) != points(got):
+                fail("repeated request returned a different series")
+            if counters["series_computed"] != 1:
+                fail(
+                    f"duplicate request recomputed: series_computed = "
+                    f"{counters['series_computed']}, want 1"
+                )
+
+            # --- signature: daemon == CLI-equivalent local run --------
+            report.checks += 1
+            result = client.signature(
+                path, centers=centers, max_ball=max_ball, seed=seed
+            )
+            series = engine.compute(
+                g, signature_requests(centers, max_ball, seed)
+            )
+            want_sig = metric_signature(
+                series["expansion"],
+                series["resilience"],
+                series["distortion"],
+                g.number_of_nodes(),
+            )
+            if result["signature"] != want_sig:
+                fail(
+                    f"daemon signature {result['signature']!r} != local "
+                    f"{want_sig!r} (seed={seed})"
+                )
+            for name in ("expansion", "resilience", "distortion"):
+                if points(result["series"][name]) != points(series[name]):
+                    fail(f"daemon signature {name} series != local series")
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -929,6 +1028,7 @@ _FAMILIES: Dict[str, tuple] = {
     "csr": (_check_csr, 1),
     "streaming": (_check_streaming, 1),
     "kernels": (_check_kernels, 1),
+    "service": (_check_service, 3),
 }
 
 

@@ -181,3 +181,30 @@ def test_report_command_writes_markdown_and_resumes(tmp_path, capsys):
 
     assert main(argv + ["--resume"]) == 0
     assert "Restored from checkpoint journal" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# version / interrupt behavior
+# ----------------------------------------------------------------------
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as exit_info:
+        main(["--version"])
+    assert exit_info.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_keyboard_interrupt_exits_130(tmp_path, capsys, monkeypatch):
+    """Ctrl-C in any subcommand: one-line notice, conventional 128+SIGINT
+    exit status, no traceback."""
+    from repro import cli
+
+    def interrupted(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setitem(cli.COMMANDS, "info", interrupted)
+    assert cli.main(["info", "whatever"]) == 130
+    err = capsys.readouterr().err
+    assert err == "interrupted\n"

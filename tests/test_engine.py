@@ -300,9 +300,96 @@ def test_clear_cache(tmp_path):
     graph = kary_tree(2, 4)
     eng = cached_engine(tmp_path)
     eng.compute_one(graph, "clustering", **BALL_PARAMS)
-    assert len(list(tmp_path.glob("*.json"))) == 1
-    assert eng.clear_cache() == 1
+    # Entries land in hash-prefix shard subdirectories, not the root.
+    assert len(list(tmp_path.glob("*/*.json"))) == 1
     assert list(tmp_path.glob("*.json")) == []
+    assert eng.clear_cache() == 1
+    assert list(tmp_path.glob("*/*.json")) == []
+
+
+def test_cache_entries_live_in_hash_prefix_shards(tmp_path):
+    from repro.engine.cache import SeriesCache, shard_for
+
+    cache = SeriesCache(str(tmp_path))
+    cache.put("expansion-" + "a" * 40, "expansion", [(0, 1.0)])
+    key = "expansion-" + "a" * 40
+    expected = tmp_path / shard_for(key) / f"{key}.json"
+    assert expected.exists()
+    assert len(shard_for(key)) == 2
+
+
+def test_cache_migrates_legacy_flat_entries_on_hit(tmp_path):
+    """Pre-shard caches had entries at the root; a hit moves the entry
+    into its shard so old caches upgrade in place."""
+    from repro.engine.cache import SeriesCache
+
+    cache = SeriesCache(str(tmp_path))
+    key = "clustering-" + "b" * 40
+    cache.put(key, "clustering", [(0, 0.5), (1, 0.25)])
+    sharded = cache.path_for(key)
+    legacy = tmp_path / f"{key}.json"
+    sharded.rename(legacy)  # simulate a CACHE_VERSION-3 flat layout
+    fresh = SeriesCache(str(tmp_path))
+    assert fresh.get(key) == [(0, 0.5), (1, 0.25)]
+    assert sharded.exists() and not legacy.exists()
+
+
+def test_cache_lru_eviction_respects_max_entries(tmp_path):
+    import os as _os
+    import time as _time
+
+    from repro.engine.cache import SeriesCache
+
+    cache = SeriesCache(str(tmp_path), max_entries=2)
+    keys = [f"expansion-{digit * 40}" for digit in "1234"]
+    now = _time.time()
+    for age, key in enumerate(keys):
+        cache.put(key, "expansion", [(0, float(age))])
+        # Backdate each entry (newest last) so the just-written entry is
+        # never the eviction victim of its own put.
+        stamp = now - (len(keys) - age) * 100
+        if cache.path_for(key).exists():
+            _os.utime(cache.path_for(key), (stamp, stamp))
+    assert cache.stats["evicted"] >= 2
+    survivors = {path.stem for path in cache._iter_entries()}
+    assert len(survivors) <= 2
+    assert keys[-1] in survivors  # the newest entry is never the victim
+    assert keys[0] not in survivors  # the oldest went first
+
+
+def test_cache_recency_refreshes_on_hit(tmp_path):
+    """A read refreshes an entry's LRU position, so hot entries survive
+    eviction pressure from new writes."""
+    import os as _os
+    import time as _time
+
+    from repro.engine.cache import SeriesCache
+
+    cache = SeriesCache(str(tmp_path), max_entries=2)
+    hot = "expansion-" + "a" * 40
+    cache.put(hot, "expansion", [(0, 1.0)])
+    past = _time.time() - 3600
+    _os.utime(cache.path_for(hot), (past, past))
+    assert cache.get(hot) is not None  # refreshes mtime
+    assert cache.path_for(hot).stat().st_mtime > past + 1800
+
+
+def test_quarantine_dir_capped_at_open(tmp_path):
+    from repro.engine.cache import SeriesCache
+
+    quarantine = tmp_path / "quarantine"
+    quarantine.mkdir()
+    import os as _os
+    import time as _time
+
+    now = _time.time()
+    for index in range(10):
+        stale = quarantine / f"bad-{index}.json"
+        stale.write_text("junk")
+        _os.utime(stale, (now + index, now + index))
+    SeriesCache(str(tmp_path), quarantine_limit=3)
+    kept = sorted(path.name for path in quarantine.iterdir())
+    assert kept == ["bad-7.json", "bad-8.json", "bad-9.json"]
 
 
 def test_fingerprint_independent_of_construction_order():

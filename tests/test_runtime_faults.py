@@ -272,10 +272,13 @@ def test_journal_entries_written_under_faults_resume_clean(baseline, tmp_path):
 
 def corrupt_cache_files(cache_dir, mutate):
     count = 0
-    for name in sorted(os.listdir(cache_dir)):
-        path = os.path.join(cache_dir, name)
-        if os.path.isfile(path):
-            mutate(path)
+    # Entries live in hash-prefix shard subdirectories under the root.
+    for dirpath, dirnames, filenames in os.walk(cache_dir):
+        dirnames[:] = [d for d in dirnames if d != "quarantine"]
+        for name in sorted(filenames):
+            if name.startswith("."):
+                continue
+            mutate(os.path.join(dirpath, name))
             count += 1
     return count
 

@@ -85,6 +85,7 @@ def test_run_selfcheck_passes_and_reports_all_families():
         "csr",
         "streaming",
         "kernels",
+        "service",
     ]
     assert all(fam.checks > 0 or fam.skipped for fam in report.families)
     assert any("— OK" in line for line in lines)
@@ -307,3 +308,28 @@ def test_selfcheck_catches_builder_chunk_off_by_one(monkeypatch):
         rounds=8, seed=0, families=["streaming"], out=lambda _: None
     )
     assert not report.ok
+
+
+def test_selfcheck_catches_service_result_drift(monkeypatch):
+    """A daemon whose responses drift from the engine by one ULP must
+    flip the ``service`` family red — the bitwise gate has no epsilon."""
+    from repro.service import scheduler as scheduler_mod
+
+    real = scheduler_mod.CoalescingScheduler._exec_engine_pass
+
+    def drifted(self, group):
+        real(self, group)
+        for job in group:
+            series = (job.result or {}).get("series")
+            if isinstance(series, list) and series:
+                series[0][1] += 1e-9
+
+    monkeypatch.setattr(
+        scheduler_mod.CoalescingScheduler, "_exec_engine_pass", drifted
+    )
+    report = run_selfcheck(
+        rounds=3, seed=0, families=["service"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "expansion" in messages

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the ``repro serve`` daemon (CI `service-smoke`).
+
+Boots real daemon subprocesses and asserts the service contract from
+the outside, exactly as an operator would observe it:
+
+1. **Exactly-once compute** — N concurrent clients asking the same
+   (graph, metric, params) question get identical answers, and the
+   daemon's provenance counters show a single engine computation
+   (coalesced and/or cache-served for everyone else).
+2. **Bitwise fidelity** — the daemon's answer equals a direct
+   in-process ``MetricEngine`` computation on the same edge list.
+3. **Backpressure** — a daemon at ``--max-pending 0`` refuses compute
+   requests with a ``busy`` error while still answering ``status``.
+4. **Graceful drain** — ``SIGTERM`` exits 0, finishes admitted work,
+   and removes the socket file.
+
+Run from the repository root (src/ is added to ``sys.path`` if the
+package is not installed)::
+
+    python tools/service_smoke.py
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.engine import MetricEngine  # noqa: E402
+from repro.generators import plrg  # noqa: E402
+from repro.graph.io import read_edgelist, write_edgelist  # noqa: E402
+from repro.service import ERR_BUSY, ServiceClient, ServiceError  # noqa: E402
+
+CLIENTS = 6
+PARAMS = {"num_centers": 6, "seed": 1}
+
+
+def start_daemon(sock, cwd, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock, *extra],
+        cwd=cwd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30
+    while not os.path.exists(sock):
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon died at startup:\n{process.stdout.read().decode()}"
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError("daemon never bound its socket")
+        time.sleep(0.05)
+    return process
+
+
+def stop_daemon(process, sock):
+    process.send_signal(signal.SIGTERM)
+    out, _ = process.communicate(timeout=30)
+    assert process.returncode == 0, (
+        f"SIGTERM exit code {process.returncode}:\n{out.decode()}"
+    )
+    assert b"drained" in out, f"no drain notice in output:\n{out.decode()}"
+    assert not os.path.exists(sock), "socket file left behind after drain"
+    return out
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-smoke-")
+    graph_path = os.path.join(tmp, "g.edges")
+    write_edgelist(plrg(400, 2.246, seed=7), graph_path)
+    sock = os.path.join(tmp, "s.sock")
+
+    # ---- phase 1: concurrent duplicates, one computation -------------
+    daemon = start_daemon(sock, tmp, "--cache-dir", os.path.join(tmp, "cache"))
+    results, errors = [], []
+
+    def ask():
+        try:
+            with ServiceClient(sock) as client:
+                results.append(
+                    client.metric(graph_path, "expansion", params=dict(PARAMS))
+                )
+        except Exception as exc:  # surfaced below, with context
+            errors.append(exc)
+
+    threads = [threading.Thread(target=ask) for _ in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, f"client errors: {errors}"
+    assert len(results) == CLIENTS
+    assert all(series == results[0] for series in results), (
+        "concurrent duplicate requests returned different series"
+    )
+    with ServiceClient(sock) as client:
+        counters = client.status()["counters"]
+    assert counters["series_computed"] == 1, (
+        f"{CLIENTS} duplicate requests ran {counters['series_computed']} "
+        f"computations (counters: {counters})"
+    )
+    shared = counters["coalesced"] + counters["series_cached"]
+    assert shared == CLIENTS - 1, (
+        f"expected {CLIENTS - 1} coalesced/cached answers, saw {shared} "
+        f"(counters: {counters})"
+    )
+    print(
+        f"phase 1 ok: {CLIENTS} concurrent duplicates -> 1 computation "
+        f"({counters['coalesced']} coalesced, "
+        f"{counters['series_cached']} cache hits)"
+    )
+
+    # ---- phase 2: daemon answer == direct engine answer, bitwise -----
+    local = MetricEngine(workers=0, use_cache=False).compute_one(
+        read_edgelist(graph_path), "expansion", **PARAMS
+    )
+    assert [tuple(p) for p in results[0]] == [tuple(p) for p in local], (
+        "daemon series differs from direct engine series"
+    )
+    print("phase 2 ok: daemon answer bitwise-identical to direct engine")
+
+    # ---- phase 3: SIGTERM drains cleanly -----------------------------
+    stop_daemon(daemon, sock)
+    print("phase 3 ok: SIGTERM -> exit 0, drained, socket removed")
+
+    # ---- phase 4: backpressure at --max-pending 0 --------------------
+    daemon = start_daemon(
+        sock, tmp, "--max-pending", "0",
+        "--cache-dir", os.path.join(tmp, "cache-busy"),
+    )
+    try:
+        with ServiceClient(sock) as client:
+            try:
+                client.metric(graph_path, "expansion", params=dict(PARAMS))
+                raise AssertionError("full queue accepted a compute request")
+            except ServiceError as exc:
+                assert exc.code == ERR_BUSY, f"wanted busy, got {exc.code}"
+            status = client.status()  # control ops still answer
+            assert status["counters"]["busy_rejected"] == 1
+    finally:
+        stop_daemon(daemon, sock)
+    print("phase 4 ok: busy backpressure + status during saturation")
+
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
