@@ -66,6 +66,7 @@ __all__ = [
     "cmd_compare",
     "cmd_report",
     "cmd_sweep",
+    "cmd_merge_journals",
     "cmd_selfcheck",
     "cmd_serve",
     "cmd_query",
@@ -377,7 +378,63 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reload the journal and skip already-completed work",
     )
+    sweep_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "partition the sweep into N disjoint shards; this process "
+            "computes only shard --shard-id, journaling to "
+            "<journal>.shard-K.jsonl (merge with `repro merge-journals`)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--shard-id",
+        type=int,
+        default=None,
+        metavar="K",
+        help="which shard of --shards this process computes (0-based)",
+    )
+    sweep_p.add_argument(
+        "--lease-stale-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "take over a shard lease whose heartbeat is older than this "
+            "(default 300); the lease guards each shard's segment"
+        ),
+    )
     _add_engine_flags(sweep_p)
+    merge_p = sub.add_parser(
+        "merge-journals",
+        help=(
+            "merge a partitioned sweep's journal segments into one "
+            "canonical journal, byte-identical to an unsharded run "
+            "(holes and missing shards exit non-zero)"
+        ),
+    )
+    merge_p.add_argument(
+        "--journal",
+        default=".repro-sweep.jsonl",
+        help="the base journal path the sharded sweep was aimed at",
+    )
+    merge_p.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "write the merged journal here (default: the base journal "
+            "path, so `repro sweep --resume` can fill any holes)"
+        ),
+    )
+    merge_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the manifest's shard count",
+    )
     selfcheck = sub.add_parser(
         "selfcheck",
         help=(
@@ -505,6 +562,34 @@ def _add_query(sub: argparse._SubParsersAction) -> None:
     sweep_row.add_argument("--centers", type=int, default=6)
     sweep_row.add_argument("--max-ball", type=int, default=700)
     sweep_row.add_argument("--seed", type=int, default=5)
+    sweep_shard = ops.add_parser(
+        "sweep-shard",
+        help="run one shard of a partitioned sweep on the daemon host",
+    )
+    sweep_shard.add_argument(
+        "--journal", required=True,
+        help="base journal path on the daemon host",
+    )
+    sweep_shard.add_argument("--shards", type=int, required=True, metavar="N")
+    sweep_shard.add_argument(
+        "--shard-id", type=int, required=True, metavar="K"
+    )
+    sweep_shard.add_argument(
+        "--generator",
+        action="append",
+        dest="generators",
+        choices=sorted(SWEEP_GRIDS),
+        metavar="NAME",
+        help="sweep only this generator (repeatable); default: all",
+    )
+    sweep_shard.add_argument("--classify", action="store_true")
+    sweep_shard.add_argument("--centers", type=int, default=6)
+    sweep_shard.add_argument("--max-ball", type=int, default=700)
+    sweep_shard.add_argument("--seed", type=int, default=5)
+    sweep_shard.add_argument("--resume", action="store_true")
+    sweep_shard.add_argument(
+        "--lease-stale-after", type=float, default=None, metavar="SECONDS"
+    )
     ops.add_parser("status", help="daemon queue/coalescing/cache counters")
     ops.add_parser("shutdown", help="ask the daemon to drain and exit")
 
@@ -641,11 +726,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     import os as _os
 
     from repro.harness import ReportInput, generate_report
+    from repro.runtime import Journal
 
     items = []
     for path in args.edgelists:
         name = _os.path.splitext(_os.path.basename(path))[0]
         items.append(ReportInput(name, _load_graph(path)))
+    journal = Journal(args.journal)
+    if args.resume:
+        journal.load()
+        _warn_corrupt_lines(args.journal, journal.corrupt_lines)
+    else:
+        journal.reset()
     report = generate_report(
         items,
         num_centers=args.centers,
@@ -654,7 +746,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
         runtime=_runtime_policy(args),
-        journal=args.journal,
+        journal=journal,
         resume=args.resume,
     )
     print(report)
@@ -664,60 +756,115 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_corrupt_lines(path: str, corrupt_lines: int) -> None:
+    """One-line stderr notice when resume quarantined journal records."""
+    if corrupt_lines:
+        print(
+            f"warning: {path}: quarantined {corrupt_lines} corrupt "
+            "journal record(s) on load (work they held will be "
+            "recomputed)",
+            file=sys.stderr,
+        )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """``sweep``: the Appendix C parameter sweep, checkpointed.
 
-    All selected generators share one ``--journal``, so the journal is
-    reset once here (unless ``--resume``) and passed to :func:`sweep` as
-    an owned instance.
+    All selected generators share one ``--journal``; ``--shards N
+    --shard-id K`` computes only shard K's rows into the shard's own
+    journal segment under a heartbeat lease (docs/ROBUSTNESS.md,
+    "Partitioned sweeps").
     """
-    from repro.harness import SweepRow, sweep
-    from repro.runtime import Journal
+    from repro.harness import render_sweep_table, run_sweep
+    from repro.runtime import DEFAULT_STALE_AFTER, LeaseHeldError, ManifestError
 
-    names = args.generators or sorted(SWEEP_GRIDS)
-    journal = Journal(args.journal)
-    if not args.resume:
-        journal.reset()
-    engine = _make_engine(args, journal=journal)
-    rows: List[SweepRow] = []
-    for name in names:
-        make, grid = SWEEP_GRIDS[name]
-        rows.extend(
-            sweep(
-                name,
-                make,
-                grid,
-                classify=args.classify,
-                num_centers=args.centers,
-                max_ball_size=args.max_ball,
-                seed=args.seed,
-                journal=journal,
-                resume=args.resume,
-                engine=engine,
-            )
+    if (args.shards is None) != (args.shard_id is None):
+        raise CLIError("--shards and --shard-id must be given together")
+    if args.shards is not None and args.shards <= 0:
+        raise CLIError(f"--shards must be positive, got {args.shards}")
+    if args.shards is not None and not 0 <= args.shard_id < args.shards:
+        raise CLIError(
+            f"--shard-id must be in [0, {args.shards}), got {args.shard_id}"
         )
-    table_rows = []
-    for row in rows:
-        table_rows.append(
-            [
-                row.generator,
-                row.params,
-                row.nodes,
-                f"{row.average_degree:.2f}",
-                row.signature or "-",
-                (row.status or "-") + (" (resumed)" if row.resumed else ""),
-            ]
+    try:
+        run = run_sweep(
+            args.generators,
+            classify=args.classify,
+            num_centers=args.centers,
+            max_ball_size=args.max_ball,
+            seed=args.seed,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            runtime=_runtime_policy(args),
+            journal=args.journal,
+            resume=args.resume,
+            num_shards=args.shards,
+            shard_id=args.shard_id,
+            lease_stale_after=(
+                args.lease_stale_after
+                if args.lease_stale_after is not None
+                else DEFAULT_STALE_AFTER
+            ),
         )
-    print(
-        format_table(
-            ["generator", "params", "nodes", "avg deg", "signature", "status"],
-            table_rows,
+    except (LeaseHeldError, ManifestError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    if args.resume:
+        _warn_corrupt_lines(run.segment or args.journal, run.corrupt_lines)
+    print(render_sweep_table(run.rows))
+    if run.shard_id is not None:
+        print(
+            f"shard {run.shard_id}/{run.num_shards}: "
+            f"{len(run.rows)} row(s) -> {run.segment}"
         )
-    )
-    resumed = sum(1 for row in rows if row.resumed)
+        print(
+            f"merge when all shards are done: "
+            f"repro merge-journals --journal {args.journal}"
+        )
+    resumed = run.resumed_rows
     if resumed:
-        print(f"{resumed}/{len(rows)} rows restored from {args.journal}")
+        print(
+            f"{resumed}/{len(run.rows)} rows restored from "
+            f"{run.segment or args.journal}"
+        )
     return 0
+
+
+def cmd_merge_journals(args: argparse.Namespace) -> int:
+    """``merge-journals``: reassemble a partitioned sweep's journal.
+
+    Prints the merged sweep table (byte-identical to what the unsharded
+    ``repro sweep`` would have printed) and the merge summary.  Holes or
+    missing shard segments are reported explicitly and exit with status
+    3, so orchestration scripts can tell "merged clean" from "rerun the
+    missing shards first".
+    """
+    from repro.harness import render_sweep_table, rows_from_journal
+    from repro.runtime import ManifestError, merge_segments, read_manifest
+
+    try:
+        report = merge_segments(
+            args.journal, out=args.out, num_shards=args.shards
+        )
+        manifest = read_manifest(args.journal)
+    except (ManifestError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    rows = rows_from_journal(report.out, manifest["rows"])
+    print(render_sweep_table(rows))
+    print(f"merged -> {report.out}: {report.summary()}")
+    for hole in report.holes:
+        print(
+            f"hole: row {hole['index']} (shard {hole['shard']}): "
+            f"{hole['key']}",
+            file=sys.stderr,
+        )
+    if report.missing_shards:
+        print(
+            "missing segments: rerun those shards with --resume, or "
+            "finish holes with `repro sweep --resume --journal "
+            f"{report.out}`",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 3
 
 
 def cmd_selfcheck(args: argparse.Namespace) -> int:
@@ -856,6 +1003,28 @@ def cmd_query(args: argparse.Namespace) -> int:
                         ]],
                     )
                 )
+            elif args.query_op == "sweep-shard":
+                from repro.harness import SweepRow, render_sweep_table
+
+                result = client.sweep_shard(
+                    args.journal,
+                    args.shards,
+                    args.shard_id,
+                    generators=args.generators,
+                    classify=args.classify,
+                    centers=args.centers,
+                    max_ball=args.max_ball,
+                    seed=args.seed,
+                    resume=args.resume,
+                    stale_after=args.lease_stale_after,
+                    deadline=deadline,
+                )
+                rows = [SweepRow(**row) for row in result["rows"]]
+                print(render_sweep_table(rows))
+                print(
+                    f"shard {result['shard']}/{result['num_shards']}: "
+                    f"{len(rows)} row(s) -> {result['segment']}"
+                )
             elif args.query_op == "status":
                 print(_json.dumps(client.status(), indent=2, sort_keys=True))
             elif args.query_op == "shutdown":
@@ -880,6 +1049,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "report": cmd_report,
     "sweep": cmd_sweep,
+    "merge-journals": cmd_merge_journals,
     "selfcheck": cmd_selfcheck,
     "serve": cmd_serve,
     "query": cmd_query,

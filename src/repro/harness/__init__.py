@@ -22,10 +22,16 @@ from repro.harness.tables import format_series, format_table
 from repro.harness.sweep import (
     SWEEP_GRIDS,
     SweepRow,
+    SweepRun,
+    render_sweep_table,
+    rows_from_journal,
+    run_sweep,
     run_sweep_row,
     sweep,
     sweep_row_key,
     sweep_row_request,
+    sweep_shard_key,
+    sweep_tasks,
 )
 from repro.harness.report import (
     ReportInput,
@@ -52,10 +58,16 @@ __all__ = [
     "format_table",
     "SWEEP_GRIDS",
     "SweepRow",
+    "SweepRun",
+    "render_sweep_table",
+    "rows_from_journal",
+    "run_sweep",
     "run_sweep_row",
     "sweep",
     "sweep_row_key",
     "sweep_row_request",
+    "sweep_shard_key",
+    "sweep_tasks",
     "ReportInput",
     "TopologyReport",
     "analyse_topology",

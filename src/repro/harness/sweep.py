@@ -20,6 +20,7 @@ summary.
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.classify import (
@@ -31,6 +32,16 @@ from repro.generators import barabasi_albert, erdos_renyi, glp, plrg, waxman
 from repro.generators.base import Seed
 from repro.graph.core import Graph
 from repro.runtime import Journal, RuntimePolicy, as_journal
+from repro.runtime.shards import (
+    DEFAULT_STALE_AFTER,
+    ShardLease,
+    assign_shard,
+    atomic_write_text,
+    shard_lease_path,
+    shard_report_path,
+    shard_segment_path,
+    write_manifest,
+)
 
 
 @dataclasses.dataclass
@@ -104,6 +115,48 @@ def sweep_row_key(
 _row_key = sweep_row_key  # historical internal name
 
 
+def sweep_shard_key(journal: str, num_shards: int, shard_id: int) -> str:
+    """Identity of one shard of a partitioned sweep.
+
+    The service daemon's coalescing token for ``sweep-shard`` requests:
+    two clients asking for the same shard of the same journal get one
+    execution (the shard lease would reject the second anyway — this
+    just answers both from the single run).
+    """
+    return f"sweepshard|{journal}|{num_shards}|{shard_id}"
+
+
+def sweep_tasks(
+    generators: Optional[Sequence[str]] = None,
+    classify: bool = False,
+    num_centers: int = 6,
+    max_ball_size: int = 700,
+    seed: Seed = 5,
+) -> List[Tuple[str, Callable[..., Graph], Dict, str]]:
+    """The full ordered task space of a (multi-generator) sweep.
+
+    One ``(generator_name, make, params, row_key)`` tuple per grid
+    point, in grid order — the row ordering that the shard manifest
+    records and that both the partitioner and the merge index into.
+    """
+    names = list(generators) if generators else sorted(SWEEP_GRIDS)
+    tasks = []
+    for name in names:
+        if name not in SWEEP_GRIDS:
+            raise ValueError(
+                f"unknown sweep generator {name!r}; "
+                f"available: {sorted(SWEEP_GRIDS)}"
+            )
+        make, grid = SWEEP_GRIDS[name]
+        for params in grid:
+            params_text = ", ".join(f"{k}={v}" for k, v in params.items())
+            key = sweep_row_key(
+                name, params_text, classify, num_centers, max_ball_size, seed
+            )
+            tasks.append((name, make, dict(params), key))
+    return tasks
+
+
 def sweep(
     generator_name: str,
     make: Callable[..., Graph],
@@ -120,6 +173,7 @@ def sweep(
     journal: Optional[Union[Journal, str]] = None,
     resume: bool = False,
     engine: Optional[MetricEngine] = None,
+    on_row: Optional[Callable[[SweepRow], None]] = None,
 ) -> List[SweepRow]:
     """Run a generator across parameter sets.
 
@@ -134,7 +188,9 @@ def sweep(
     When ``journal`` is a path, this function owns its lifecycle and
     truncates it unless ``resume`` is set; a :class:`Journal` instance
     is used as-is (the caller owns truncation).  ``engine`` may inject a
-    preconfigured engine (it should share the same journal).
+    preconfigured engine (it should share the same journal).  ``on_row``
+    is called after every finished (or resumed) row — shard workers use
+    it to heartbeat their lease between rows.
     """
     owns_journal = journal is not None and not isinstance(journal, Journal)
     journal = as_journal(journal)
@@ -161,6 +217,8 @@ def sweep(
                 row = SweepRow(**stored)
                 row.resumed = True
                 rows.append(row)
+                if on_row is not None:
+                    on_row(row)
                 continue
         graph = make(seed=seed, **params)
         row = SweepRow(
@@ -205,7 +263,241 @@ def sweep(
             payload["resumed"] = False
             journal.append(key, payload)
         rows.append(row)
+        if on_row is not None:
+            on_row(row)
     return rows
+
+
+# ----------------------------------------------------------------------
+# Partitioned execution: whole sweeps, optionally one shard at a time
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SweepRun:
+    """Result of :func:`run_sweep`: the rows plus shard bookkeeping."""
+
+    rows: List[SweepRow]
+    #: The canonical journal path the sweep was aimed at (``None`` when
+    #: the run was not journaled).
+    journal: Optional[str] = None
+    #: This worker's journal segment (shard mode only).
+    segment: Optional[str] = None
+    shard_id: Optional[int] = None
+    num_shards: Optional[int] = None
+    #: Rows assigned to this worker (== ``len(rows)`` on success).
+    assigned_rows: int = 0
+    #: Corrupt records quarantined while loading the journal/segment.
+    corrupt_lines: int = 0
+    #: The per-shard run report JSON (shard mode only).
+    report_path: Optional[str] = None
+
+    @property
+    def resumed_rows(self) -> int:
+        return sum(1 for row in self.rows if row.resumed)
+
+
+def render_sweep_table(rows: Sequence[SweepRow]) -> str:
+    """The ``repro sweep`` results table for ``rows``.
+
+    Shared by ``repro sweep``, ``repro merge-journals`` and the chaos
+    harness, so a merged sharded sweep renders **byte-identical** output
+    to the unsharded run it reassembles.
+    """
+    from repro.harness.tables import format_table
+
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.generator,
+                row.params,
+                row.nodes,
+                f"{row.average_degree:.2f}",
+                row.signature or "-",
+                (row.status or "-") + (" (resumed)" if row.resumed else ""),
+            ]
+        )
+    return format_table(
+        ["generator", "params", "nodes", "avg deg", "signature", "status"],
+        table_rows,
+    )
+
+
+def rows_from_journal(
+    journal: Union[Journal, str], row_keys: Sequence[str]
+) -> List[SweepRow]:
+    """Reconstruct the sweep rows a journal holds, in manifest order.
+
+    Rows without a journal record are simply absent from the result
+    (the merge reports them as holes); ``resumed`` is left ``False`` so
+    the rendered table matches a fresh unsharded run.
+    """
+    journal = as_journal(journal)
+    rows: List[SweepRow] = []
+    for key in row_keys:
+        payload = journal.get(key)
+        if payload is not None:
+            rows.append(SweepRow(**payload))
+    return rows
+
+
+def run_sweep(
+    generators: Optional[Sequence[str]] = None,
+    classify: bool = False,
+    num_centers: int = 6,
+    max_ball_size: int = 700,
+    thresholds: ClassifierThresholds = ClassifierThresholds(),
+    seed: Seed = 5,
+    workers: int = 0,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    runtime: Optional[RuntimePolicy] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    num_shards: Optional[int] = None,
+    shard_id: Optional[int] = None,
+    lease_stale_after: float = DEFAULT_STALE_AFTER,
+    on_row: Optional[Callable[[SweepRow], None]] = None,
+) -> SweepRun:
+    """Run a whole sweep — all generators' grids — or one shard of it.
+
+    Unsharded (``num_shards=None``): every grid point of ``generators``
+    (default: all of :data:`SWEEP_GRIDS`, sorted) runs in manifest
+    order through one shared engine, journaling to ``journal`` exactly
+    like ``repro sweep``.
+
+    Sharded (``num_shards=N, shard_id=K``): the manifest is written
+    next to ``journal`` (idempotently — every shard writes the same
+    bytes), rows with ``index % N == K`` are claimed under a
+    :class:`~repro.runtime.ShardLease` (heartbeat refreshed after every
+    row; a stale lease from a killed worker is taken over after
+    ``lease_stale_after`` seconds), results go to the shard's own
+    journal segment, and a per-shard report JSON is dropped beside it.
+    Afterwards :func:`repro.runtime.merge_segments` reassembles the
+    canonical journal.  ``resume=True`` reloads the segment first so a
+    crashed shard recomputes nothing it already journaled.
+    """
+    if num_shards is not None:
+        if journal is None:
+            raise ValueError("a sharded sweep requires a journal path")
+        if shard_id is None or not 0 <= shard_id < num_shards:
+            raise ValueError(
+                f"shard_id must be in [0, {num_shards}), got {shard_id!r}"
+            )
+    tasks = sweep_tasks(generators, classify, num_centers, max_ball_size, seed)
+    row_keys = [key for (_n, _m, _p, key) in tasks]
+    names = list(generators) if generators else sorted(SWEEP_GRIDS)
+    if journal is not None:
+        # A fresh run claims the manifest outright (all shards of one
+        # sweep force identical bytes); a resume must agree with it.
+        write_manifest(
+            journal,
+            row_keys,
+            num_shards if num_shards is not None else 1,
+            meta={
+                "generators": names,
+                "classify": bool(classify),
+                "centers": int(num_centers),
+                "ball": int(max_ball_size),
+                "seed": repr(seed),
+            },
+            force=not resume,
+        )
+
+    def _run_tasks(selected, journal_obj, engine, beat) -> List[SweepRow]:
+        rows: List[SweepRow] = []
+        for name, make, params, _key in selected:
+            rows.extend(
+                sweep(
+                    name,
+                    make,
+                    [params],
+                    classify=classify,
+                    num_centers=num_centers,
+                    max_ball_size=max_ball_size,
+                    thresholds=thresholds,
+                    seed=seed,
+                    journal=journal_obj,
+                    resume=resume,
+                    engine=engine,
+                    on_row=beat,
+                )
+            )
+        return rows
+
+    if num_shards is None:
+        journal_obj = Journal(journal) if journal is not None else None
+        if journal_obj is not None and not resume:
+            journal_obj.reset()
+        engine = MetricEngine(
+            workers=workers,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            runtime=runtime,
+            journal=journal_obj,
+        )
+        rows = _run_tasks(tasks, journal_obj, engine, on_row)
+        return SweepRun(
+            rows=rows,
+            journal=str(journal) if journal is not None else None,
+            assigned_rows=len(tasks),
+            corrupt_lines=journal_obj.corrupt_lines if journal_obj else 0,
+        )
+
+    assigned = [
+        task
+        for index, task in enumerate(tasks)
+        if assign_shard(index, num_shards) == shard_id
+    ]
+    segment = shard_segment_path(journal, shard_id)
+    lease = ShardLease(
+        shard_lease_path(journal, shard_id), stale_after=lease_stale_after
+    )
+    with lease:
+        journal_obj = Journal(segment)
+        if not resume:
+            journal_obj.reset()
+        engine = MetricEngine(
+            workers=workers,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            runtime=runtime,
+            journal=journal_obj,
+        )
+
+        def _beat(row: SweepRow) -> None:
+            lease.heartbeat()
+            if on_row is not None:
+                on_row(row)
+
+        rows = _run_tasks(assigned, journal_obj, engine, _beat)
+        run = SweepRun(
+            rows=rows,
+            journal=str(journal),
+            segment=str(segment),
+            shard_id=shard_id,
+            num_shards=num_shards,
+            assigned_rows=len(assigned),
+            corrupt_lines=journal_obj.corrupt_lines,
+        )
+        report_path = shard_report_path(journal, shard_id)
+        report = {
+            "shard": shard_id,
+            "num_shards": num_shards,
+            "journal": str(journal),
+            "segment": str(segment),
+            "assigned_rows": run.assigned_rows,
+            "completed_rows": len(rows),
+            "resumed_rows": run.resumed_rows,
+            "corrupt_lines": run.corrupt_lines,
+            "rows": [dataclasses.asdict(row) for row in rows],
+        }
+        atomic_write_text(
+            report_path,
+            json.dumps(report, sort_keys=True, separators=(",", ":")) + "\n",
+        )
+        run.report_path = str(report_path)
+    return run
 
 
 # ----------------------------------------------------------------------

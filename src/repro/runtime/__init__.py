@@ -11,6 +11,11 @@ restarting:
   degradation of repeat offenders to serial execution;
 * :class:`Journal` — an append-only checksummed JSONL checkpoint of
   completed (graph, metric, center) results powering ``--resume``;
+* :mod:`repro.runtime.shards` — partitioned sweeps: a deterministic
+  row partitioner, per-shard journal segments guarded by heartbeat
+  lease files (:class:`ShardLease`), and a crash-safe merge
+  (:func:`merge_segments`) that reassembles a canonical journal
+  byte-identical to an unsharded run;
 * :class:`FaultPlan` / ``REPRO_FAULTS`` — deterministic fault injection
   (crash / hang / garbage) so every recovery path is exercised in tests
   and CI chaos runs;
@@ -31,7 +36,24 @@ from repro.runtime.faults import (
     plan_from_env,
 )
 from repro.runtime.drain import DrainSignal
-from repro.runtime.journal import Journal, as_journal
+from repro.runtime.journal import Journal, as_journal, read_journal_records
+from repro.runtime.shards import (
+    DEFAULT_STALE_AFTER,
+    LeaseHeldError,
+    LeaseInfo,
+    ManifestError,
+    MergeReport,
+    SegmentInfo,
+    ShardLease,
+    assign_shard,
+    manifest_path,
+    merge_segments,
+    read_manifest,
+    shard_lease_path,
+    shard_report_path,
+    shard_segment_path,
+    write_manifest,
+)
 from repro.runtime.status import (
     CenterStatus,
     RunReport,
@@ -59,6 +81,22 @@ __all__ = [
     "DrainSignal",
     "Journal",
     "as_journal",
+    "read_journal_records",
+    "DEFAULT_STALE_AFTER",
+    "LeaseHeldError",
+    "LeaseInfo",
+    "ManifestError",
+    "MergeReport",
+    "SegmentInfo",
+    "ShardLease",
+    "assign_shard",
+    "manifest_path",
+    "merge_segments",
+    "read_manifest",
+    "shard_lease_path",
+    "shard_report_path",
+    "shard_segment_path",
+    "write_manifest",
     "CenterStatus",
     "RunReport",
     "SeriesStatus",

@@ -26,7 +26,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -34,6 +34,54 @@ PathLike = Union[str, "os.PathLike[str]"]
 def _record_checksum(key: str, payload: Any) -> str:
     canonical = json.dumps([key, payload], sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def _parse_line(line: str) -> Optional[Tuple[str, Any]]:
+    """Decode one journal line; ``None`` if torn, corrupt, or blank."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+        key = record["k"]
+        payload = record["p"]
+        if record["c"] != _record_checksum(key, payload):
+            return None
+    except (ValueError, KeyError, TypeError):
+        return None
+    return key, payload
+
+
+def read_journal_records(path: PathLike) -> Tuple[List[Tuple[str, Any]], int]:
+    """Stream a journal file preserving record order.
+
+    Returns ``(records, corrupt_lines)`` where ``records`` is every
+    valid ``(key, payload)`` pair in file order — duplicates included —
+    and ``corrupt_lines`` counts the non-blank lines that failed to
+    parse or checksum.  The shard merge needs file order (a
+    last-record-wins map would lose the ordering that makes the merged
+    journal byte-identical to an unsharded run), which is why this is
+    separate from :meth:`Journal.load`.
+
+    A missing file yields ``([], 0)``; any other ``OSError`` (e.g. a
+    permission error) propagates.
+    """
+    records: List[Tuple[str, Any]] = []
+    corrupt = 0
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return records, corrupt
+    with handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            parsed = _parse_line(line)
+            if parsed is None:
+                corrupt += 1
+                continue
+            records.append(parsed)
+    return records, corrupt
 
 
 class Journal:
@@ -50,30 +98,31 @@ class Journal:
     # Loading
     # ------------------------------------------------------------------
     def load(self) -> Dict[str, Any]:
-        """Parse the journal file (idempotent); returns the entry map."""
+        """Parse the journal file (idempotent); returns the entry map.
+
+        Streams line-by-line rather than buffering the whole file (a
+        merged multi-shard journal can be large).  A missing file is an
+        empty journal; any other ``OSError`` — a permission error, an
+        I/O error — propagates rather than masquerading as "no
+        checkpoints".
+        """
         if self._loaded:
             return self._entries
         self._loaded = True
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
-        except OSError:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
             return self._entries
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                key = record["k"]
-                payload = record["p"]
-                ok = record["c"] == _record_checksum(key, payload)
-            except (ValueError, KeyError, TypeError):
-                ok = False
-            if not ok:
-                self.corrupt_lines += 1
-                continue
-            self._entries[key] = payload
+        with handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                parsed = _parse_line(line)
+                if parsed is None:
+                    self.corrupt_lines += 1
+                    continue
+                key, payload = parsed
+                self._entries[key] = payload
         return self._entries
 
     def __contains__(self, key: str) -> bool:

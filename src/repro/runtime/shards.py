@@ -1,0 +1,570 @@
+"""Partitioned sweep execution: shard journals, leases, crash-safe merge.
+
+Long parameter sweeps (Appendix C / Figure 11) are embarrassingly
+parallel at the row level: every (row, center) task has a stable
+journal identity, so the task space can be split across N independent
+worker processes — or hosts sharing a filesystem — and stitched back
+together afterwards.  This module provides the three pieces:
+
+* **Partitioner** — :func:`assign_shard` deals row *i* of the manifest
+  to shard ``i % num_shards``: deterministic, disjoint, covering.  The
+  manifest (``<base>.manifest.json``) pins the full row ordering so
+  every shard — and the merge — agrees on the task space without
+  coordination.
+* **Leases** — :class:`ShardLease` guards each shard's journal segment
+  with a lease file (created ``O_EXCL``, holder pid + host inside,
+  liveness = file mtime refreshed by :meth:`ShardLease.heartbeat`).  A
+  second worker claiming a held shard gets :class:`LeaseHeldError`; a
+  lease whose heartbeat is older than ``stale_after`` — or whose
+  same-host holder pid is dead — is taken over, so a SIGKILLed shard's
+  work is resumable by anyone.
+* **Merge** — :func:`merge_segments` combines the per-shard journal
+  segments (``<base>.shard-<k>.jsonl``, the ordinary checksummed JSONL
+  format) into one canonical journal **byte-identical** to the journal
+  an unsharded run of the same sweep would have written.  Duplicate
+  keys resolve last-record-wins, corrupt records are quarantined
+  per-record (never per-segment), rows no shard finished are reported
+  as explicit holes, and segments that are missing entirely are listed
+  in :attr:`MergeReport.missing_shards` rather than silently dropped.
+
+Why the merge can promise byte-identity: an unsharded sweep journal is,
+for each row in manifest order, that row's center records (appended in
+task order by the supervised engine) followed by the row's own record.
+Each segment contains exactly those per-row chunks for its assigned
+rows, in assigned order — a killed-and-resumed shard only appends the
+*missing* records, so its chunks still read out in task order.  The
+merge walks each segment once, closes a chunk at every manifest row
+key, then emits completed chunks in manifest row order, preserving the
+original line bytes.  See ``docs/ROBUSTNESS.md`` ("Partitioned
+sweeps").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket as _socket
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.journal import PathLike, _parse_line
+
+#: Default seconds of heartbeat silence after which a lease is stale.
+DEFAULT_STALE_AFTER = 300.0
+
+MANIFEST_VERSION = 1
+
+
+class LeaseHeldError(RuntimeError):
+    """The shard is already claimed by a live worker."""
+
+
+class ManifestError(RuntimeError):
+    """The sweep manifest is missing or disagrees with this sweep."""
+
+
+# ----------------------------------------------------------------------
+# Paths and the partitioner
+# ----------------------------------------------------------------------
+
+def _stem(base: PathLike) -> Path:
+    """The journal path minus a trailing ``.jsonl`` suffix."""
+    path = Path(base)
+    if path.suffix == ".jsonl":
+        return path.with_suffix("")
+    return path
+
+
+def shard_segment_path(base: PathLike, shard_id: int) -> Path:
+    """The journal segment shard ``shard_id`` appends to."""
+    return _stem(base).with_name(f"{_stem(base).name}.shard-{shard_id}.jsonl")
+
+
+def shard_lease_path(base: PathLike, shard_id: int) -> Path:
+    """The lease file guarding shard ``shard_id``."""
+    return _stem(base).with_name(f"{_stem(base).name}.shard-{shard_id}.lease")
+
+
+def shard_report_path(base: PathLike, shard_id: int) -> Path:
+    """Where shard ``shard_id`` drops its per-shard run report."""
+    return _stem(base).with_name(
+        f"{_stem(base).name}.shard-{shard_id}.report.json"
+    )
+
+
+def manifest_path(base: PathLike) -> Path:
+    """The sweep manifest pinning row order and shard count."""
+    return _stem(base).with_name(f"{_stem(base).name}.manifest.json")
+
+
+def assign_shard(index: int, num_shards: int) -> int:
+    """Deal manifest row ``index`` to a shard (round-robin).
+
+    Deterministic, disjoint and covering by construction: every index
+    maps to exactly one shard and every shard in ``range(num_shards)``
+    is hit.  All shards and the merge call this with the same manifest,
+    so the partition needs no coordination.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if index < 0:
+        raise ValueError(f"row index must be non-negative, got {index}")
+    return index % num_shards
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + replace)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        try:
+            os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+
+def write_manifest(
+    base: PathLike,
+    row_keys: List[str],
+    num_shards: int,
+    meta: Optional[Dict[str, Any]] = None,
+    force: bool = False,
+) -> Path:
+    """Persist the sweep's task space next to the journal.
+
+    Serialization is canonical (sorted keys, fixed separators), so every
+    shard of the same sweep writes identical bytes and concurrent writes
+    are idempotent — including ``force=True``, which fresh (non-resume)
+    runs use to claim the path outright: every shard of the same sweep
+    forces the same bytes, atomically.
+
+    Without ``force`` (resume runs), a pre-existing manifest describing
+    a *different task space* (other rows/meta — i.e. a different sweep
+    aimed at the same journal) raises :class:`ManifestError` instead of
+    being clobbered.  A differing shard count alone is tolerated: an
+    unsharded resume (``num_shards == 1``) leaves the recorded count in
+    place so a later merge still finds every segment, while a sharded
+    run re-records its own count.
+    """
+    path = manifest_path(base)
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "num_shards": int(num_shards),
+        "rows": list(row_keys),
+        "meta": dict(meta or {}),
+    }
+    text = json.dumps(manifest, sort_keys=True, separators=(",", ":")) + "\n"
+    if force:
+        atomic_write_text(path, text)
+        return path
+    try:
+        existing = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        atomic_write_text(path, text)
+        return path
+    if existing == text:
+        return path
+    try:
+        recorded = json.loads(existing)
+        same_space = (
+            isinstance(recorded, dict)
+            and recorded.get("version") == manifest["version"]
+            and recorded.get("rows") == manifest["rows"]
+            and recorded.get("meta") == manifest["meta"]
+        )
+    except ValueError:
+        same_space = False
+    if not same_space:
+        raise ManifestError(
+            f"{path}: existing manifest disagrees with this sweep "
+            "(different rows or parameters); delete it or pick another "
+            "--journal to start a new partitioned sweep"
+        )
+    if int(num_shards) > 1:
+        atomic_write_text(path, text)
+    return path
+
+
+def read_manifest(base: PathLike) -> Dict[str, Any]:
+    """Load and validate the manifest for ``base``."""
+    path = manifest_path(base)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise ManifestError(
+            f"{path}: no sweep manifest found; run the sharded sweep "
+            "(which writes it) before merging"
+        ) from None
+    try:
+        manifest = json.loads(text)
+    except ValueError as exc:
+        raise ManifestError(f"{path}: unreadable manifest: {exc}") from exc
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("version") != MANIFEST_VERSION
+        or not isinstance(manifest.get("rows"), list)
+        or not isinstance(manifest.get("num_shards"), int)
+    ):
+        raise ManifestError(f"{path}: manifest has an unsupported shape")
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+@dataclasses.dataclass
+class LeaseInfo:
+    """Who holds (or held) a lease, as recorded in the lease file."""
+
+    pid: int
+    host: str
+    acquired_at: float
+
+
+class ShardLease:
+    """Exclusive claim on one shard's journal segment.
+
+    The lease is a file created with ``O_CREAT | O_EXCL`` — atomic on
+    POSIX filesystems — holding the claimant's pid and hostname.  The
+    file's **mtime is the heartbeat**: workers call :meth:`heartbeat`
+    between rows, and a claimant finding an existing lease may take it
+    over only when the heartbeat is older than ``stale_after`` seconds
+    or the recorded pid is provably dead on this host.  Everything else
+    raises :class:`LeaseHeldError` — two live workers never share a
+    segment.
+
+    Usable as a context manager::
+
+        with ShardLease(shard_lease_path(journal, k)) as lease:
+            ...  # compute rows, lease.heartbeat() between them
+    """
+
+    def __init__(
+        self, path: PathLike, stale_after: float = DEFAULT_STALE_AFTER
+    ):
+        self.path = Path(path)
+        self.stale_after = float(stale_after)
+        self.held = False
+
+    # -- inspection ----------------------------------------------------
+    def holder(self) -> Optional[LeaseInfo]:
+        """The recorded holder, or ``None`` when unclaimed/unreadable."""
+        try:
+            record = json.loads(self.path.read_text(encoding="utf-8"))
+            return LeaseInfo(
+                pid=int(record["pid"]),
+                host=str(record["host"]),
+                acquired_at=float(record["acquired_at"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def is_stale(self) -> bool:
+        """True when the current lease file may be taken over."""
+        try:
+            mtime = self.path.stat().st_mtime
+        except FileNotFoundError:
+            return False  # nothing to take over
+        if time.time() - mtime > self.stale_after:
+            return True
+        info = self.holder()
+        if info is None:
+            # Torn lease write: claimant died inside acquire().
+            return True
+        if info.host == _socket.gethostname() and not _pid_alive(info.pid):
+            return True
+        return False
+
+    # -- lifecycle -----------------------------------------------------
+    def acquire(self) -> "ShardLease":
+        """Claim the shard; raise :class:`LeaseHeldError` if live-held."""
+        if self.held:
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for attempt in (0, 1):
+            try:
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                if attempt == 0 and self.is_stale():
+                    # Dead holder: remove and retry the exclusive create
+                    # (a racing claimant may still beat us to it, which
+                    # the second O_EXCL attempt detects).
+                    try:
+                        self.path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                info = self.holder()
+                who = (
+                    f"pid {info.pid} on {info.host}" if info else "unknown"
+                )
+                raise LeaseHeldError(
+                    f"{self.path}: shard lease held by {who} "
+                    f"(heartbeat within {self.stale_after:.0f}s)"
+                )
+            record = {
+                "pid": os.getpid(),
+                "host": _socket.gethostname(),
+                "acquired_at": time.time(),
+            }
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.flush()
+                try:
+                    os.fsync(handle.fileno())
+                except OSError:  # pragma: no cover
+                    pass
+            self.held = True
+            return self
+        raise LeaseHeldError(
+            f"{self.path}: lost the takeover race for a stale lease"
+        )  # pragma: no cover - needs a racing claimant in the window
+
+    def heartbeat(self) -> None:
+        """Refresh the lease mtime; call between units of work."""
+        if not self.held:
+            raise RuntimeError("heartbeat on a lease not held")
+        try:
+            os.utime(self.path)
+        except FileNotFoundError:  # pragma: no cover - external meddling
+            pass
+
+    def release(self) -> None:
+        """Drop the claim (idempotent)."""
+        if not self.held:
+            return
+        self.held = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "ShardLease":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SegmentInfo:
+    """What the merge found in one shard's journal segment."""
+
+    shard: int
+    path: str
+    exists: bool
+    records: int = 0
+    corrupt_lines: int = 0
+    rows: int = 0
+
+
+@dataclasses.dataclass
+class MergeReport:
+    """Outcome of :func:`merge_segments`."""
+
+    out: str
+    total_rows: int
+    merged_rows: int
+    #: Manifest rows no shard completed: ``{"index", "key", "shard"}``.
+    holes: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: Shards whose segment file does not exist at all.
+    missing_shards: List[int] = dataclasses.field(default_factory=list)
+    corrupt_lines: int = 0
+    #: Valid center records salvaged from unfinished rows (kept in the
+    #: merged journal so a ``--resume`` run skips that work too).
+    orphan_records: int = 0
+    segments: List[SegmentInfo] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.holes and not self.missing_shards
+
+    def summary(self) -> str:
+        parts = [f"{self.merged_rows}/{self.total_rows} rows merged"]
+        if self.missing_shards:
+            parts.append(
+                "missing shard segments: "
+                + ", ".join(str(s) for s in self.missing_shards)
+            )
+        if self.holes:
+            parts.append(f"{len(self.holes)} hole(s)")
+        if self.corrupt_lines:
+            parts.append(f"{self.corrupt_lines} corrupt record(s) dropped")
+        if self.orphan_records:
+            parts.append(f"{self.orphan_records} partial record(s) kept")
+        return "; ".join(parts)
+
+
+def _read_segment(path: Path) -> Tuple[List[Tuple[str, str]], int]:
+    """All valid ``(key, original_line)`` pairs in file order.
+
+    Carrying the original line (rather than re-serializing the parsed
+    record) makes the merged journal's byte-identity unconditional —
+    the merge never re-encodes anything.  Corruption is counted
+    per-record: one flipped byte drops one line, never the segment.
+    """
+    records: List[Tuple[str, str]] = []
+    corrupt = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            text = line.rstrip("\n")
+            if not text.strip():
+                continue
+            parsed = _parse_line(text)
+            if parsed is None:
+                corrupt += 1
+                continue
+            records.append((parsed[0], text))
+    return records, corrupt
+
+
+def _dedupe(chunk: List[Tuple[str, str]]) -> List[Tuple[str, str]]:
+    """Last-record-wins within a chunk, first-occurrence order kept."""
+    latest: Dict[str, str] = {}
+    order: List[str] = []
+    for key, line in chunk:
+        if key not in latest:
+            order.append(key)
+        latest[key] = line
+    return [(key, latest[key]) for key in order]
+
+
+def merge_segments(
+    base: PathLike,
+    out: Optional[PathLike] = None,
+    num_shards: Optional[int] = None,
+) -> MergeReport:
+    """Merge shard journal segments into one canonical journal.
+
+    ``base`` is the journal path the sweep was aimed at (the same value
+    every shard got as ``--journal``); the manifest and segments are
+    found next to it.  The merged journal is written atomically to
+    ``out`` (default: ``base`` itself, so a plain ``repro sweep
+    --resume --journal base`` afterwards fills any holes).
+
+    Guarantees:
+
+    * byte-identical to an unsharded run's journal whenever every
+      manifest row was completed by its shard (segments' original line
+      bytes are preserved, rows emitted in manifest order);
+    * duplicate keys resolve last-record-wins;
+    * corrupt records are dropped individually and counted in
+      :attr:`MergeReport.corrupt_lines`;
+    * unfinished rows surface as :attr:`MergeReport.holes` and missing
+      segment files as :attr:`MergeReport.missing_shards` — never
+      silently;
+    * valid center records belonging to unfinished rows are appended
+      after the completed rows (counted as ``orphan_records``) so a
+      resume run re-uses them.
+    """
+    manifest = read_manifest(base)
+    shards = int(num_shards if num_shards is not None else manifest["num_shards"])
+    if shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {shards}")
+    row_keys: List[str] = list(manifest["rows"])
+    row_key_set = set(row_keys)
+
+    report = MergeReport(
+        out=str(out if out is not None else base),
+        total_rows=len(row_keys),
+        merged_rows=0,
+    )
+    chunks: Dict[str, List[Tuple[str, str]]] = {}
+    orphans: List[Tuple[str, str]] = []
+
+    for shard in range(shards):
+        segment = shard_segment_path(base, shard)
+        info = SegmentInfo(shard=shard, path=str(segment), exists=segment.is_file())
+        report.segments.append(info)
+        if not info.exists:
+            report.missing_shards.append(shard)
+            continue
+        records, corrupt = _read_segment(segment)
+        info.records = len(records)
+        info.corrupt_lines = corrupt
+        report.corrupt_lines += corrupt
+        current: List[Tuple[str, str]] = []
+        for key, line in records:
+            current.append((key, line))
+            if key in row_key_set:
+                # A row record closes its chunk: everything since the
+                # previous row belongs to this row (last chunk wins if
+                # the row was somehow journaled twice).
+                chunks[key] = current
+                info.rows += 1
+                current = []
+        orphans.extend(current)
+
+    lines: List[str] = []
+    emitted: set = set()
+    for index, key in enumerate(row_keys):
+        chunk = chunks.get(key)
+        if chunk is None:
+            report.holes.append(
+                {"index": index, "key": key, "shard": assign_shard(index, shards)}
+            )
+            continue
+        for record_key, line in _dedupe(chunk):
+            if record_key in emitted:
+                continue
+            emitted.add(record_key)
+            lines.append(line)
+        report.merged_rows += 1
+    for record_key, line in _dedupe(orphans):
+        if record_key in emitted:
+            continue
+        emitted.add(record_key)
+        lines.append(line)
+        report.orphan_records += 1
+
+    out_path = Path(out if out is not None else base)
+    atomic_write_text(
+        out_path, "".join(line + "\n" for line in lines)
+    )
+    return report
+
+
+__all__ = [
+    "DEFAULT_STALE_AFTER",
+    "atomic_write_text",
+    "LeaseHeldError",
+    "LeaseInfo",
+    "ManifestError",
+    "MergeReport",
+    "SegmentInfo",
+    "ShardLease",
+    "assign_shard",
+    "manifest_path",
+    "merge_segments",
+    "read_manifest",
+    "shard_lease_path",
+    "shard_report_path",
+    "shard_segment_path",
+    "write_manifest",
+]

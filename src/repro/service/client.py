@@ -200,6 +200,43 @@ class ServiceClient:
         )
         return response["result"]["row"]
 
+    def sweep_shard(
+        self,
+        journal: str,
+        shards: int,
+        shard_id: int,
+        generators: Optional[List[str]] = None,
+        classify: bool = False,
+        centers: int = 6,
+        max_ball: int = 700,
+        seed: int = 5,
+        resume: bool = False,
+        stale_after: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run one shard of a partitioned sweep on the daemon.
+
+        ``journal`` is a path on the daemon's host; the shard's segment,
+        lease and report land next to it.  Returns the per-shard report
+        block (rows, segment path, resumed/corrupt counters).
+        """
+        payload: Dict[str, Any] = {
+            "journal": journal,
+            "shards": shards,
+            "shard_id": shard_id,
+            "classify": classify,
+            "centers": centers,
+            "max_ball": max_ball,
+            "seed": seed,
+            "resume": resume,
+        }
+        if generators is not None:
+            payload["generators"] = list(generators)
+        if stale_after is not None:
+            payload["stale_after"] = stale_after
+        response = self.request("sweep-shard", payload, deadline=deadline)
+        return response["result"]
+
     def status(self) -> Dict[str, Any]:
         return self.request("status")["result"]
 

@@ -31,6 +31,11 @@ Operations (see ``docs/SERVICE.md`` for full field tables):
     The markdown comparison report over several edge lists.
 ``sweep-row``
     One Appendix-C sweep row (generator name + parameter set).
+``sweep-shard``
+    One shard of a partitioned sweep: the daemon claims the shard's
+    lease, computes its rows into the shard's journal segment and
+    returns the per-shard report (see docs/ROBUSTNESS.md, "Partitioned
+    sweeps").
 ``status``
     Daemon counters: queue depth, coalescing/batching/compute totals,
     cache statistics.  Never queued, never rejected.
@@ -65,7 +70,7 @@ ERR_NOT_FOUND = "not-found"  # graph file missing/unreadable
 ERR_FAILED = "failed"  # computation raised; message has the cause
 
 #: Ops that perform engine work (admitted through the bounded queue).
-COMPUTE_OPS = ("metric", "signature", "compare", "sweep-row")
+COMPUTE_OPS = ("metric", "signature", "compare", "sweep-row", "sweep-shard")
 #: Ops answered immediately by the server itself.
 CONTROL_OPS = ("status", "shutdown")
 
@@ -113,6 +118,18 @@ SCHEMAS: Dict[str, Dict[str, Field]] = {
         "centers": Field((int,), default=6),
         "max_ball": Field((int,), default=700),
         "seed": Field((int,), default=5),
+    },
+    "sweep-shard": {
+        "journal": Field((str,), required=True),
+        "shards": Field((int,), required=True),
+        "shard_id": Field((int,), required=True),
+        "generators": Field((list,), default=None),
+        "classify": Field((bool,), default=False),
+        "centers": Field((int,), default=6),
+        "max_ball": Field((int,), default=700),
+        "seed": Field((int,), default=5),
+        "resume": Field((bool,), default=False),
+        "stale_after": Field((int, float), default=None),
     },
     "status": {},
     "shutdown": {},

@@ -183,6 +183,7 @@ class CoalescingScheduler:
             "signature": self._prepare_signature,
             "compare": self._prepare_compare,
             "sweep-row": self._prepare_sweep_row,
+            "sweep-shard": self._prepare_sweep_shard,
         }.get(request.op)
         if builder is None:
             raise ProtocolError(ERR_FAILED, f"op {request.op!r} is not a compute op")
@@ -373,6 +374,30 @@ class CoalescingScheduler:
         )
         return Job(request=request, token=token)
 
+    def _prepare_sweep_shard(self, request: Request) -> Job:
+        from repro.harness.sweep import SWEEP_GRIDS, sweep_shard_key
+
+        payload = request.payload
+        shards, shard_id = payload["shards"], payload["shard_id"]
+        if shards <= 0 or not 0 <= shard_id < shards:
+            raise ProtocolError(
+                ERR_FAILED,
+                f"shard_id must be in [0, shards) with shards > 0, "
+                f"got shards={shards} shard_id={shard_id}",
+            )
+        for name in payload["generators"] or ():
+            if name not in SWEEP_GRIDS:
+                raise ProtocolError(
+                    ERR_NOT_FOUND,
+                    f"unknown sweep generator {name!r}; "
+                    f"available: {sorted(SWEEP_GRIDS)}",
+                )
+        # Coalesce concurrent claims on the same shard of the same
+        # journal: the second client gets the first run's report instead
+        # of bouncing off the shard lease.
+        token = sweep_shard_key(payload["journal"], shards, shard_id)
+        return Job(request=request, token=token)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -429,6 +454,7 @@ class CoalescingScheduler:
                 "signature": self._exec_engine_pass,
                 "compare": self._exec_compare,
                 "sweep-row": self._exec_sweep_row,
+                "sweep-shard": self._exec_sweep_shard,
             }[group[0].request.op]
             runner(group)
         except ProtocolError as exc:
@@ -536,3 +562,54 @@ class CoalescingScheduler:
         sources = self._account_run(engine) if job.request.payload["classify"] else {}
         job.result = {"row": dataclasses.asdict(row)}
         job.provenance = {"sources": sources}
+
+    def _exec_sweep_shard(self, group: List[Job]) -> None:
+        from repro.harness.sweep import run_sweep
+        from repro.runtime.shards import (
+            DEFAULT_STALE_AFTER,
+            LeaseHeldError,
+            ManifestError,
+        )
+
+        job = group[0]
+        payload = job.request.payload
+        stale_after = payload["stale_after"]
+        try:
+            run = run_sweep(
+                payload["generators"],
+                classify=payload["classify"],
+                num_centers=payload["centers"],
+                max_ball_size=payload["max_ball"],
+                seed=payload["seed"],
+                workers=self.workers,
+                use_cache=self.use_cache,
+                cache_dir=str(self.cache.root),
+                runtime=self._policy_for(job.deadline),
+                journal=payload["journal"],
+                resume=payload["resume"],
+                num_shards=payload["shards"],
+                shard_id=payload["shard_id"],
+                lease_stale_after=(
+                    float(stale_after)
+                    if stale_after is not None
+                    else DEFAULT_STALE_AFTER
+                ),
+            )
+        except LeaseHeldError as exc:
+            # Someone else (another daemon, a CLI worker) is live on this
+            # shard; that is backpressure, not failure.
+            raise ProtocolError(ERR_BUSY, str(exc)) from exc
+        except (ManifestError, ValueError) as exc:
+            raise ProtocolError(ERR_FAILED, str(exc)) from exc
+        job.result = {
+            "shard": run.shard_id,
+            "num_shards": run.num_shards,
+            "journal": run.journal,
+            "segment": run.segment,
+            "report_path": run.report_path,
+            "assigned_rows": run.assigned_rows,
+            "resumed_rows": run.resumed_rows,
+            "corrupt_lines": run.corrupt_lines,
+            "rows": [dataclasses.asdict(row) for row in run.rows],
+        }
+        job.provenance = {"source": "computed"}

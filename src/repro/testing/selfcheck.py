@@ -1,6 +1,6 @@
 """The ``repro selfcheck`` differential/fuzzing harness.
 
-Runs ten families of checks over seeded random inputs and reports a
+Runs eleven families of checks over seeded random inputs and reports a
 single pass/fail verdict, so one command answers "are the metric
 implementations still trustworthy?":
 
@@ -60,6 +60,15 @@ implementations still trustworthy?":
     request must be answered from the first computation (coalesced or
     cache-served) — the provenance counters prove the engine ran the
     BFS exactly once.
+``shards``
+    Partitioned sweep execution (:mod:`repro.runtime.shards`): the
+    round-robin partitioner is deterministic, disjoint, covering and
+    balanced; a sweep split across N shards and merged back is
+    **byte-identical** to the same sweep run unsharded; a corrupt
+    segment record is quarantined individually without perturbing the
+    merge; shard leases exclude live workers and are taken over when
+    stale; and a deleted segment surfaces as explicit holes that an
+    unsharded ``resume`` run then fills to the same final entries.
 
 The harness doubles as a fuzzer: ``--rounds N`` draws N random inputs
 per family from ``--seed``, so CI can run a deep nightly sweep while the
@@ -1011,6 +1020,181 @@ def _check_service(rng: random.Random, report: FamilyReport) -> None:
                     fail(f"daemon signature {name} series != local series")
 
 
+def _check_shards(rng: random.Random, report: FamilyReport) -> None:
+    """Differential checks on partitioned sweep execution.
+
+    The oracle is the unsharded run: splitting the same sweep across N
+    shards, merging the segments, and comparing *bytes* catches
+    partitioner skew, merge reordering, dedup off-by-ones and dropped
+    records all at once.  Lease and hole semantics are checked against
+    their documented contracts.
+    """
+    import json as _json
+    import os
+    import tempfile
+
+    from repro.harness.sweep import SWEEP_GRIDS, run_sweep
+    from repro.runtime import FaultPlan, Journal, RuntimePolicy
+    from repro.runtime import shards as shards_mod
+
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    # --- partitioner: deterministic, in-range, balanced ---------------
+    report.checks += 1
+    n_rows = rng.randint(1, 24)
+    n_shards = rng.randint(1, 6)
+    assignment = [shards_mod.assign_shard(i, n_shards) for i in range(n_rows)]
+    if assignment != [shards_mod.assign_shard(i, n_shards) for i in range(n_rows)]:
+        fail("assign_shard is not deterministic")
+    if any(not 0 <= shard < n_shards for shard in assignment):
+        fail(f"assign_shard left the shard range: {assignment}")
+    counts = [assignment.count(k) for k in range(n_shards)]
+    if counts and max(counts) - min(counts) > 1:
+        fail(f"round-robin deal is unbalanced: {counts}")
+    if assignment != [i % n_shards for i in range(n_rows)]:
+        fail("assign_shard broke the documented i % num_shards contract")
+
+    # --- sharded + merged == unsharded, bitwise -----------------------
+    # A throwaway tiny grid keeps the rounds fast while still exercising
+    # classification (and therefore center-level journal records).
+    report.checks += 1
+    from repro.generators import erdos_renyi
+
+    grid_name = "selfcheck-shards"
+    params = [
+        {"n": rng.randint(12, 20), "p": round(rng.uniform(0.25, 0.4), 3)}
+        for _ in range(3)
+    ]
+    SWEEP_GRIDS[grid_name] = (erdos_renyi, params)
+    policy = lambda: RuntimePolicy(backoff=0.0, faults=FaultPlan([]))
+    seed = rng.getrandbits(16)
+    num_shards = rng.randint(2, 3)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            plain = os.path.join(tmp, "plain.jsonl")
+            sharded = os.path.join(tmp, "sharded.jsonl")
+            kwargs = dict(
+                classify=True, num_centers=2, max_ball_size=40, seed=seed
+            )
+            run_sweep([grid_name], journal=plain, runtime=policy(), **kwargs)
+            for k in range(num_shards):
+                run = run_sweep(
+                    [grid_name],
+                    journal=sharded,
+                    num_shards=num_shards,
+                    shard_id=k,
+                    runtime=policy(),
+                    **kwargs,
+                )
+                if run.report_path is None or not os.path.isfile(run.report_path):
+                    fail(f"shard {k} left no report file")
+                else:
+                    with open(run.report_path, encoding="utf-8") as handle:
+                        shard_report = _json.load(handle)
+                    if shard_report["completed_rows"] != shard_report["assigned_rows"]:
+                        fail(
+                            f"shard {k} report says "
+                            f"{shard_report['completed_rows']}/"
+                            f"{shard_report['assigned_rows']} rows done"
+                        )
+            merge = shards_mod.merge_segments(sharded)
+            if not merge.ok:
+                fail(f"clean merge reported problems: {merge.summary()}")
+            if merge.merged_rows != len(params):
+                fail(
+                    f"merge saw {merge.merged_rows} rows, "
+                    f"expected {len(params)}"
+                )
+            with open(plain, "rb") as handle:
+                plain_bytes = handle.read()
+            with open(sharded, "rb") as handle:
+                merged_bytes = handle.read()
+            if merged_bytes != plain_bytes:
+                fail("merged shard journal is not byte-identical to unsharded")
+
+            # --- per-record corruption quarantine ---------------------
+            report.checks += 1
+            segment = shards_mod.shard_segment_path(sharded, 0)
+            with open(segment, "a", encoding="utf-8") as handle:
+                handle.write('{"k": "torn', )
+            out = os.path.join(tmp, "merged-after-corruption.jsonl")
+            merge2 = shards_mod.merge_segments(sharded, out=out)
+            if merge2.corrupt_lines != 1:
+                fail(
+                    "one appended garbage line should quarantine exactly "
+                    f"one record, counted {merge2.corrupt_lines}"
+                )
+            with open(out, "rb") as handle:
+                if handle.read() != plain_bytes:
+                    fail("a torn segment tail perturbed the merge output")
+
+            # --- holes: explicit, attributed, resume-fillable ---------
+            report.checks += 1
+            victim = rng.randrange(num_shards)
+            os.unlink(shards_mod.shard_segment_path(sharded, victim))
+            holed = os.path.join(tmp, "holed.jsonl")
+            merge3 = shards_mod.merge_segments(sharded, out=holed)
+            expected_holes = [
+                i for i in range(len(params)) if i % num_shards == victim
+            ]
+            if merge3.ok:
+                fail("a deleted segment merged without complaint")
+            if merge3.missing_shards != [victim]:
+                fail(
+                    f"missing shards {merge3.missing_shards}, "
+                    f"expected [{victim}]"
+                )
+            if [h["index"] for h in merge3.holes] != expected_holes:
+                fail(
+                    f"holes at {[h['index'] for h in merge3.holes]}, "
+                    f"expected {expected_holes}"
+                )
+            if any(h["shard"] != victim for h in merge3.holes):
+                fail("hole attribution does not name the missing shard")
+            run_sweep(
+                [grid_name], journal=holed, resume=True, runtime=policy(),
+                **kwargs,
+            )
+            if Journal(holed).load() != Journal(plain).load():
+                fail("resume over a holed merge did not restore all entries")
+    finally:
+        del SWEEP_GRIDS[grid_name]
+
+    # --- leases: exclusion, release, stale takeover -------------------
+    report.checks += 1
+    with tempfile.TemporaryDirectory() as tmp:
+        lease_path = shards_mod.shard_lease_path(
+            os.path.join(tmp, "sweep.jsonl"), 0
+        )
+        held = shards_mod.ShardLease(lease_path, stale_after=60.0).acquire()
+        rival = shards_mod.ShardLease(lease_path, stale_after=60.0)
+        try:
+            rival.acquire()
+            fail("a second claimant acquired a live lease")
+            rival.release()
+        except shards_mod.LeaseHeldError:
+            pass
+        held.release()
+        reclaimed = shards_mod.ShardLease(lease_path, stale_after=60.0)
+        try:
+            reclaimed.acquire()
+        except shards_mod.LeaseHeldError:
+            fail("a released lease could not be re-acquired")
+        # Age the heartbeat past stale_after: takeover must succeed even
+        # though the recorded holder pid (this process) is alive.
+        stale_at = os.stat(lease_path).st_mtime - 120.0
+        os.utime(lease_path, (stale_at, stale_at))
+        taker = shards_mod.ShardLease(lease_path, stale_after=60.0)
+        try:
+            taker.acquire()
+        except shards_mod.LeaseHeldError:
+            fail("a stale lease (old heartbeat) was not taken over")
+        finally:
+            taker.release()
+            reclaimed.held = False  # file already replaced by the taker
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -1029,6 +1213,7 @@ _FAMILIES: Dict[str, tuple] = {
     "streaming": (_check_streaming, 1),
     "kernels": (_check_kernels, 1),
     "service": (_check_service, 3),
+    "shards": (_check_shards, 3),
 }
 
 

@@ -184,6 +184,133 @@ def test_report_command_writes_markdown_and_resumes(tmp_path, capsys):
 
 
 # ----------------------------------------------------------------------
+# Partitioned sweeps: --shards / --shard-id / merge-journals
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def tiny_sweep_grid():
+    from repro.generators import erdos_renyi
+    from repro.harness import SWEEP_GRIDS
+
+    SWEEP_GRIDS["tinycli"] = (
+        erdos_renyi,
+        [{"n": 14, "p": 0.3}, {"n": 16, "p": 0.3}, {"n": 18, "p": 0.28}],
+    )
+    try:
+        yield "tinycli"
+    finally:
+        del SWEEP_GRIDS["tinycli"]
+
+
+@pytest.mark.parametrize(
+    "extra",
+    [
+        ["--shards", "2"],                       # missing --shard-id
+        ["--shard-id", "0"],                     # missing --shards
+        ["--shards", "0", "--shard-id", "0"],    # non-positive N
+        ["--shards", "2", "--shard-id", "2"],    # K out of [0, N)
+        ["--shards", "2", "--shard-id", "-1"],
+    ],
+    ids=["no-id", "no-shards", "zero-shards", "id-too-big", "id-negative"],
+)
+def test_sweep_shard_flag_validation_exits_2(tmp_path, capsys, extra):
+    journal = str(tmp_path / "sweep.jsonl")
+    code = main(["sweep", "--journal", journal] + extra)
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "shard" in err.lower()
+
+
+def test_sharded_sweep_cli_merges_identical_to_unsharded(
+    tmp_path, capsys, tiny_sweep_grid
+):
+    plain = str(tmp_path / "plain.jsonl")
+    base_argv = ["sweep", "--generator", tiny_sweep_grid, "--no-cache"]
+    assert main(base_argv + ["--journal", plain]) == 0
+    plain_out = capsys.readouterr().out
+
+    sharded = str(tmp_path / "sharded.jsonl")
+    for shard in ("0", "1"):
+        code = main(
+            base_argv
+            + ["--journal", sharded, "--shards", "2", "--shard-id", shard]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"shard {shard}/2" in out
+        assert "merge-journals" in out
+
+    assert main(["merge-journals", "--journal", sharded]) == 0
+    merged_out = capsys.readouterr().out
+    # The merged journal and the rendered table both reassemble exactly.
+    assert (
+        (tmp_path / "sharded.jsonl").read_bytes()
+        == (tmp_path / "plain.jsonl").read_bytes()
+    )
+    plain_lines = plain_out.splitlines()
+    assert merged_out.splitlines()[: len(plain_lines)] == plain_lines
+    assert "rows merged" in merged_out
+
+
+def test_merge_journals_reports_holes_and_exits_3(
+    tmp_path, capsys, tiny_sweep_grid
+):
+    base = str(tmp_path / "sweep.jsonl")
+    assert main([
+        "sweep", "--generator", tiny_sweep_grid, "--no-cache",
+        "--journal", base, "--shards", "2", "--shard-id", "0",
+    ]) == 0
+    capsys.readouterr()
+    # Shard 1 never ran: the merge must say so and exit 3.
+    assert main(["merge-journals", "--journal", base]) == 3
+    captured = capsys.readouterr()
+    assert "missing segments" in captured.err
+    assert "hole: row 1" in captured.err
+
+
+def test_merge_journals_without_manifest_exits_2(tmp_path, capsys):
+    code = main(["merge-journals", "--journal", str(tmp_path / "no.jsonl")])
+    assert code == 2
+    assert "no sweep manifest" in capsys.readouterr().err
+
+
+def test_sweep_resume_warns_about_corrupt_journal_records(
+    tmp_path, capsys, tiny_sweep_grid
+):
+    journal = tmp_path / "sweep.jsonl"
+    argv = [
+        "sweep", "--generator", tiny_sweep_grid, "--no-cache",
+        "--journal", str(journal),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write('{"k": "torn-by-a-crash\n')
+    assert main(argv + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert "quarantined 1 corrupt journal record(s)" in captured.err
+    assert str(journal) in captured.err
+
+
+def test_report_resume_warns_about_corrupt_journal_records(tmp_path, capsys):
+    edges = tmp_path / "g.edges"
+    write_edgelist(kary_tree(2, 3), edges)
+    journal = tmp_path / "report.jsonl"
+    argv = [
+        "report", str(edges), "--centers", "3", "--max-ball", "100",
+        "--journal", str(journal), "--no-cache",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write('{"k": "torn-by-a-crash\n')
+    assert main(argv + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert "quarantined 1 corrupt journal record(s)" in captured.err
+
+
+# ----------------------------------------------------------------------
 # version / interrupt behavior
 # ----------------------------------------------------------------------
 

@@ -392,6 +392,48 @@ def test_quarantine_dir_capped_at_open(tmp_path):
     assert kept == ["bad-7.json", "bad-8.json", "bad-9.json"]
 
 
+def test_quarantine_cap_defaults_to_32_newest(tmp_path):
+    """The default cap keeps exactly the 32 newest quarantined entries;
+    older post-mortems are deleted the next time the cache is opened."""
+    import os as _os
+    import time as _time
+
+    from repro.engine.cache import QUARANTINE_LIMIT, SeriesCache
+
+    assert QUARANTINE_LIMIT == 32
+    quarantine = tmp_path / "quarantine"
+    quarantine.mkdir()
+    now = _time.time()
+    for index in range(QUARANTINE_LIMIT + 8):
+        stale = quarantine / f"bad-{index:03d}.json"
+        stale.write_text("junk")
+        _os.utime(stale, (now + index, now + index))
+    SeriesCache(str(tmp_path))
+    kept = sorted(path.name for path in quarantine.iterdir())
+    assert len(kept) == QUARANTINE_LIMIT
+    assert kept[0] == "bad-008.json" and kept[-1] == "bad-039.json"
+
+
+def test_runtime_quarantining_can_exceed_cap_until_reopen(tmp_path):
+    """Quarantining corrupt entries mid-run never discards fresh
+    post-mortems — the cap is enforced at open time, so a long-running
+    process keeps everything it quarantined and the *next* open prunes
+    down to the newest ``quarantine_limit``."""
+    from repro.engine.cache import SeriesCache
+
+    cache = SeriesCache(str(tmp_path), quarantine_limit=2)
+    keys = [f"expansion-{digit * 40}" for digit in "12345"]
+    for key in keys:
+        cache.put(key, "expansion", [(0, 1.0)])
+        cache.path_for(key).write_text('{"broken')  # corrupt in place
+        assert cache.get(key) is None  # quarantined, treated as a miss
+    assert cache.stats["quarantined"] == len(keys)
+    quarantine = tmp_path / "quarantine"
+    assert len(list(quarantine.iterdir())) == len(keys)
+    SeriesCache(str(tmp_path), quarantine_limit=2)
+    assert len(list(quarantine.iterdir())) == 2
+
+
 def test_fingerprint_independent_of_construction_order():
     a = Graph([(0, 1), (1, 2), (2, 0)])
     b = Graph([(2, 1), (0, 2), (1, 0)])

@@ -35,6 +35,7 @@ from repro.runtime import (
     FaultSpec,
     Journal,
     RuntimePolicy,
+    read_journal_records,
 )
 
 pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
@@ -252,6 +253,54 @@ def test_journal_tolerates_torn_tail_and_corrupt_lines(baseline, tmp_path):
     assert engine.compute(g, REQUESTS) == expected
     # Only the torn-off record is recomputed; the rest resumes.
     assert engine.stats["centers_computed"] <= 1
+
+
+def test_journal_survives_truncation_at_every_tail_offset(tmp_path):
+    """Torn-tail fuzz: cutting the file at *every* byte offset of the
+    final record must never raise, never lose an earlier record, and
+    count exactly the one torn line (when one remains)."""
+    jpath = tmp_path / "fuzz.jsonl"
+    journal = Journal(jpath)
+    for i in range(4):
+        journal.append(f"task{i}", {"index": i, "value": [i, i * 0.5]})
+    full = jpath.read_bytes()
+    last_start = full.rstrip(b"\n").rfind(b"\n") + 1
+    for cut in range(last_start, len(full) + 1):
+        jpath.write_bytes(full[:cut])
+        reloaded = Journal(jpath)
+        entries = reloaded.load()
+        for i in range(3):
+            assert entries[f"task{i}"] == {"index": i, "value": [i, i * 0.5]}
+        if cut == last_start:
+            # Clean cut right before the record: simply absent.
+            assert "task3" not in entries
+            assert reloaded.corrupt_lines == 0
+        elif cut >= len(full) - 1:
+            # The whole record survived (the newline is optional).
+            assert entries["task3"] == {"index": 3, "value": [3, 1.5]}
+            assert reloaded.corrupt_lines == 0
+        else:
+            # A genuinely torn tail: skipped and counted, nothing else.
+            assert "task3" not in entries
+            assert reloaded.corrupt_lines == 1
+        records, corrupt = read_journal_records(jpath)
+        assert [key for key, _ in records] == sorted(entries)
+        assert corrupt == reloaded.corrupt_lines
+
+
+def test_journal_load_propagates_non_missing_oserrors(tmp_path):
+    # A missing journal is an empty journal...
+    missing = tmp_path / "missing.jsonl"
+    assert Journal(missing).load() == {}
+    assert read_journal_records(missing) == ([], 0)
+    # ...but any other OSError must surface instead of masquerading as
+    # "no checkpoints" (which would silently recompute everything).
+    directory = tmp_path / "journal.jsonl"
+    directory.mkdir()
+    with pytest.raises(OSError):
+        Journal(directory).load()
+    with pytest.raises(OSError):
+        read_journal_records(directory)
 
 
 def test_journal_entries_written_under_faults_resume_clean(baseline, tmp_path):

@@ -86,6 +86,7 @@ def test_run_selfcheck_passes_and_reports_all_families():
         "streaming",
         "kernels",
         "service",
+        "shards",
     ]
     assert all(fam.checks > 0 or fam.skipped for fam in report.families)
     assert any("— OK" in line for line in lines)
@@ -306,6 +307,43 @@ def test_selfcheck_catches_builder_chunk_off_by_one(monkeypatch):
     monkeypatch.setattr(builder_mod.GraphBuilder, "add_chunk", drops_first)
     report = run_selfcheck(
         rounds=8, seed=0, families=["streaming"], out=lambda _: None
+    )
+    assert not report.ok
+
+
+def test_selfcheck_catches_merge_off_by_one(monkeypatch):
+    """A shard merge that drops the last record of every row chunk — the
+    classic off-by-one — must flip the ``shards`` family red: the merged
+    journal can no longer be byte-identical to the unsharded run."""
+    from repro.runtime import shards as shards_mod
+
+    real = shards_mod._dedupe
+
+    def off_by_one(chunk):
+        return real(chunk)[:-1]
+
+    monkeypatch.setattr(shards_mod, "_dedupe", off_by_one)
+    report = run_selfcheck(
+        rounds=3, seed=0, families=["shards"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "merge" in messages or "byte" in messages
+
+
+def test_selfcheck_catches_partitioner_off_by_one(monkeypatch):
+    """A partitioner that shifts every row to the next shard breaks the
+    documented ``index % num_shards`` contract and must be caught."""
+    from repro.runtime import shards as shards_mod
+
+    real = shards_mod.assign_shard
+
+    def shifted(index, num_shards):
+        return (real(index, num_shards) + 1) % num_shards
+
+    monkeypatch.setattr(shards_mod, "assign_shard", shifted)
+    report = run_selfcheck(
+        rounds=3, seed=0, families=["shards"], out=lambda _: None
     )
     assert not report.ok
 

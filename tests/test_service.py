@@ -275,6 +275,129 @@ def test_server_rejects_malformed_and_unknown_graph(tmp_path):
             assert err.value.code == "not-found"
 
 
+# ----------------------------------------------------------------------
+# sweep-shard: partitioned sweeps on the daemon
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def tiny_service_grid():
+    from repro.generators import erdos_renyi
+    from repro.harness import SWEEP_GRIDS
+
+    SWEEP_GRIDS["tinysvc"] = (
+        erdos_renyi,
+        [{"n": 14, "p": 0.3}, {"n": 16, "p": 0.3}, {"n": 18, "p": 0.28}],
+    )
+    try:
+        yield "tinysvc"
+    finally:
+        del SWEEP_GRIDS["tinysvc"]
+
+
+def _sweep_shard_request(journal, shards, shard_id, generator, **extra):
+    payload = {"v": 1, "op": "sweep-shard", "journal": journal,
+               "shards": shards, "shard_id": shard_id,
+               "generators": [generator]}
+    payload.update(extra)
+    return validate_request(payload)
+
+
+def test_scheduler_sweep_shard_runs_one_shard(tmp_path, tiny_service_grid):
+    from repro.runtime import merge_segments
+
+    journal = str(tmp_path / "sweep.jsonl")
+    sched = CoalescingScheduler(
+        max_pending=8, use_cache=False, cache_dir=str(tmp_path / "cache"),
+        graphs=GraphStore(),
+    )
+    for shard_id in (0, 1):
+        job, _ = sched.submit(sched.prepare(_sweep_shard_request(
+            journal, 2, shard_id, tiny_service_grid
+        )))
+        sched.run_once()
+        assert job.error is None
+        assert job.result["shard"] == shard_id
+        assert job.result["assigned_rows"] == len(job.result["rows"])
+        assert os.path.exists(job.result["segment"])
+        assert os.path.exists(job.result["report_path"])
+        assert job.provenance == {"source": "computed"}
+    assert merge_segments(journal).ok
+
+
+def test_scheduler_sweep_shard_coalesces_same_shard(
+    tmp_path, tiny_service_grid
+):
+    journal = str(tmp_path / "sweep.jsonl")
+    sched = CoalescingScheduler(
+        max_pending=8, use_cache=False, cache_dir=str(tmp_path / "cache"),
+        graphs=GraphStore(),
+    )
+    request = _sweep_shard_request(journal, 2, 0, tiny_service_grid)
+    primary, coalesced = sched.submit(sched.prepare(request))
+    duplicate, was_coalesced = sched.submit(sched.prepare(request))
+    assert not coalesced and was_coalesced
+    assert duplicate is primary  # one run answers both clients
+    sched.run_once()
+    assert primary.error is None and primary.done.is_set()
+
+
+def test_scheduler_sweep_shard_rejects_bad_arguments(
+    tmp_path, tiny_service_grid
+):
+    sched = CoalescingScheduler(
+        max_pending=8, use_cache=False, cache_dir=str(tmp_path / "cache"),
+        graphs=GraphStore(),
+    )
+    journal = str(tmp_path / "sweep.jsonl")
+    with pytest.raises(ProtocolError) as err:
+        sched.prepare(_sweep_shard_request(journal, 2, 5, tiny_service_grid))
+    assert err.value.code == "failed"
+    with pytest.raises(ProtocolError) as err:
+        sched.prepare(_sweep_shard_request(journal, 2, 0, "no-such-gen"))
+    assert err.value.code == "not-found"
+
+
+def test_scheduler_sweep_shard_held_lease_is_busy(
+    tmp_path, tiny_service_grid
+):
+    from repro.runtime import ShardLease, shard_lease_path
+
+    journal = str(tmp_path / "sweep.jsonl")
+    sched = CoalescingScheduler(
+        max_pending=8, use_cache=False, cache_dir=str(tmp_path / "cache"),
+        graphs=GraphStore(),
+    )
+    lease = ShardLease(shard_lease_path(journal, 0)).acquire()
+    try:
+        job, _ = sched.submit(sched.prepare(_sweep_shard_request(
+            journal, 2, 0, tiny_service_grid
+        )))
+        sched.run_once()
+        # A live CLI worker on the shard is backpressure, not failure.
+        assert job.error is not None and job.error[0] == ERR_BUSY
+    finally:
+        lease.release()
+
+
+def test_server_sweep_shard_round_trip(tmp_path, tiny_service_grid):
+    journal = str(tmp_path / "sweep.jsonl")
+    sock = _socket_path()
+    with ReproServer(socket_path=sock, cache_dir=str(tmp_path / "svc-cache")):
+        with ServiceClient(sock) as client:
+            results = [
+                client.sweep_shard(
+                    journal, 2, shard_id, generators=[tiny_service_grid]
+                )
+                for shard_id in (0, 1)
+            ]
+    assert [r["shard"] for r in results] == [0, 1]
+    assert sum(len(r["rows"]) for r in results) == 3
+    assert all(r["resumed_rows"] == 0 for r in results)
+    from repro.runtime import merge_segments
+
+    assert merge_segments(journal).ok
+
+
 def test_server_shutdown_op_drains(tmp_path):
     sock = _socket_path()
     server = ReproServer(

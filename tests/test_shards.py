@@ -1,0 +1,593 @@
+"""Partitioned sweep execution (repro.runtime.shards).
+
+Covers the three pieces and the promise that ties them together:
+
+* the round-robin partitioner and the manifest that pins the task space;
+* shard leases (exclusion, heartbeat, stale/dead-holder takeover);
+* the crash-safe merge — byte-identical to an unsharded run, duplicate
+  keys last-wins, per-record corruption quarantine, explicit holes and
+  missing segments;
+* the chaos invariant: a 4-shard sweep with one shard SIGKILLed
+  mid-flight, resumed and merged is **bitwise** equal to a run that was
+  never killed (journal bytes and rendered table both).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.generators import erdos_renyi
+from repro.harness import (
+    SWEEP_GRIDS,
+    render_sweep_table,
+    rows_from_journal,
+    run_sweep,
+    sweep_tasks,
+)
+from repro.runtime import (
+    FaultPlan,
+    Journal,
+    LeaseHeldError,
+    ManifestError,
+    RuntimePolicy,
+    ShardLease,
+    assign_shard,
+    manifest_path,
+    merge_segments,
+    read_manifest,
+    shard_lease_path,
+    shard_report_path,
+    shard_segment_path,
+    write_manifest,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def quiet_policy():
+    """No faults, no backoff — immune to ambient REPRO_FAULTS."""
+    return RuntimePolicy(backoff=0.0, faults=FaultPlan([]))
+
+
+TINY_GRID = [
+    {"n": 16, "p": 0.3},
+    {"n": 18, "p": 0.3},
+    {"n": 20, "p": 0.28},
+    {"n": 22, "p": 0.26},
+    {"n": 24, "p": 0.25},
+]
+
+
+@pytest.fixture
+def tiny_grid():
+    """A 5-row throwaway generator grid registered for the test."""
+    SWEEP_GRIDS["tiny"] = (erdos_renyi, [dict(p) for p in TINY_GRID])
+    try:
+        yield "tiny"
+    finally:
+        del SWEEP_GRIDS["tiny"]
+
+
+# ----------------------------------------------------------------------
+# Partitioner and paths
+# ----------------------------------------------------------------------
+
+def test_assign_shard_is_deterministic_disjoint_covering_balanced():
+    for num_shards in (1, 2, 3, 7):
+        buckets = {}
+        for index in range(41):
+            shard = assign_shard(index, num_shards)
+            # The documented contract: round-robin by manifest index.
+            assert shard == index % num_shards
+            assert 0 <= shard < num_shards
+            buckets.setdefault(shard, []).append(index)
+        assert set(buckets) == set(range(num_shards))
+        sizes = [len(rows) for rows in buckets.values()]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_assign_shard_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        assign_shard(0, 0)
+    with pytest.raises(ValueError):
+        assign_shard(0, -2)
+    with pytest.raises(ValueError):
+        assign_shard(-1, 3)
+
+
+def test_shard_paths_derive_from_the_journal_stem(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    assert shard_segment_path(base, 2).name == "sweep.shard-2.jsonl"
+    assert shard_lease_path(base, 0).name == "sweep.shard-0.lease"
+    assert shard_report_path(base, 1).name == "sweep.shard-1.report.json"
+    assert manifest_path(base).name == "sweep.manifest.json"
+    # A journal path without the .jsonl suffix works the same way.
+    assert shard_segment_path(tmp_path / "j", 0).name == "j.shard-0.jsonl"
+    assert manifest_path(tmp_path / "j").name == "j.manifest.json"
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+
+def test_manifest_round_trips_and_rewrites_idempotently(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    rows = ["row0", "row1", "row2"]
+    path = write_manifest(base, rows, 3, meta={"seed": "5"})
+    first = path.read_bytes()
+    manifest = read_manifest(base)
+    assert manifest["rows"] == rows
+    assert manifest["num_shards"] == 3
+    assert manifest["meta"] == {"seed": "5"}
+    # Same sweep, same bytes: concurrent shards write idempotently.
+    write_manifest(base, rows, 3, meta={"seed": "5"})
+    assert path.read_bytes() == first
+
+
+def test_manifest_rejects_a_different_task_space(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    write_manifest(base, ["row0", "row1"], 2)
+    with pytest.raises(ManifestError):
+        write_manifest(base, ["row0", "rowX"], 2)
+    with pytest.raises(ManifestError):
+        write_manifest(base, ["row0", "row1"], 2, meta={"other": "sweep"})
+    # force=True claims the path outright (fresh, non-resume runs).
+    write_manifest(base, ["row0", "rowX"], 2, force=True)
+    assert read_manifest(base)["rows"] == ["row0", "rowX"]
+
+
+def test_manifest_tolerates_shard_count_drift_only(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    write_manifest(base, ["row0", "row1"], 4)
+    # An unsharded resume keeps the recorded count so a later merge
+    # still finds every segment...
+    write_manifest(base, ["row0", "row1"], 1)
+    assert read_manifest(base)["num_shards"] == 4
+    # ...while a sharded run re-records its own count.
+    write_manifest(base, ["row0", "row1"], 2)
+    assert read_manifest(base)["num_shards"] == 2
+
+
+def test_read_manifest_errors_name_the_problem(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    with pytest.raises(ManifestError, match="no sweep manifest"):
+        read_manifest(base)
+    manifest_path(base).write_text("not json\n", encoding="utf-8")
+    with pytest.raises(ManifestError, match="unreadable"):
+        read_manifest(base)
+    manifest_path(base).write_text('{"version": 99}\n', encoding="utf-8")
+    with pytest.raises(ManifestError, match="unsupported shape"):
+        read_manifest(base)
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+
+def test_lease_excludes_second_claimant_until_released(tmp_path):
+    path = shard_lease_path(tmp_path / "s.jsonl", 0)
+    lease = ShardLease(path).acquire()
+    info = lease.holder()
+    assert info is not None and info.pid == os.getpid()
+    rival = ShardLease(path)
+    with pytest.raises(LeaseHeldError, match="held by pid"):
+        rival.acquire()
+    lease.release()
+    assert not path.exists()
+    rival.acquire()  # free after release
+    rival.release()
+
+
+def test_lease_context_manager_releases_on_exit(tmp_path):
+    path = shard_lease_path(tmp_path / "s.jsonl", 1)
+    with ShardLease(path) as lease:
+        assert lease.held
+        assert path.exists()
+    assert not path.exists()
+
+
+def test_lease_heartbeat_refreshes_mtime_and_requires_holding(tmp_path):
+    path = shard_lease_path(tmp_path / "s.jsonl", 0)
+    with pytest.raises(RuntimeError, match="not held"):
+        ShardLease(path).heartbeat()
+    with ShardLease(path) as lease:
+        old = time.time() - 1000
+        os.utime(path, (old, old))
+        lease.heartbeat()
+        assert path.stat().st_mtime > old + 500
+
+
+def test_stale_heartbeat_is_taken_over_after_stale_after(tmp_path):
+    path = shard_lease_path(tmp_path / "s.jsonl", 0)
+    holder = ShardLease(path, stale_after=60.0).acquire()
+    rival = ShardLease(path, stale_after=60.0)
+    assert not rival.is_stale()
+    with pytest.raises(LeaseHeldError):
+        rival.acquire()
+    # Age the heartbeat past stale_after: takeover is allowed.  (The
+    # holder pid is alive — only the heartbeat decides across hosts.)
+    old = time.time() - 120
+    os.utime(path, (old, old))
+    assert rival.is_stale()
+    rival.acquire()
+    assert rival.held and rival.holder().pid == os.getpid()
+    holder.held = False  # its file is gone; release() must stay a no-op
+    rival.release()
+
+
+def test_dead_holder_pid_is_taken_over_despite_fresh_heartbeat(tmp_path):
+    path = shard_lease_path(tmp_path / "s.jsonl", 0)
+    # A real pid that is genuinely dead on this host.
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait(timeout=30)
+    dead_pid = proc.pid
+    with ShardLease(path) as lease:
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["pid"] = dead_pid
+        path.write_text(json.dumps(record), encoding="utf-8")
+        rival = ShardLease(path, stale_after=3600.0)
+        assert rival.is_stale()  # heartbeat fresh, holder dead
+        lease.held = False  # the "holder" is the dead pid now
+        rival.acquire()
+        assert rival.holder().pid == os.getpid()
+        rival.release()
+
+
+def test_torn_lease_write_is_stale_and_taken_over(tmp_path):
+    path = shard_lease_path(tmp_path / "s.jsonl", 0)
+    path.write_text('{"pid": 12', encoding="utf-8")  # died inside acquire()
+    lease = ShardLease(path, stale_after=3600.0)
+    assert lease.holder() is None
+    assert lease.is_stale()
+    lease.acquire()
+    assert lease.holder().pid == os.getpid()
+    lease.release()
+
+
+# ----------------------------------------------------------------------
+# Merge: hand-built segments
+# ----------------------------------------------------------------------
+
+def _build_segments(base, num_shards, row_keys, payload=None):
+    """Write a manifest plus per-shard segments the way a sweep would:
+    one center record then the row record, per assigned row."""
+    write_manifest(base, list(row_keys), num_shards, force=True)
+    for index, key in enumerate(row_keys):
+        shard = assign_shard(index, num_shards)
+        segment = Journal(shard_segment_path(base, shard))
+        segment.append(f"center|{key}", {"value": index})
+        segment.append(key, dict(payload or {}, row=key))
+
+
+def _unsharded_bytes(tmp_path, row_keys, payload=None):
+    """The journal an unsharded run over the same rows would write."""
+    path = tmp_path / "expected.jsonl"
+    journal = Journal(path)
+    journal.reset()
+    for index, key in enumerate(row_keys):
+        journal.append(f"center|{key}", {"value": index})
+        journal.append(key, dict(payload or {}, row=key))
+    return path.read_bytes()
+
+
+ROWS = [f"sweeprow|tiny|row{i}" for i in range(7)]
+
+
+def test_merge_is_byte_identical_to_an_unsharded_journal(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    _build_segments(base, 3, ROWS)
+    report = merge_segments(base)
+    assert report.ok
+    assert report.merged_rows == report.total_rows == len(ROWS)
+    assert report.corrupt_lines == 0 and report.orphan_records == 0
+    assert [s.rows for s in report.segments] == [3, 2, 2]
+    assert base.read_bytes() == _unsharded_bytes(tmp_path, ROWS)
+    # Merging again from the untouched segments is idempotent.
+    merge_segments(base)
+    assert base.read_bytes() == _unsharded_bytes(tmp_path, ROWS)
+
+
+def test_merge_resolves_duplicate_keys_last_record_wins(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    _build_segments(base, 2, ROWS)
+    # A shard resumed twice re-journals row 2: older payload first.
+    segment = Journal(shard_segment_path(base, 0))
+    segment.append(ROWS[2], {"row": ROWS[2], "stale": True})
+    segment.append(ROWS[2], {"row": ROWS[2]})
+    report = merge_segments(base)
+    assert report.ok
+    merged = Journal(base)
+    assert merged.get(ROWS[2]) == {"row": ROWS[2]}
+    # Exactly one line per key survived.
+    keys = [line.split('"')[3] for line in base.read_text().splitlines()]
+    assert len(keys) == len(set(keys))
+
+
+def test_merge_quarantines_corruption_per_record_not_per_segment(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    _build_segments(base, 3, ROWS)
+    # One flipped record at the head of segment 1 plus a torn tail:
+    # both dropped individually, every valid neighbour kept.
+    segment = shard_segment_path(base, 1)
+    lines = segment.read_text(encoding="utf-8").splitlines()
+    assert '"value"' in lines[0]  # the center record of the first row
+    lines[0] = lines[0].replace('"value"', '"vandal"')
+    segment.write_text(
+        "\n".join(lines) + "\n" + '{"k": "torn', encoding="utf-8"
+    )
+    report = merge_segments(base)
+    assert report.corrupt_lines == 2
+    assert report.segments[1].corrupt_lines == 2
+    # The vandalised line was a center record, so its row still merged.
+    assert report.ok and report.merged_rows == len(ROWS)
+    merged = base.read_text(encoding="utf-8")
+    assert "vandal" not in merged and "torn" not in merged
+
+
+def test_merge_reports_missing_segments_and_their_holes(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    _build_segments(base, 3, ROWS)
+    victim = 1
+    shard_segment_path(base, victim).unlink()
+    report = merge_segments(base, out=tmp_path / "holed.jsonl")
+    assert not report.ok
+    assert report.missing_shards == [victim]
+    expected_holes = [
+        i for i in range(len(ROWS)) if assign_shard(i, 3) == victim
+    ]
+    assert [h["index"] for h in report.holes] == expected_holes
+    assert all(h["shard"] == victim for h in report.holes)
+    assert all(h["key"] == ROWS[h["index"]] for h in report.holes)
+    assert "missing shard segments: 1" in report.summary()
+    # The surviving rows still merged, in manifest order.
+    merged = Journal(tmp_path / "holed.jsonl")
+    for index, key in enumerate(ROWS):
+        assert (merged.get(key) is not None) == (index not in expected_holes)
+
+
+def test_merge_keeps_orphan_records_for_resume(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    _build_segments(base, 2, ROWS[:4])
+    # Shard 0 was killed mid-row: a valid center record with no row
+    # record after it.  The merge must keep it (a resume run skips that
+    # center) and count it.
+    orphan_key = "center|sweeprow|tiny|unfinished"
+    Journal(shard_segment_path(base, 0)).append(orphan_key, {"value": 99})
+    report = merge_segments(base)
+    assert report.ok  # every manifest row did complete
+    assert report.orphan_records == 1
+    merged = Journal(base)
+    assert merged.get(orphan_key) == {"value": 99}
+    # Orphans ride at the end, after all completed rows.
+    assert orphan_key in base.read_text().splitlines()[-1]
+
+
+def test_merge_writes_to_out_without_touching_segments(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    _build_segments(base, 2, ROWS[:4])
+    before = [
+        shard_segment_path(base, shard).read_bytes() for shard in range(2)
+    ]
+    out = tmp_path / "merged.jsonl"
+    report = merge_segments(base, out=out)
+    assert report.out == str(out)
+    assert out.read_bytes() == _unsharded_bytes(tmp_path, ROWS[:4])
+    assert not base.exists()  # base untouched when out is given
+    after = [
+        shard_segment_path(base, shard).read_bytes() for shard in range(2)
+    ]
+    assert after == before
+
+
+def test_merge_requires_a_manifest_and_a_positive_shard_count(tmp_path):
+    base = tmp_path / "sweep.jsonl"
+    with pytest.raises(ManifestError):
+        merge_segments(base)
+    _build_segments(base, 2, ROWS[:2])
+    with pytest.raises(ValueError):
+        merge_segments(base, num_shards=0)
+    # num_shards overrides the manifest: asking for 3 shards finds the
+    # third segment missing.
+    report = merge_segments(base, out=tmp_path / "m.jsonl", num_shards=3)
+    assert report.missing_shards == [2]
+
+
+# ----------------------------------------------------------------------
+# run_sweep: whole sweeps, shard by shard
+# ----------------------------------------------------------------------
+
+def test_run_sweep_validates_shard_arguments(tiny_grid):
+    with pytest.raises(ValueError, match="requires a journal"):
+        run_sweep([tiny_grid], num_shards=2, shard_id=0)
+    with pytest.raises(ValueError, match="shard_id"):
+        run_sweep([tiny_grid], journal="j.jsonl", num_shards=2, shard_id=2)
+    with pytest.raises(ValueError, match="shard_id"):
+        run_sweep([tiny_grid], journal="j.jsonl", num_shards=2, shard_id=None)
+    with pytest.raises(ValueError, match="unknown sweep generator"):
+        run_sweep(["no-such-generator"])
+
+
+def test_sharded_sweep_merges_byte_identical_to_unsharded(tmp_path, tiny_grid):
+    plain = tmp_path / "plain.jsonl"
+    plain_run = run_sweep([tiny_grid], journal=str(plain))
+    assert plain_run.assigned_rows == len(TINY_GRID)
+
+    sharded = tmp_path / "sharded.jsonl"
+    num_shards = 3
+    for shard in range(num_shards):
+        run = run_sweep(
+            [tiny_grid], journal=str(sharded),
+            num_shards=num_shards, shard_id=shard,
+        )
+        assert run.segment == str(shard_segment_path(sharded, shard))
+        assert len(run.rows) == run.assigned_rows
+        # The lease is released on the way out; the report persists.
+        assert not shard_lease_path(sharded, shard).exists()
+        report = json.loads(Path(run.report_path).read_text())
+        assert report["completed_rows"] == report["assigned_rows"]
+        assert report["shard"] == shard
+
+    merge = merge_segments(sharded)
+    assert merge.ok
+    assert sharded.read_bytes() == plain.read_bytes()
+    # The rendered table reassembles byte-identically too.
+    manifest = read_manifest(sharded)
+    merged_rows = rows_from_journal(str(sharded), manifest["rows"])
+    assert render_sweep_table(merged_rows) == render_sweep_table(
+        plain_run.rows
+    )
+
+
+def test_missing_shard_leaves_holes_an_unsharded_resume_fills(
+    tmp_path, tiny_grid
+):
+    plain = tmp_path / "plain.jsonl"
+    run_sweep([tiny_grid], journal=str(plain))
+    base = tmp_path / "sharded.jsonl"
+    for shard in (0, 2):  # shard 1 never runs
+        run_sweep([tiny_grid], journal=str(base), num_shards=3, shard_id=shard)
+    report = merge_segments(base)
+    assert not report.ok and report.missing_shards == [1]
+    resumed = run_sweep([tiny_grid], journal=str(base), resume=True)
+    hole_count = len(report.holes)
+    assert resumed.resumed_rows == len(TINY_GRID) - hole_count
+    # The healed journal holds the same entries (order differs: holes
+    # were appended at the end by the resume run).
+    assert Journal(base).load() == Journal(plain).load()
+
+
+def test_second_claimant_of_a_running_shard_is_rejected(tmp_path, tiny_grid):
+    base = tmp_path / "sweep.jsonl"
+    lease = ShardLease(shard_lease_path(base, 0)).acquire()
+    try:
+        with pytest.raises(LeaseHeldError):
+            run_sweep([tiny_grid], journal=str(base), num_shards=2, shard_id=0)
+        # The other shard is unaffected.
+        run = run_sweep([tiny_grid], journal=str(base), num_shards=2, shard_id=1)
+        assert len(run.rows) == run.assigned_rows
+    finally:
+        lease.release()
+
+
+def test_sweep_tasks_orders_the_manifest_and_validates_names(tiny_grid):
+    tasks = sweep_tasks([tiny_grid], classify=False)
+    assert len(tasks) == len(TINY_GRID)
+    assert [t[2] for t in tasks] == TINY_GRID
+    keys = [t[3] for t in tasks]
+    assert len(set(keys)) == len(keys)
+    assert all(key.startswith("sweeprow|tiny|") for key in keys)
+    with pytest.raises(ValueError, match="unknown sweep generator"):
+        sweep_tasks(["nope"])
+
+
+# ----------------------------------------------------------------------
+# Chaos: SIGKILL one shard mid-flight, resume, merge, compare bitwise
+# ----------------------------------------------------------------------
+
+CHAOS_GRID = [{"n": 120, "p": round(0.03 + 0.002 * i, 3)} for i in range(12)]
+
+SHARD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.generators import erdos_renyi
+from repro.harness import run_sweep
+from repro.harness.sweep import SWEEP_GRIDS
+from repro.runtime import FaultPlan, RuntimePolicy
+SWEEP_GRIDS["chaos"] = (erdos_renyi, {grid!r})
+print("started", flush=True)
+run_sweep(["chaos"], classify=True, num_centers=3, max_ball_size=120,
+          seed=7, runtime=RuntimePolicy(backoff=0.0, faults=FaultPlan([])),
+          journal={journal!r}, num_shards=4, shard_id=0)
+print("finished", flush=True)
+"""
+
+
+@pytest.mark.slow
+def test_sigkill_one_shard_resume_merge_is_bitwise_identical(tmp_path):
+    """The acceptance invariant: 4 shards, one killed -9 mid-run,
+    resumed and merged == the run that was never killed, bitwise."""
+    SWEEP_GRIDS["chaos"] = (erdos_renyi, [dict(p) for p in CHAOS_GRID])
+    try:
+        kwargs = dict(
+            classify=True, num_centers=3, max_ball_size=120, seed=7,
+            runtime=quiet_policy(),
+        )
+        plain = tmp_path / "plain.jsonl"
+        plain_run = run_sweep(["chaos"], journal=str(plain), **kwargs)
+        assert all(row.signature for row in plain_run.rows)
+
+        base = tmp_path / "sharded.jsonl"
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        script = SHARD_SCRIPT.format(
+            src=src, grid=CHAOS_GRID, journal=str(base)
+        )
+        segment = shard_segment_path(base, 0)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            cwd=str(tmp_path),
+        )
+        try:
+            # Wait until shard 0 has journaled at least one row, then
+            # kill -9 mid-sweep.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if segment.exists() and any(
+                    key.startswith("sweeprow|")
+                    for key in Journal(segment).keys()
+                ):
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("shard finished before it could be killed")
+                time.sleep(0.02)
+            else:
+                pytest.fail("shard never journaled a row")
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # The kill left the lease behind; its holder pid is dead, so the
+        # resuming worker takes it over (no manual cleanup).
+        assert shard_lease_path(base, 0).exists()
+        pre_kill = sum(
+            1 for key in Journal(segment).keys()
+            if key.startswith("sweeprow|")
+        )
+        assert pre_kill >= 1
+
+        # The surviving shards run normally; the victim resumes.
+        for shard in (1, 2, 3):
+            run_sweep(
+                ["chaos"], journal=str(base),
+                num_shards=4, shard_id=shard, **kwargs
+            )
+        resumed = run_sweep(
+            ["chaos"], journal=str(base),
+            num_shards=4, shard_id=0, resume=True, **kwargs
+        )
+        assert resumed.resumed_rows == pre_kill
+        assert len(resumed.rows) == resumed.assigned_rows
+
+        report = merge_segments(base)
+        assert report.ok, report.summary()
+        assert base.read_bytes() == plain.read_bytes()
+        merged_rows = rows_from_journal(
+            str(base), read_manifest(base)["rows"]
+        )
+        assert render_sweep_table(merged_rows) == render_sweep_table(
+            plain_run.rows
+        )
+    finally:
+        del SWEEP_GRIDS["chaos"]
