@@ -70,6 +70,7 @@ from repro.graph.traversal import bfs_distances
 from repro.metrics.balls import _policy_ball_from_dag, sample_centers
 from repro.routing.policy import policy_dag
 from repro.runtime import faults as _faults
+from repro.runtime import shm as _shm
 from repro.runtime.journal import Journal, as_journal
 from repro.runtime.status import CenterStatus, RunReport, SeriesStatus
 from repro.runtime.supervisor import RuntimePolicy, Supervisor
@@ -130,17 +131,25 @@ class _ComputeContext:
 
     The context is what execution paths (serial, pool, supervisor) pass
     around instead of the raw graph: pickling it ships only the compact
-    CSR arrays, and each worker thaws the canonical ``Graph`` at most
-    once.  ``use_csr=False`` selects the dict-of-sets BFS oracle; every
-    other step is shared, so a CSR/dict mismatch isolates the kernel.
+    CSR arrays — or, after :meth:`publish`, just a shared-memory
+    :class:`~repro.runtime.shm.SegmentHandle` that workers attach to
+    zero-copy.  Each worker thaws the canonical ``Graph`` at most once.
+    ``use_csr=False`` selects the dict-of-sets BFS oracle;
+    ``use_batch=False`` keeps the per-ball kernel loop instead of the
+    fused batch entry points.  Every other step is shared, so a
+    mismatch isolates the layer that diverged.
     """
 
-    __slots__ = ("csr", "use_csr", "_graph")
+    __slots__ = ("csr", "use_csr", "use_batch", "_graph", "_segment")
 
-    def __init__(self, csr: CSRGraph, use_csr: bool = True):
+    def __init__(
+        self, csr: CSRGraph, use_csr: bool = True, use_batch: bool = True
+    ):
         self.csr = csr
         self.use_csr = bool(use_csr)
+        self.use_batch = bool(use_batch)
         self._graph: Optional[Graph] = None
+        self._segment: Optional[_shm.SharedGraph] = None
 
     @property
     def graph(self) -> Graph:
@@ -149,8 +158,55 @@ class _ComputeContext:
             self._graph = self.csr.thaw()
         return self._graph
 
+    def publish(self, transport: str = "auto") -> bool:
+        """Move worker transport onto a shared-memory segment.
+
+        After a successful publish, pickling this context ships only
+        the segment handle; workers attach read-only by name.  Returns
+        whether shm transport is active.  ``transport="copy"`` skips
+        publication; ``"shm"`` raises if a segment cannot be created;
+        ``"auto"`` silently keeps copy transport on failure.  The
+        caller owns the published reference and must pair this with
+        :meth:`release` (engine and service do so in ``finally``
+        blocks, so exception paths cannot leak segments).
+        """
+        if transport == "copy":
+            return False
+        if self._segment is not None and self._segment.alive:
+            return True
+        segment = _shm.publish(self.csr)
+        if segment is None:
+            if transport == "shm":
+                raise RuntimeError(
+                    "shared-memory transport requested but unavailable"
+                )
+            return False
+        self._segment = segment
+        return True
+
+    def release(self) -> None:
+        """Drop this context's segment reference (idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            segment.release()
+
     def __reduce__(self):
-        return (_ComputeContext, (self.csr, self.use_csr))
+        segment = self._segment
+        if segment is not None and segment.alive:
+            return (
+                _ctx_from_handle,
+                (segment.handle, self.use_csr, self.use_batch),
+            )
+        return (_ComputeContext, (self.csr, self.use_csr, self.use_batch))
+
+
+def _ctx_from_handle(
+    handle: "_shm.SegmentHandle", use_csr: bool, use_batch: bool
+) -> _ComputeContext:
+    """Worker-side unpickle target: attach instead of copying arrays."""
+    return _ComputeContext(
+        _shm.attach(handle), use_csr=use_csr, use_batch=use_batch
+    )
 
 
 def _center_distances(ctx: _ComputeContext, plan: _Plan, ci: int):
@@ -225,11 +281,17 @@ def _compute_center(ctx: _ComputeContext, plan: _Plan, ci: int):
 
             # Kernelized metrics run on batched sub-CSRs (bitwise equal to
             # the dict path — each kernel twin makes the same rng draws on
-            # the same canonical index order).  Policy balls (dag) and the
-            # dict oracle path keep the per-radius subgraph construction;
-            # the dict ball is built lazily, only for members without a
-            # kernel twin.
+            # the same canonical index order).  With ``use_batch`` the
+            # whole schedule of a member's balls is evaluated in one
+            # fused call before the per-radius loop: each member draws
+            # from its *own* rng stream, so consuming one member's
+            # stream across all balls up front is the same draw
+            # sequence the per-ball loop makes.  Policy balls (dag) and
+            # the dict oracle path keep the per-radius subgraph
+            # construction; the dict ball is built lazily, only for
+            # members without a kernel twin.
             batch = None
+            fused_values: Dict[int, List[float]] = {}
             if ctx.use_csr and dag is None and schedule:
                 if any(
                     METRICS[member.name].kernel_evaluator is not None
@@ -242,14 +304,30 @@ def _compute_center(ctx: _ComputeContext, plan: _Plan, ci: int):
                             for radius, _size in schedule
                         ],
                     )
+                    if ctx.use_batch:
+                        fused = None
+                        for member in group.members:
+                            spec = METRICS[member.name]
+                            if spec.batch_evaluator is None:
+                                continue
+                            if fused is None:
+                                fused = kernels.FusedBatch(batch)
+                            fused_values[member.rid] = spec.batch_evaluator(
+                                fused, rngs[member.rid], member.eval_params
+                            )
             contributions: List[Tuple[int, int, Dict[int, float]]] = []
             for bi, (radius, size) in enumerate(schedule):
-                sub = batch.sub_csr(bi) if batch is not None else None
+                sub = None
                 ball = None
                 values: Dict[int, float] = {}
                 for member in group.members:
                     spec = METRICS[member.name]
-                    if sub is not None and spec.kernel_evaluator is not None:
+                    if member.rid in fused_values:
+                        values[member.rid] = fused_values[member.rid][bi]
+                        continue
+                    if batch is not None and spec.kernel_evaluator is not None:
+                        if sub is None:
+                            sub = batch.sub_csr(bi)
                         values[member.rid] = spec.kernel_evaluator(
                             sub, rngs[member.rid], member.eval_params
                         )
@@ -339,6 +417,19 @@ class MetricEngine:
         Run BFS through the vectorized CSR kernels (the default).
         ``False`` swaps in the legacy dict-of-sets BFS — the oracle
         path; results are bitwise identical either way.
+    use_batch:
+        Evaluate each center's whole radius schedule through the fused
+        batch kernels (one call per metric instead of one per ball; the
+        default).  ``False`` keeps the per-ball kernel loop; results
+        are bitwise identical either way.  ``None`` reads the
+        ``REPRO_BATCH`` environment variable (``0``/``off`` disables).
+        Implies nothing without ``use_csr``.
+    transport:
+        How workers receive the frozen graph: ``"auto"`` (the default)
+        publishes it to a shared-memory segment when possible and falls
+        back to pickled-array copies, ``"shm"`` requires shared memory
+        (raises if unavailable), ``"copy"`` always pickles.  ``None``
+        reads ``REPRO_TRANSPORT``.  Results are identical either way.
     use_cache:
         Store and reuse finished series on disk.
     cache_dir:
@@ -387,10 +478,23 @@ class MetricEngine:
         journal: Optional[Union[Journal, str]] = None,
         use_csr: bool = True,
         cache: Optional[SeriesCache] = None,
+        use_batch: Optional[bool] = None,
+        transport: Optional[str] = None,
     ):
         self.workers = int(workers)
         self.use_cache = bool(use_cache)
         self.use_csr = bool(use_csr)
+        if use_batch is None:
+            env = os.environ.get("REPRO_BATCH")
+            use_batch = env is None or env.lower() not in ("0", "off", "false")
+        self.use_batch = bool(use_batch) and self.use_csr
+        if transport is None:
+            transport = os.environ.get("REPRO_TRANSPORT") or "auto"
+        if transport not in ("auto", "shm", "copy"):
+            raise ValueError(
+                f"transport must be 'auto', 'shm' or 'copy', got {transport!r}"
+            )
+        self.transport = transport
         self.cache = cache if cache is not None else SeriesCache(cache_dir)
         if runtime is None and os.environ.get(_faults.ENV_VAR):
             # Injected faults only make sense under supervision.
@@ -403,6 +507,8 @@ class MetricEngine:
             "cache_misses": 0,
             "centers_computed": 0,
             "journal_skipped": 0,
+            "shm_published": 0,
+            "shm_reused": 0,
         }
 
     # ------------------------------------------------------------------
@@ -431,7 +537,11 @@ class MetricEngine:
                 f"duplicate metric names in one compute call: {names}"
             )
         resolved = [self._resolve(graph, req) for req in reqs]
-        ctx = _ComputeContext(csr_from_graph(graph), use_csr=self.use_csr)
+        ctx = _ComputeContext(
+            csr_from_graph(graph),
+            use_csr=self.use_csr,
+            use_batch=self.use_batch,
+        )
 
         if self.use_cache:
             fingerprint = graph_fingerprint(graph)
@@ -578,19 +688,35 @@ class MetricEngine:
             for pi, plan in enumerate(plans)
             for ci in range(len(plan.centers))
         ]
-        task_statuses: Optional[List[CenterStatus]] = None
-        if self.runtime is not None:
-            flat, task_statuses = self._execute_supervised(
-                ctx, plans, tasks, pending
-            )
-        else:
-            self.stats["centers_computed"] += len(tasks)
-            if self.workers > 0 and len(tasks) > 1:
-                flat = self._execute_parallel(ctx, plans, tasks)
+        # Publish the frozen graph to shared memory before any path
+        # that pickles the context for worker processes; the reference
+        # is dropped in ``finally`` so no exception (including a
+        # BrokenProcessPool mid-respawn) can leak the segment.
+        will_fork = self.workers > 0 and (
+            self.runtime is not None or len(tasks) > 1
+        )
+        if will_fork and ctx.publish(self.transport):
+            if ctx._segment is not None and ctx._segment.refs > 1:
+                self.stats["shm_reused"] += 1
             else:
-                flat = [
-                    _compute_center(ctx, plans[pi], ci) for pi, ci in tasks
-                ]
+                self.stats["shm_published"] += 1
+        try:
+            task_statuses: Optional[List[CenterStatus]] = None
+            if self.runtime is not None:
+                flat, task_statuses = self._execute_supervised(
+                    ctx, plans, tasks, pending
+                )
+            else:
+                self.stats["centers_computed"] += len(tasks)
+                if self.workers > 0 and len(tasks) > 1:
+                    flat = self._execute_parallel(ctx, plans, tasks)
+                else:
+                    flat = [
+                        _compute_center(ctx, plans[pi], ci)
+                        for pi, ci in tasks
+                    ]
+        finally:
+            ctx.release()
         per_plan: List[List[Any]] = [[] for _ in plans]
         per_plan_statuses: Optional[List[List[CenterStatus]]] = (
             [[] for _ in plans] if task_statuses is not None else None

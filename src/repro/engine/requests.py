@@ -27,15 +27,21 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.graph.components import count_biconnected_components
 from repro.graph.core import Graph
 from repro.graph.cover import vertex_cover_size
 from repro.graph.csr import CSRGraph
-from repro.graph.kernels import count_biconnected_csr, vertex_cover_size_csr
-from repro.graph.kernels_flow import resilience_csr
-from repro.graph.kernels_trees import distortion_csr
+from repro.graph.kernels import (
+    FusedBatch,
+    batch_biconnected_counts,
+    batch_vertex_cover_sizes,
+    count_biconnected_csr,
+    vertex_cover_size_csr,
+)
+from repro.graph.kernels_flow import resilience_csr, resilience_csr_batch
+from repro.graph.kernels_trees import distortion_csr, distortion_csr_batch
 from repro.metrics.clustering import clustering_coefficient
 from repro.metrics.distortion import distortion_of
 from repro.metrics.pathlength import average_ball_path_length
@@ -49,6 +55,12 @@ KernelEvaluator = Callable[
     [CSRGraph, Optional[random.Random], Mapping[str, Any]], float
 ]
 
+# A fused batch evaluator: (whole fused batch, per-center RNG or None,
+# params) -> one float per ball, aligned with the batch's schedule.
+BatchEvaluator = Callable[
+    [FusedBatch, Optional[random.Random], Mapping[str, Any]], List[float]
+]
+
 
 @dataclasses.dataclass(frozen=True)
 class MetricSpec:
@@ -58,7 +70,12 @@ class MetricSpec:
     present, is its CSR twin — the engine dispatches it on the batched
     ball sub-CSRs when ``use_csr`` is on, and the two must return
     bitwise-identical floats (the ``kernels`` selfcheck family and
-    ``tests/test_kernels_metrics.py`` enforce it).
+    ``tests/test_kernels_metrics.py`` enforce it).  ``batch_evaluator``,
+    when present, evaluates one center's *whole* fused radius schedule
+    in a single call (``use_batch``); it must return the same floats as
+    mapping the kernel evaluator over ``sub_csr`` with the same rng —
+    the ``batch`` selfcheck family and ``tests/test_fused_batch.py``
+    enforce that too.
     """
 
     name: str
@@ -67,6 +84,7 @@ class MetricSpec:
     defaults: Tuple[Tuple[str, Any], ...]
     evaluator: Optional[Evaluator] = None
     kernel_evaluator: Optional[KernelEvaluator] = None
+    batch_evaluator: Optional[BatchEvaluator] = None
 
     def resolve_params(self, overrides: Mapping[str, Any]) -> Dict[str, Any]:
         """Defaults merged with ``overrides``; unknown keys are an error."""
@@ -122,6 +140,22 @@ def _kernel_biconnectivity(sub, rng, params):
     return float(count_biconnected_csr(sub))
 
 
+def _batch_resilience(fused, rng, params):
+    return resilience_csr_batch(fused, rng=rng, trials=params["trials"])
+
+
+def _batch_distortion(fused, rng, params):
+    return distortion_csr_batch(fused, rng=rng)
+
+
+def _batch_vertex_cover(fused, rng, params):
+    return [float(size) for size in batch_vertex_cover_sizes(fused)]
+
+
+def _batch_biconnectivity(fused, rng, params):
+    return [float(count) for count in batch_biconnected_counts(fused)]
+
+
 # The shared kwargs contract (see docs/API.md "Series function contract"):
 # every ball-growing metric accepts num_centers / centers / max_ball_size
 # / rels / seed; extras (trials, min_ball_size) are metric-specific.
@@ -159,6 +193,7 @@ METRICS: Dict[str, MetricSpec] = {
             defaults=_ball_defaults(10, 1500, trials=3),
             evaluator=_eval_resilience,
             kernel_evaluator=_kernel_resilience,
+            batch_evaluator=_batch_resilience,
         ),
         MetricSpec(
             name="distortion",
@@ -167,6 +202,7 @@ METRICS: Dict[str, MetricSpec] = {
             defaults=_ball_defaults(10, 1500),
             evaluator=_eval_distortion,
             kernel_evaluator=_kernel_distortion,
+            batch_evaluator=_batch_distortion,
         ),
         MetricSpec(
             name="vertex_cover",
@@ -175,6 +211,7 @@ METRICS: Dict[str, MetricSpec] = {
             defaults=_ball_defaults(10, 2500),
             evaluator=_eval_vertex_cover,
             kernel_evaluator=_kernel_vertex_cover,
+            batch_evaluator=_batch_vertex_cover,
         ),
         MetricSpec(
             name="biconnectivity",
@@ -183,6 +220,7 @@ METRICS: Dict[str, MetricSpec] = {
             defaults=_ball_defaults(10, 2500),
             evaluator=_eval_biconnectivity,
             kernel_evaluator=_kernel_biconnectivity,
+            batch_evaluator=_batch_biconnectivity,
         ),
         MetricSpec(
             name="clustering",

@@ -10,11 +10,18 @@ from repro.graph.core import Graph
 from repro.graph.csr import CSR_LAYOUT_VERSION, CSRGraph, csr_from_graph
 from repro.graph.kernels import (
     BallBatch,
+    FusedBatch,
     ball_members,
+    batch_biconnected_counts,
+    batch_matching_cover_sizes,
+    batch_vertex_cover_sizes,
     bfs_levels,
     bfs_with_path_counts,
     count_biconnected_csr,
     degree_vector,
+    fused_bfs_levels,
+    fused_degrees,
+    fused_level_counts,
     induced_subgraph,
     multi_source_distances,
     vertex_cover_size_csr,
@@ -24,8 +31,9 @@ from repro.graph.kernels_flow import (
     bisection_cut_csr,
     max_flow_min_cut,
     resilience_csr,
+    resilience_csr_batch,
 )
-from repro.graph.kernels_trees import distortion_csr
+from repro.graph.kernels_trees import distortion_csr, distortion_csr_batch
 from repro.graph.traversal import (
     bfs_distances,
     bfs_layers,
@@ -80,13 +88,22 @@ __all__ = [
     "degree_vector",
     "induced_subgraph",
     "BallBatch",
+    "FusedBatch",
+    "fused_bfs_levels",
+    "fused_degrees",
+    "fused_level_counts",
+    "batch_matching_cover_sizes",
+    "batch_vertex_cover_sizes",
+    "batch_biconnected_counts",
     "vertex_cover_size_csr",
     "count_biconnected_csr",
     "FlowCapacityOverflow",
     "max_flow_min_cut",
     "bisection_cut_csr",
     "resilience_csr",
+    "resilience_csr_batch",
     "distortion_csr",
+    "distortion_csr_batch",
     "bfs_distances",
     "bfs_layers",
     "bfs_parents",

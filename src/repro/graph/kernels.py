@@ -13,6 +13,11 @@ per-node hash-table BFS into frontier-at-a-time array operations:
 * :func:`degree_vector` — all degrees as one array;
 * :func:`induced_subgraph` — CSR-to-CSR subgraph slicing;
 * :class:`BallBatch` — many balls sliced per numpy call;
+* :class:`FusedBatch` — a whole batch concatenated into one disjoint-
+  union CSR with ``indptr``-style ball-offset segmentation, so one
+  kernel sweep serves every ball (:func:`fused_bfs_levels`,
+  :func:`fused_level_counts`, :func:`fused_degrees`,
+  :func:`batch_vertex_cover_sizes`, :func:`batch_biconnected_counts`);
 * :func:`matching_cover_size` / :func:`greedy_cover_size` /
   :func:`vertex_cover_size_csr` — the canonical vertex-cover pair;
 * :func:`count_biconnected_csr` — array-stack Tarjan block counting.
@@ -376,26 +381,292 @@ class BallBatch:
 
 
 # ----------------------------------------------------------------------
+# Fused batch execution: one disjoint-union CSR per BallBatch
+# ----------------------------------------------------------------------
+
+def _fused_offsets(node_counts, edge_counts):
+    """Ball-offset segmentation arrays of a fused concatenation.
+
+    Returns ``(node_offsets, edge_offsets)``, both int64 and of length
+    ``len(node_counts) + 1`` — int64 deliberately: per-ball arrays are
+    int32, but *cumulative* counts across a batch may cross the int32
+    boundary, and the fused ``indptr``/``indices`` index with these
+    offsets.
+    """
+    node_offsets = np.zeros(len(node_counts) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(node_counts, dtype=np.int64), out=node_offsets[1:])
+    edge_offsets = np.zeros(len(edge_counts) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(edge_counts, dtype=np.int64), out=edge_offsets[1:])
+    return node_offsets, edge_offsets
+
+
+class FusedBatch:
+    """A :class:`BallBatch` concatenated into one disjoint-union CSR.
+
+    The balls' sub-CSRs are stacked in batch order with each ball's
+    local node indices shifted by its node offset, producing a single
+    valid CSR whose connected components never cross balls.  Kernels
+    can therefore sweep *all* balls in one pass (BFS frontiers of
+    disjoint components cannot interact), and a segmented result is
+    read back per ball through ``node_offsets`` — the same
+    ``indptr``-style segmentation idea one level up.
+
+    The canonical order is the one :meth:`BallBatch.sub_csr` already
+    fixes (ascending original node index within each ball), so every
+    fused kernel is bitwise-comparable to a per-ball loop over
+    ``sub_csr(i)`` — asserted by the ``batch`` selfcheck family and
+    ``tests/test_fused_batch.py``.
+    """
+
+    __slots__ = (
+        "batch",
+        "node_offsets",
+        "edge_offsets",
+        "indptr",
+        "indices",
+        "ball_of_node",
+    )
+
+    def __init__(self, batch: BallBatch):
+        self.batch = batch
+        node_counts = [m.size for m in batch._members]
+        edge_counts = [ix.size for ix in batch._indices]
+        self.node_offsets, self.edge_offsets = _fused_offsets(
+            node_counts, edge_counts
+        )
+        total_nodes = int(self.node_offsets[-1])
+        indptr = np.zeros(total_nodes + 1, dtype=np.int64)
+        ptr_pieces = [
+            ip[1:].astype(np.int64) + off
+            for ip, off in zip(batch._indptrs, self.edge_offsets[:-1].tolist())
+        ]
+        if ptr_pieces:
+            np.concatenate(ptr_pieces, out=indptr[1:])
+        self.indptr = indptr
+        idx_pieces = [
+            ix.astype(np.int64) + off
+            for ix, off in zip(batch._indices, self.node_offsets[:-1].tolist())
+        ]
+        self.indices = (
+            np.concatenate(idx_pieces)
+            if idx_pieces
+            else np.empty(0, dtype=np.int64)
+        )
+        self.ball_of_node = np.repeat(
+            np.arange(len(batch), dtype=np.int64), node_counts
+        )
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    def ball_slice(self, i: int) -> slice:
+        """The fused-array node span of ball ``i``."""
+        return slice(int(self.node_offsets[i]), int(self.node_offsets[i + 1]))
+
+    def ball_size(self, i: int) -> int:
+        return int(self.node_offsets[i + 1] - self.node_offsets[i])
+
+    def ball_edge_count(self, i: int) -> int:
+        """Undirected edge count of ball ``i``."""
+        return int(self.edge_offsets[i + 1] - self.edge_offsets[i]) // 2
+
+    def sub_csr(self, i: int) -> CSRGraph:
+        """Ball ``i`` as a standalone CSR (delegates to the batch)."""
+        return self.batch.sub_csr(i)
+
+    def local_csr(self, i: int) -> CSRGraph:
+        """Ball ``i``'s arrays wrapped with ``range`` labels.
+
+        O(1) labels instead of materialising the original node objects;
+        only safe for label-agnostic kernels (the bisection solver, the
+        cover/biconnectivity counters).
+        """
+        return CSRGraph(
+            self.batch._indptrs[i],
+            self.batch._indices[i],
+            range(self.ball_size(i)),
+            name=self.batch.csr.name,
+        )
+
+
+def fused_bfs_levels(fused: FusedBatch, sources: np.ndarray) -> np.ndarray:
+    """Per-ball BFS levels over the fused union, one sweep for all.
+
+    ``sources`` holds one *fused-array* node index per ball (``-1``
+    skips that ball).  Because the union's components never cross
+    balls, the synchronized sweep assigns exactly the distances a
+    per-ball :func:`bfs_levels` would — bitwise, since hop distances
+    are unique.  Skipped balls stay entirely :data:`UNREACHED`.
+    """
+    n = int(fused.node_offsets[-1])
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    src = np.asarray(sources, dtype=np.int64)
+    src = src[src >= 0]
+    if not src.size:
+        return dist
+    dist[src] = 0
+    frontier = np.unique(src)
+    depth = 0
+    indptr, indices = fused.indptr, fused.indices
+    while frontier.size:
+        neighbors, _counts = _gather_rows(indptr, indices, frontier)
+        if not neighbors.size:
+            break
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if not fresh.size:
+            break
+        depth += 1
+        dist[fresh] = depth
+        frontier = np.flatnonzero(dist == depth)
+    return dist
+
+
+def fused_degrees(fused: FusedBatch) -> np.ndarray:
+    """Every ball's degree vectors, concatenated (int32).
+
+    ``fused_degrees(f)[f.ball_slice(i)]`` equals
+    ``degree_vector(f.sub_csr(i))``.
+    """
+    return np.diff(fused.indptr).astype(np.int32)
+
+
+def fused_level_counts(fused: FusedBatch, dist: np.ndarray) -> List[np.ndarray]:
+    """Per-ball :func:`level_counts`, via one segmented bincount.
+
+    ``dist`` is a fused distance vector (:func:`fused_bfs_levels`);
+    the result list's entry ``i`` is bitwise equal to
+    ``level_counts(dist[fused.ball_slice(i)])``.
+    """
+    num_balls = len(fused)
+    if num_balls == 0:
+        return []
+    reached = dist != UNREACHED
+    local_max = np.full(num_balls, -1, dtype=np.int64)
+    if bool(reached.any()):
+        np.maximum.at(
+            local_max,
+            fused.ball_of_node[reached],
+            dist[reached].astype(np.int64),
+        )
+    width = int(local_max.max()) + 1
+    if width <= 0:
+        return [np.zeros(1, dtype=np.int64) for _ in range(num_balls)]
+    keys = fused.ball_of_node[reached] * width + dist[reached]
+    table = np.bincount(keys, minlength=num_balls * width).reshape(
+        num_balls, width
+    )
+    return [
+        table[b, : int(local_max[b]) + 1].copy()
+        if local_max[b] >= 0
+        else np.zeros(1, dtype=np.int64)
+        for b in range(num_balls)
+    ]
+
+
+def batch_matching_cover_sizes(fused: FusedBatch) -> np.ndarray:
+    """Per-ball handshake-matching cover sizes, one fused run (int64).
+
+    The handshake rounds run on the union: each round's proposals and
+    mutual matches in one ball depend only on that ball's flags (edges
+    never cross balls), so the union's fixpoint restricted to a ball is
+    exactly the ball's own fixpoint — a finished ball simply stays
+    unchanged while slower balls keep matching.
+    """
+    num_balls = len(fused)
+    matched = _handshake_matching_arrays(fused.indptr, fused.indices)
+    if not bool(matched.any()):
+        return np.zeros(num_balls, dtype=np.int64)
+    return np.bincount(
+        fused.ball_of_node[matched], minlength=num_balls
+    ).astype(np.int64)
+
+
+def batch_vertex_cover_sizes(fused: FusedBatch) -> List[int]:
+    """Per-ball :func:`vertex_cover_size_csr`, matching fused.
+
+    The matching half runs once over the union; the greedy half is an
+    inherently sequential argmax loop and stays per ball — but on the
+    batch's local arrays directly, skipping the node-label
+    materialisation ``sub_csr`` would pay.
+    """
+    matching = batch_matching_cover_sizes(fused)
+    out: List[int] = []
+    for b in range(len(fused)):
+        indices = fused.batch._indices[b]
+        if not indices.size:
+            out.append(0)
+            continue
+        greedy = _greedy_cover_arrays(fused.batch._indptrs[b], indices)
+        out.append(min(int(matching[b]), greedy))
+    return out
+
+
+def batch_biconnected_counts(fused: FusedBatch) -> List[int]:
+    """Per-ball biconnected-component counts, one Tarjan pass.
+
+    The union's biconnected components are exactly the union of each
+    ball's (blocks never span disconnected parts), and the fused DFS
+    visits roots in concatenation order — i.e. each ball's roots in
+    local index order, same as :func:`count_biconnected_csr` per ball —
+    so attributing each pop event to its node's ball reproduces the
+    per-ball counts exactly.
+    """
+    counts = [0] * len(fused)
+    n = int(fused.node_offsets[-1])
+    indptr = fused.indptr.tolist()
+    indices = fused.indices.tolist()
+    ball_of = fused.ball_of_node.tolist()
+    depth = [-1] * n
+    low = [0] * n
+    parent = [-1] * n
+    ptr = list(indptr[:-1])
+    for root in range(n):
+        if depth[root] >= 0:
+            continue
+        depth[root] = 0
+        low[root] = 0
+        stack = [root]
+        while stack:
+            u = stack[-1]
+            if ptr[u] < indptr[u + 1]:
+                v = indices[ptr[u]]
+                ptr[u] += 1
+                if depth[v] < 0:
+                    depth[v] = depth[u] + 1
+                    low[v] = depth[v]
+                    parent[v] = u
+                    stack.append(v)
+                elif v != parent[u] and depth[v] < low[u]:
+                    low[u] = depth[v]
+            else:
+                stack.pop()
+                if stack:
+                    p = stack[-1]
+                    if low[u] >= depth[p]:
+                        counts[ball_of[u]] += 1
+                    if low[u] < low[p]:
+                        low[p] = low[u]
+    return counts
+
+
+# ----------------------------------------------------------------------
 # Vertex cover kernels (canonical twins live in repro.graph.cover)
 # ----------------------------------------------------------------------
 
-def handshake_matching_flags(csr: CSRGraph) -> np.ndarray:
-    """Matched flags of the canonical handshake matching, vectorized.
+def _handshake_matching_arrays(indptr, indices) -> np.ndarray:
+    """:func:`handshake_matching_flags` on bare CSR arrays.
 
-    Rounds mirror :func:`repro.graph.cover._handshake_matching`: every
-    unmatched node proposes its minimum-index unmatched neighbor
-    (``np.minimum.at`` over the live edge set) and mutual proposals
-    match.  Terminates because the minimum-index active node is always
-    mutually matched each round.
+    Shared by the scalar wrapper and the fused batch kernels — the
+    rounds only touch ``indptr``/``indices``, never node labels.
     """
-    n = csr.number_of_nodes()
+    n = len(indptr) - 1
     matched = np.zeros(n, dtype=bool)
-    if not csr.indices.size:
+    if not len(indices):
         return matched
     src = np.repeat(
-        np.arange(n, dtype=np.int64), np.diff(csr.indptr.astype(np.int64))
+        np.arange(n, dtype=np.int64), np.diff(np.asarray(indptr, dtype=np.int64))
     )
-    dst = csr.indices.astype(np.int64)
+    dst = np.asarray(indices, dtype=np.int64)
     idx = np.arange(n, dtype=np.int64)
     while True:
         live = ~(matched[src] | matched[dst])
@@ -412,25 +683,30 @@ def handshake_matching_flags(csr: CSRGraph) -> np.ndarray:
         matched[proposal[candidates]] = True
 
 
+def handshake_matching_flags(csr: CSRGraph) -> np.ndarray:
+    """Matched flags of the canonical handshake matching, vectorized.
+
+    Rounds mirror :func:`repro.graph.cover._handshake_matching`: every
+    unmatched node proposes its minimum-index unmatched neighbor
+    (``np.minimum.at`` over the live edge set) and mutual proposals
+    match.  Terminates because the minimum-index active node is always
+    mutually matched each round.
+    """
+    return _handshake_matching_arrays(csr.indptr, csr.indices)
+
+
 def matching_cover_size(csr: CSRGraph) -> int:
     """Size of the handshake-matching vertex cover (both endpoints)."""
     return int(handshake_matching_flags(csr).sum())
 
 
-def greedy_cover_size(csr: CSRGraph) -> int:
-    """Size of the canonical max-degree greedy cover.
-
-    Mirrors :func:`repro.graph.cover._greedy_cover`: repeatedly remove
-    the maximum-residual-degree node (``np.argmax`` breaks ties toward
-    the minimum index, exactly like the twin's strict-``>`` scan).
-    """
-    deg = np.diff(csr.indptr.astype(np.int64))
+def _greedy_cover_arrays(indptr, indices) -> int:
+    """:func:`greedy_cover_size` on bare CSR arrays (label-agnostic)."""
+    deg = np.diff(np.asarray(indptr, dtype=np.int64))
     uncovered = int(deg.sum()) // 2
     if uncovered == 0:
         return 0
-    deg = deg.copy()
     removed = np.zeros(len(deg), dtype=bool)
-    indptr, indices = csr.indptr, csr.indices
     picked = 0
     while uncovered > 0:
         best = int(np.argmax(np.where(removed, -1, deg)))
@@ -441,6 +717,16 @@ def greedy_cover_size(csr: CSRGraph) -> int:
         deg[live] -= 1
         picked += 1
     return picked
+
+
+def greedy_cover_size(csr: CSRGraph) -> int:
+    """Size of the canonical max-degree greedy cover.
+
+    Mirrors :func:`repro.graph.cover._greedy_cover`: repeatedly remove
+    the maximum-residual-degree node (``np.argmax`` breaks ties toward
+    the minimum index, exactly like the twin's strict-``>`` scan).
+    """
+    return _greedy_cover_arrays(csr.indptr, csr.indices)
 
 
 def vertex_cover_size_csr(csr: CSRGraph) -> int:

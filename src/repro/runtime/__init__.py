@@ -16,6 +16,10 @@ restarting:
   lease files (:class:`ShardLease`), and a crash-safe merge
   (:func:`merge_segments`) that reassembles a canonical journal
   byte-identical to an unsharded run;
+* :mod:`repro.runtime.shm` — zero-copy shared-memory worker transport:
+  :func:`publish` puts a frozen graph's CSR arrays in one
+  ``/dev/shm`` segment that workers :func:`attach` to by name, with
+  refcounted unlink and a copy-transport fallback;
 * :class:`FaultPlan` / ``REPRO_FAULTS`` — deterministic fault injection
   (crash / hang / garbage) so every recovery path is exercised in tests
   and CI chaos runs;
@@ -53,6 +57,15 @@ from repro.runtime.shards import (
     shard_report_path,
     shard_segment_path,
     write_manifest,
+)
+from repro.runtime.shm import (
+    SEGMENT_PREFIX,
+    SegmentHandle,
+    SharedGraph,
+    active_segments,
+    attach,
+    publish,
+    stray_segments,
 )
 from repro.runtime.status import (
     CenterStatus,
@@ -97,6 +110,13 @@ __all__ = [
     "shard_report_path",
     "shard_segment_path",
     "write_manifest",
+    "SEGMENT_PREFIX",
+    "SegmentHandle",
+    "SharedGraph",
+    "active_segments",
+    "attach",
+    "publish",
+    "stray_segments",
     "CenterStatus",
     "RunReport",
     "SeriesStatus",

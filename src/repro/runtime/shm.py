@@ -1,0 +1,248 @@
+"""Zero-copy shared-memory transport for frozen CSR graphs.
+
+Worker processes historically received the graph as pickled CSR arrays
+through the pool initializer: cheap relative to the dict-of-sets days,
+but still one full copy of ``indptr``/``indices`` per worker per pool
+spin-up — and the supervised runtime respawns pools on every break.
+This module publishes the two arrays once into a
+:mod:`multiprocessing.shared_memory` segment; workers attach read-only
+**by name** and wrap zero-copy numpy views, so a respawned pool costs a
+handle pickle (segment name + node labels) instead of an array copy.
+
+Layout
+------
+One segment per published graph, named ``repro-csr-<pid>-<seq>``:
+``indptr`` bytes (int32, n+1 entries) followed immediately by
+``indices`` bytes (int32, 2m entries).  The :class:`SegmentHandle`
+shipped to workers carries the name, the two lengths and the node
+labels (a ``range`` for streamed graphs — O(1) to pickle).
+
+Lifecycle
+---------
+* :func:`publish` creates (or re-acquires) the segment for a given
+  :class:`~repro.graph.csr.CSRGraph` and returns a refcounted
+  :class:`SharedGraph`.  Publications are registered per ``id(csr)``
+  so the engine and the service's ``GraphStore`` share one segment.
+* :meth:`SharedGraph.release` drops one reference; the last release
+  unlinks the segment.  Pool *respawns* never release — the engine
+  holds its reference across the whole compute (including exception
+  paths), so a ``BrokenProcessPool`` cannot leak or lose the segment.
+* Workers call :func:`attach` (via the pickled handle); attaching
+  never takes a reference — the parent's refcount is the only owner.
+  Attached segments are closed when the worker exits.
+* SIGKILL backstop: the creating process's ``resource_tracker`` (a
+  separate process) outlives a SIGKILLed parent and unlinks every
+  still-registered segment, so chaos kills cannot leak ``/dev/shm``.
+  Workers share the publisher's tracker (the fd is inherited under
+  fork and spawn alike), so ≤3.12's attach-side auto-registration
+  collapses into the publisher's entry — a worker exiting early never
+  destroys the live segment, and the publisher's ``unlink`` clears
+  the tracker exactly once.
+
+:func:`publish` returns ``None`` when shared memory is unavailable
+(platform without ``/dev/shm``, permission errors, zero-byte graphs);
+callers fall back to copy transport (plain pickling) with identical
+results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+try:  # pragma: no cover - stdlib, but gate the exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Every segment this module creates is named with this prefix, so leak
+#: checks (tests, CI) can scan ``/dev/shm`` for strays.
+SEGMENT_PREFIX = "repro-csr-"
+
+_ITEMSIZE = np.dtype(np.int32).itemsize
+
+_lock = threading.Lock()
+_seq = 0
+#: id(csr) -> live publication, so concurrent publishers of the same
+#: frozen graph (engine pass + GraphStore pin) share one segment.
+_registry: Dict[int, "SharedGraph"] = {}
+#: Attached segments are pinned for the worker's lifetime: closing a
+#: segment with live numpy views raises ``BufferError``.
+_attached: List[object] = []
+
+
+def _next_name() -> str:
+    global _seq
+    _seq += 1
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{_seq}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentHandle:
+    """Everything a worker needs to attach: name, lengths, labels."""
+
+    name: str
+    indptr_len: int
+    indices_len: int
+    nodes: Union[range, list]
+    graph_name: str
+
+
+class SharedGraph:
+    """A refcounted shared-memory publication of one CSR graph.
+
+    Create through :func:`publish`; never instantiate directly.  The
+    reference count starts at 1 (the publisher's); :meth:`acquire`
+    and :meth:`release` are thread-safe, and the final release unlinks
+    the segment and drops it from the registry.
+    """
+
+    __slots__ = ("csr", "handle", "_shm", "_refs", "_key")
+
+    def __init__(self, csr: CSRGraph, shm, handle: SegmentHandle, key: int):
+        self.csr = csr
+        self.handle = handle
+        self._shm = shm
+        self._refs = 1
+        self._key = key
+
+    @property
+    def alive(self) -> bool:
+        return self._shm is not None
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    def acquire(self) -> "SharedGraph":
+        with _lock:
+            if self._shm is None:
+                raise RuntimeError(f"segment {self.handle.name} already unlinked")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last one unlinks the segment."""
+        with _lock:
+            if self._shm is None:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            shm, self._shm = self._shm, None
+            if _registry.get(self._key) is self:
+                del _registry[self._key]
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a view outlived us
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+
+def publish(csr: CSRGraph) -> Optional[SharedGraph]:
+    """Publish ``csr``'s arrays to shared memory (or re-acquire).
+
+    Returns a :class:`SharedGraph` holding one reference, or ``None``
+    when shared memory cannot be used here (caller falls back to copy
+    transport).  Publishing the same ``csr`` object again while a
+    publication is live re-acquires it instead of creating a second
+    segment.
+    """
+    if _shared_memory is None:  # pragma: no cover - exotic platforms
+        return None
+    key = id(csr)
+    with _lock:
+        existing = _registry.get(key)
+        if existing is not None and existing._shm is not None:
+            existing._refs += 1
+            return existing
+    nbytes = csr.indptr.nbytes + csr.indices.nbytes
+    if nbytes == 0:
+        return None  # nothing worth a segment; pickle is fine
+    try:
+        shm = _shared_memory.SharedMemory(
+            name=_next_name(), create=True, size=nbytes
+        )
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm, EPERM
+        return None
+    split = csr.indptr.nbytes
+    np.frombuffer(shm.buf, dtype=np.int32, count=len(csr.indptr))[:] = csr.indptr
+    np.frombuffer(
+        shm.buf, dtype=np.int32, count=len(csr.indices), offset=split
+    )[:] = csr.indices
+    handle = SegmentHandle(
+        name=shm.name,
+        indptr_len=len(csr.indptr),
+        indices_len=len(csr.indices),
+        nodes=csr.node_list(),
+        graph_name=csr.name,
+    )
+    published = SharedGraph(csr, shm, handle, key)
+    with _lock:
+        _registry[key] = published
+    return published
+
+
+def attach(handle: SegmentHandle) -> CSRGraph:
+    """Attach to a published segment and wrap zero-copy CSR views.
+
+    Runs in worker processes (driven by ``_ComputeContext``'s pickle
+    reduction).  The returned graph's arrays alias the shared segment
+    directly — no copy — and are read-only like every ``CSRGraph``.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        raise RuntimeError("shared memory unavailable; cannot attach")
+    try:
+        shm = _shared_memory.SharedMemory(name=handle.name, create=False, track=False)
+    except TypeError:  # pragma: no cover - track= is 3.13+
+        # ≤3.12 registers attachments with the resource tracker too.
+        # Every attacher here shares the *publisher's* tracker (pool
+        # workers inherit its fd under fork and spawn alike), and the
+        # tracker's cache is a set — so this duplicate registration
+        # collapses into the publisher's entry and the publisher's
+        # ``unlink()`` removes it exactly once.  Do NOT unregister from
+        # the worker: that would strip the SIGKILL backstop and make
+        # the publisher's own unregister a tracker-visible KeyError.
+        shm = _shared_memory.SharedMemory(name=handle.name, create=False)
+    _attached.append(shm)
+    indptr = np.frombuffer(shm.buf, dtype=np.int32, count=handle.indptr_len)
+    indices = np.frombuffer(
+        shm.buf,
+        dtype=np.int32,
+        count=handle.indices_len,
+        offset=handle.indptr_len * _ITEMSIZE,
+    )
+    return CSRGraph(indptr, indices, handle.nodes, name=handle.graph_name)
+
+
+def active_segments() -> List[str]:
+    """Names of this process's live publications (for leak assertions)."""
+    with _lock:
+        return sorted(
+            pub.handle.name for pub in _registry.values() if pub.alive
+        )
+
+
+def stray_segments() -> List[str]:
+    """``/dev/shm`` entries matching our prefix, live or leaked.
+
+    Empty on platforms without a ``/dev/shm`` filesystem; chaos tests
+    assert this returns ``[]`` once every engine/service pass is done.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    try:
+        entries = os.listdir(root)
+    except OSError:  # pragma: no cover
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))

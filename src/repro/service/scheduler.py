@@ -43,6 +43,7 @@ from repro.engine.cache import SeriesCache, cache_key, graph_fingerprint
 from repro.graph.csr import CSRGraph, csr_from_graph
 from repro.graph.io import read_edgelist
 from repro.runtime import RuntimePolicy
+from repro.runtime import shm as _shm
 from repro.service.protocol import (
     ERR_BUSY,
     ERR_DRAINING,
@@ -61,13 +62,23 @@ class GraphStore:
     work.  An entry is invalidated when the file's (mtime_ns, size)
     changes, so overwriting an edge list is picked up on the next
     request.
+
+    With ``share=True`` (the daemon's default when it runs worker
+    processes) the store also pins one shared-memory publication per
+    cached graph: engine passes over the same graph then re-acquire the
+    store's segment instead of republishing per pass, and a respawned
+    pool attaches to memory that was never re-copied.  The pinned
+    references are dropped on LRU eviction, stamp invalidation, and
+    :meth:`close` — the daemon's drain path calls :meth:`close`, so a
+    clean shutdown leaves ``/dev/shm`` empty.
     """
 
-    def __init__(self, capacity: int = 8):
+    def __init__(self, capacity: int = 8, share: bool = False):
         self.capacity = int(capacity)
+        self.share = bool(share)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Tuple]" = OrderedDict()
-        self.stats = {"hits": 0, "loads": 0}
+        self.stats = {"hits": 0, "loads": 0, "shared": 0}
 
     def load(self, path: str) -> Tuple[CSRGraph, str]:
         """``(frozen graph, fingerprint)`` for an edge-list path."""
@@ -90,13 +101,31 @@ class GraphStore:
             raise ProtocolError(ERR_NOT_FOUND, f"{path}: {message}") from exc
         csr = csr_from_graph(graph)
         fingerprint = graph_fingerprint(csr)
+        segment = _shm.publish(csr) if self.share else None
+        if segment is not None:
+            self.stats["shared"] += 1
+        evicted: List[Tuple] = []
         with self._lock:
-            self._entries[real] = (stamp, csr, fingerprint)
-            self._entries.move_to_end(real)
+            stale = self._entries.pop(real, None)
+            if stale is not None:
+                evicted.append(stale)
+            self._entries[real] = (stamp, csr, fingerprint, segment)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False)[1])
             self.stats["loads"] += 1
+        for entry in evicted:
+            if entry[3] is not None:
+                entry[3].release()
         return csr, fingerprint
+
+    def close(self) -> None:
+        """Drop every cached graph and its pinned shm reference."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            if entry[3] is not None:
+                entry[3].release()
 
 
 @dataclasses.dataclass

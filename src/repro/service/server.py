@@ -88,7 +88,10 @@ class ReproServer:
             use_cache=use_cache,
             cache=self.cache,
             policy=runtime,
-            graphs=GraphStore(),
+            # With worker processes, pin each cached graph's shm segment
+            # so every engine pass (and pool respawn) attaches to the
+            # same memory instead of republishing.
+            graphs=GraphStore(share=workers > 0),
         )
         self.drain = DrainSignal()
         self._listeners: List[socket.socket] = []
@@ -204,6 +207,9 @@ class ReproServer:
         # connections: clients blocked on an admitted request must get
         # their answer.
         self.scheduler.stop()
+        # Drop the graph store's pinned shm segments *after* the last
+        # engine pass: a drained daemon leaves /dev/shm empty.
+        self.scheduler.graphs.close()
         with self._conn_lock:
             connections = list(self._connections)
         for conn in connections:

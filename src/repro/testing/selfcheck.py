@@ -1,6 +1,6 @@
 """The ``repro selfcheck`` differential/fuzzing harness.
 
-Runs eleven families of checks over seeded random inputs and reports a
+Runs twelve families of checks over seeded random inputs and reports a
 single pass/fail verdict, so one command answers "are the metric
 implementations still trustworthy?":
 
@@ -46,6 +46,15 @@ implementations still trustworthy?":
     (``count_biconnected_csr`` vs. the Tarjan dict walk) and *cover*
     (``vertex_cover_size_csr`` vs. the matching/greedy heuristic) — all
     bitwise, plus ``BallBatch`` sub-CSRs vs. per-ball induced subgraphs.
+``batch``
+    Fused batch execution vs. the per-ball oracle: every segmented
+    kernel over a :class:`~repro.graph.kernels.FusedBatch` sliced back
+    per ball vs. a ``sub_csr`` loop, the ``distortion_csr_batch``/
+    ``resilience_csr_batch`` entry points vs. their scalar twins under
+    one shared RNG stream (same draws, same order, same final RNG
+    state), ``MetricEngine(use_batch=True)`` vs. ``False`` across all
+    seven series, and a shared-memory publish/attach/release round-trip
+    that must be bitwise lossless and leave ``/dev/shm`` clean.
 ``faults``
     The fault-tolerant runtime (:mod:`repro.runtime`): injected crashes
     and garbage results are retried to a bitwise-identical run,
@@ -932,6 +941,152 @@ def _check_kernels(rng: random.Random, report: FamilyReport) -> None:
             fail(f"BallBatch.sub_csr({i}) != induced_subgraph on ball {i}")
 
 
+def _check_batch(rng: random.Random, report: FamilyReport) -> None:
+    """Differential checks: fused batch execution vs. the per-ball oracle.
+
+    Three sub-streams: *segmented kernels* (every fused kernel sliced
+    back per ball vs. a ``sub_csr`` loop), *batch metric entry points*
+    (``distortion_csr_batch``/``resilience_csr_batch`` vs. the scalar
+    twins under one shared RNG stream — which also proves the batch
+    path makes the identical draws in the identical order), and
+    *engine + transport* (``use_batch`` on vs. off across all seven
+    series, plus a shared-memory publish/attach round-trip that must
+    hand back bitwise-identical arrays and leave no live segment).
+    """
+    import numpy as np
+
+    from repro.engine import MetricEngine, MetricRequest
+    from repro.graph import kernels as kernels_mod
+    from repro.graph import kernels_flow as flow_mod
+    from repro.graph import kernels_trees as trees_mod
+    from repro.runtime import shm as shm_mod
+
+    def fail(msg: str) -> None:
+        report.failures.append(CheckFailure(report.family, report.checks, msg))
+
+    # --- segmented kernels: fused union == per-ball sub_csr loop ------
+    report.checks += 1
+    g = random_graph(rng, 4, 24)
+    csr = g.freeze()
+    n = csr.number_of_nodes()
+    members_list = []
+    for _ in range(rng.randint(0, 4)):
+        dist0 = kernels_mod.bfs_levels(csr, rng.randrange(n))
+        members_list.append(
+            kernels_mod.ball_members(dist0, rng.randint(0, 4))
+        )
+    batch = kernels_mod.BallBatch(csr, members_list)
+    fused = kernels_mod.FusedBatch(batch)
+    subs = [batch.sub_csr(i) for i in range(len(batch))]
+    degs = kernels_mod.fused_degrees(fused)
+    sources = np.array(
+        [
+            int(fused.node_offsets[b]) if fused.ball_size(b) else -1
+            for b in range(len(fused))
+        ],
+        dtype=np.int64,
+    )
+    dist = kernels_mod.fused_bfs_levels(fused, sources)
+    counts = kernels_mod.fused_level_counts(fused, dist)
+    matching = kernels_mod.batch_matching_cover_sizes(fused)
+    covers = kernels_mod.batch_vertex_cover_sizes(fused)
+    biconn = kernels_mod.batch_biconnected_counts(fused)
+    for i, sub in enumerate(subs):
+        lo, hi = int(fused.node_offsets[i]), int(fused.node_offsets[i + 1])
+        if not np.array_equal(degs[lo:hi], kernels_mod.degree_vector(sub)):
+            fail(f"fused_degrees slice != degree_vector on ball {i}")
+        if sub.number_of_nodes():
+            solo_dist = kernels_mod.bfs_levels(sub, 0)
+            if not np.array_equal(dist[lo:hi], solo_dist):
+                fail(f"fused_bfs_levels slice != bfs_levels on ball {i}")
+            if not np.array_equal(
+                counts[i], kernels_mod.level_counts(solo_dist)
+            ):
+                fail(f"fused_level_counts != level_counts on ball {i}")
+        if int(matching[i]) != kernels_mod.matching_cover_size(sub):
+            fail(f"batch_matching_cover_sizes != twin on ball {i}")
+        if covers[i] != kernels_mod.vertex_cover_size_csr(sub):
+            fail(f"batch_vertex_cover_sizes != twin on ball {i}")
+        if biconn[i] != kernels_mod.count_biconnected_csr(sub):
+            fail(f"batch_biconnected_counts != twin on ball {i}")
+
+    # --- batch metric entry points: one shared RNG stream -------------
+    report.checks += 1
+    stream = rng.getrandbits(32)
+    solo_rng, batch_rng = random.Random(stream), random.Random(stream)
+    want = [trees_mod.distortion_csr(sub, rng=solo_rng) for sub in subs]
+    got = trees_mod.distortion_csr_batch(fused, rng=batch_rng)
+    if [repr(v) for v in want] != [repr(v) for v in got]:
+        fail(f"distortion_csr_batch {got} != per-ball twin {want}")
+    if solo_rng.getrandbits(64) != batch_rng.getrandbits(64):
+        fail("distortion_csr_batch left the RNG stream in a different state")
+
+    report.checks += 1
+    stream = rng.getrandbits(32)
+    solo_rng, batch_rng = random.Random(stream), random.Random(stream)
+    want = [
+        flow_mod.resilience_csr(sub, rng=solo_rng, trials=3) for sub in subs
+    ]
+    got = flow_mod.resilience_csr_batch(fused, rng=batch_rng, trials=3)
+    if [repr(v) for v in want] != [repr(v) for v in got]:
+        fail(f"resilience_csr_batch {got} != per-ball twin {want}")
+    if solo_rng.getrandbits(64) != batch_rng.getrandbits(64):
+        fail("resilience_csr_batch left the RNG stream in a different state")
+
+    # --- engine: use_batch on == off across all seven series ----------
+    report.checks += 1
+    ge = random_connected_graph(rng, 8, 16)
+    seed = rng.getrandbits(16)
+    requests = [
+        MetricRequest(name, num_centers=3, seed=seed)
+        for name in (
+            "expansion",
+            "resilience",
+            "distortion",
+            "vertex_cover",
+            "biconnectivity",
+            "clustering",
+            "path_length",
+        )
+    ]
+    fused_run = MetricEngine(use_cache=False, use_batch=True).compute(
+        ge, requests
+    )
+    oracle_run = MetricEngine(use_cache=False, use_batch=False).compute(
+        ge, requests
+    )
+    for name in fused_run:
+        if repr(fused_run[name]) != repr(oracle_run[name]):
+            fail(f"use_batch engine series {name!r} != per-ball series")
+
+    # --- transport: shm publish/attach round-trip, refcounted unlink --
+    report.checks += 1
+    published = shm_mod.publish(csr)
+    if published is None:
+        report.checks -= 1  # no /dev/shm here; fall back silently
+    else:
+        name = published.handle.name
+        attached = shm_mod.attach(published.handle)
+        if not (
+            np.array_equal(attached.indptr, csr.indptr)
+            and np.array_equal(attached.indices, csr.indices)
+            and attached.node_list() == csr.node_list()
+        ):
+            fail("attached shared-memory graph != published CSR")
+        again = shm_mod.publish(csr)
+        if again is not published:
+            fail("re-publishing a live CSR must re-acquire the segment")
+            if again is not None:
+                again.release()
+        else:
+            again.release()
+        published.release()
+        if published.alive or name in shm_mod.active_segments():
+            fail("released segment still registered as active")
+        if name in shm_mod.stray_segments():
+            fail(f"segment {name} leaked in /dev/shm after final release")
+
+
 def _check_service(rng: random.Random, report: FamilyReport) -> None:
     """Differential checks: the ``repro serve`` daemon vs. the engine.
 
@@ -1212,6 +1367,7 @@ _FAMILIES: Dict[str, tuple] = {
     "csr": (_check_csr, 1),
     "streaming": (_check_streaming, 1),
     "kernels": (_check_kernels, 1),
+    "batch": (_check_batch, 2),
     "service": (_check_service, 3),
     "shards": (_check_shards, 3),
 }

@@ -240,7 +240,7 @@ def test_cache_hit_returns_identical_series(tmp_path):
     first = eng.compute_one(graph, "resilience", **BALL_PARAMS)
     assert eng.stats == {
         "cache_hits": 0, "cache_misses": 1, "centers_computed": 4,
-        "journal_skipped": 0,
+        "journal_skipped": 0, "shm_published": 0, "shm_reused": 0,
     }
     second = eng.compute_one(graph, "resilience", **BALL_PARAMS)
     assert second == first  # bitwise through the JSON round-trip

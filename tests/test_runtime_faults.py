@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import signal
 import subprocess
 import sys
 import time
 
+import numpy as np
 import pytest
 
 from repro.engine import MetricEngine, MetricRequest
@@ -37,6 +39,7 @@ from repro.runtime import (
     RuntimePolicy,
     read_journal_records,
 )
+from repro.runtime import shm
 
 pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
 
@@ -213,6 +216,79 @@ def test_persistent_parallel_crasher_is_degraded_to_serial(baseline):
     assert engine.compute(g, REQUESTS) == expected
     status = engine.last_run.metrics["resilience"]
     assert status.states[1] == STATE_RETRIED
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport: a leaked segment is a bug
+# ----------------------------------------------------------------------
+
+def assert_no_shm_leak():
+    """No live publisher-side segments, nothing stranded in /dev/shm."""
+    assert shm.active_segments() == []
+    assert shm.stray_segments() == []
+
+
+def test_shm_transport_is_bitwise_identical_and_leak_free(baseline):
+    g, expected = baseline
+    engine = MetricEngine(workers=2, use_cache=False, transport="shm")
+    assert engine.compute(g, REQUESTS) == expected
+    assert engine.stats["shm_published"] == 1
+    assert_no_shm_leak()
+
+
+def test_shm_released_after_worker_crash_respawn(baseline):
+    g, expected = baseline
+    plan = FaultPlan.parse("crash:resilience:1")
+    engine = MetricEngine(
+        workers=2,
+        use_cache=False,
+        transport="shm",
+        runtime=quiet_policy(retries=2, faults=plan),
+    )
+    assert engine.compute(g, REQUESTS) == expected
+    assert engine.last_run.ok
+    assert_no_shm_leak()
+
+
+def test_shm_released_when_dispatch_raises(baseline, monkeypatch):
+    """The engine's try/finally must drop the segment even when the
+    pool dispatch itself explodes (e.g. an unrecoverable respawn)."""
+    g, _ = baseline
+    engine = MetricEngine(workers=2, use_cache=False, transport="shm")
+
+    def boom(self, ctx, plans, tasks):
+        assert shm.active_segments()  # published before dispatch
+        raise RuntimeError("dispatch exploded")
+
+    monkeypatch.setattr(MetricEngine, "_execute_parallel", boom)
+    with pytest.raises(RuntimeError, match="dispatch exploded"):
+        engine.compute(g, REQUESTS)
+    assert_no_shm_leak()
+
+
+def test_compute_context_pickle_round_trip_and_copy_fallback(baseline):
+    from repro.engine.core import _ComputeContext
+
+    g, _ = baseline
+    csr = g.freeze()
+    ctx = _ComputeContext(csr)
+    assert ctx.publish("shm")
+    # While the segment is alive, workers reconstruct by name: the
+    # pickled payload is a handle, not the arrays.
+    live = pickle.loads(pickle.dumps(ctx))
+    assert np.array_equal(live.csr.indptr, csr.indptr)
+    assert np.array_equal(live.csr.indices, csr.indices)
+    assert live.use_csr == ctx.use_csr and live.use_batch == ctx.use_batch
+    ctx.release()
+    ctx.release()  # idempotent on double release
+    assert_no_shm_leak()
+    # After release the context degrades to the copy transport: it must
+    # still pickle (exception paths serialize contexts too), shipping
+    # the arrays by value.
+    plain = pickle.loads(pickle.dumps(ctx))
+    assert np.array_equal(plain.csr.indptr, csr.indptr)
+    assert np.array_equal(plain.csr.indices, csr.indices)
+    assert_no_shm_leak()
 
 
 # ----------------------------------------------------------------------

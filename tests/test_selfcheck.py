@@ -85,6 +85,7 @@ def test_run_selfcheck_passes_and_reports_all_families():
         "csr",
         "streaming",
         "kernels",
+        "batch",
         "service",
         "shards",
     ]
@@ -289,6 +290,84 @@ def test_selfcheck_catches_kernel_cover_off_by_one(monkeypatch):
     assert not report.ok
     messages = " ".join(f.message for f in report.families[0].failures)
     assert "cover" in messages
+
+
+def test_selfcheck_catches_fused_bfs_off_by_one(monkeypatch):
+    """Batch family: a planted +1 on every non-root fused BFS level
+    desyncs the fused sweep from the per-ball ``bfs_levels`` loop."""
+    from repro.graph import kernels
+
+    real = kernels.fused_bfs_levels
+
+    def off_by_one(fused, sources):
+        dist = real(fused, sources).copy()
+        dist[dist > 0] += 1
+        return dist
+
+    monkeypatch.setattr(kernels, "fused_bfs_levels", off_by_one)
+    report = run_selfcheck(
+        rounds=8, seed=0, families=["batch"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "fused_bfs_levels" in messages
+
+
+def test_selfcheck_catches_fused_tree_total_off_by_one(monkeypatch):
+    """Batch family: a planted +1 in the fused LCA tree-distance totals
+    desyncs ``distortion_csr_batch`` from the scalar twin."""
+    from repro.graph import kernels_trees
+
+    real = kernels_trees._fused_tree_totals
+
+    def off_by_one(fused, parent, depth):
+        return real(fused, parent, depth) + 1
+
+    monkeypatch.setattr(kernels_trees, "_fused_tree_totals", off_by_one)
+    report = run_selfcheck(
+        rounds=8, seed=0, families=["batch"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "distortion_csr_batch" in messages
+
+
+def test_selfcheck_catches_batch_matching_off_by_one(monkeypatch):
+    """Batch family: the fused handshake matching drifting by one node
+    must flip both the matching and vertex-cover batch checks red."""
+    from repro.graph import kernels
+
+    real = kernels.batch_matching_cover_sizes
+
+    def off_by_one(fused):
+        return real(fused) + 1
+
+    monkeypatch.setattr(kernels, "batch_matching_cover_sizes", off_by_one)
+    report = run_selfcheck(
+        rounds=8, seed=0, families=["batch"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "matching" in messages
+
+
+def test_selfcheck_catches_batch_resilience_drift(monkeypatch):
+    """Batch family: a batched resilience value drifting off the scalar
+    twin's floats must flip the family red."""
+    from repro.graph import kernels_flow
+
+    real = kernels_flow.resilience_csr_batch
+
+    def drifted(fused, rng=None, trials=3):
+        return [value + 1.0 for value in real(fused, rng=rng, trials=trials)]
+
+    monkeypatch.setattr(kernels_flow, "resilience_csr_batch", drifted)
+    report = run_selfcheck(
+        rounds=8, seed=0, families=["batch"], out=lambda _: None
+    )
+    assert not report.ok
+    messages = " ".join(f.message for f in report.families[0].failures)
+    assert "resilience_csr_batch" in messages
 
 
 def test_selfcheck_catches_builder_chunk_off_by_one(monkeypatch):

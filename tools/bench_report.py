@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""One-table trend report across every benchmark artifact.
+
+The perf suites each write their own JSON (``BENCH_engine.json`` from
+the shared-ball engine duel, ``BENCH_csr.json`` from the CSR/fused
+kernel gates, ``BENCH_scale.json`` from the streaming-RSS duel), which
+makes eyeballing a regression across PRs a three-file chore.  This tool
+flattens all of them into a single aligned table:
+
+    source        series                          size  baseline  optimized  ratio
+    BENCH_csr     fused_batch/distortion         10000    0.0901     0.0323  2.79x
+
+``ratio`` is speedup (baseline/optimized seconds) except for the scale
+rows, where it is the RSS fraction (streaming/dict — smaller is
+better, marked ``rss``).  Missing artifacts are listed and skipped, so
+the report works from any subset (e.g. a perf-smoke run that only
+produced ``BENCH_csr.json``).
+
+Usage: python tools/bench_report.py [--dir REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+Row = tuple  # (source, series, size, baseline_s, optimized_s, ratio, kind)
+
+
+def _row(source, series, size, baseline, optimized, ratio, kind="x"):
+    return (source, series, size, baseline, optimized, ratio, kind)
+
+
+def rows_engine(record) -> list:
+    return [
+        _row(
+            "BENCH_engine",
+            "shared-ball engine vs legacy",
+            record.get("nodes"),
+            record.get("legacy_seconds"),
+            record.get("engine_seconds"),
+            record.get("speedup"),
+        )
+    ]
+
+
+def rows_csr(record) -> list:
+    rows = []
+    for entry in record.get("sizes", []):
+        n = entry.get("n")
+        for series, payload in (
+            ("bfs_sweep", entry.get("bfs_sweep")),
+            ("expansion_series", entry.get("expansion_series")),
+        ):
+            if payload:
+                rows.append(
+                    _row(
+                        "BENCH_csr",
+                        series,
+                        n,
+                        payload.get("dict_seconds"),
+                        payload.get("csr_seconds"),
+                        payload.get("speedup"),
+                    )
+                )
+        for name, payload in (entry.get("metric_cores") or {}).items():
+            if isinstance(payload, dict):
+                rows.append(
+                    _row(
+                        "BENCH_csr",
+                        f"metric_cores/{name}",
+                        n,
+                        payload.get("dict_seconds"),
+                        payload.get("csr_seconds"),
+                        payload.get("speedup"),
+                    )
+                )
+        for name, payload in (entry.get("fused_batch") or {}).items():
+            if isinstance(payload, dict):
+                rows.append(
+                    _row(
+                        "BENCH_csr",
+                        f"fused_batch/{name}",
+                        n,
+                        payload.get("per_ball_seconds"),
+                        payload.get("fused_seconds"),
+                        payload.get("speedup"),
+                    )
+                )
+        transport = entry.get("transport")
+        if transport:
+            rows.append(
+                _row(
+                    "BENCH_csr",
+                    "transport shm vs copy (wall)",
+                    n,
+                    transport.get("copy_wall_seconds"),
+                    transport.get("shm_wall_seconds"),
+                    transport.get("speedup"),
+                )
+            )
+    return rows
+
+
+def rows_scale(record) -> list:
+    rows = []
+    for entry in record.get("time_to_frozen", []):
+        if "dict_seconds" in entry:
+            rows.append(
+                _row(
+                    "BENCH_scale",
+                    "stream vs dict build",
+                    entry.get("n"),
+                    entry.get("dict_seconds"),
+                    entry.get("stream_seconds"),
+                    round(entry["dict_seconds"] / entry["stream_seconds"], 3)
+                    if entry.get("stream_seconds")
+                    else None,
+                )
+            )
+            rows.append(
+                _row(
+                    "BENCH_scale",
+                    "stream RSS fraction",
+                    entry.get("n"),
+                    entry.get("dict_rss_kb"),
+                    entry.get("stream_rss_kb"),
+                    entry.get("rss_fraction"),
+                    kind="rss",
+                )
+            )
+    million = record.get("million_node")
+    if million:
+        rows.append(
+            _row(
+                "BENCH_scale",
+                "million-node streamed build",
+                million.get("n"),
+                None,
+                million.get("build_seconds"),
+                None,
+            )
+        )
+    return rows
+
+
+PARSERS = {
+    "BENCH_engine.json": rows_engine,
+    "BENCH_csr.json": rows_csr,
+    "BENCH_scale.json": rows_scale,
+}
+
+
+def _fmt(value, kind=None) -> str:
+    if value is None:
+        return "-"
+    if kind == "x":
+        return f"{value}x"
+    if kind == "rss":
+        return f"{value} rss"
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def build_report(root: str):
+    rows, missing = [], []
+    for filename, parse in PARSERS.items():
+        path = os.path.join(root, filename)
+        if not os.path.exists(path):
+            missing.append(filename)
+            continue
+        with open(path, encoding="utf-8") as handle:
+            rows.extend(parse(json.load(handle)))
+    return rows, missing
+
+
+def render(rows) -> str:
+    header = ("source", "series", "size", "baseline", "optimized", "ratio")
+    table = [header]
+    for source, series, size, baseline, optimized, ratio, kind in rows:
+        table.append(
+            (
+                source,
+                series,
+                _fmt(size),
+                _fmt(baseline),
+                _fmt(optimized),
+                _fmt(ratio, kind),
+            )
+        )
+    widths = [max(len(row[col]) for row in table) for col in range(len(header))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Render one trend table across all BENCH_*.json files."
+    )
+    parser.add_argument(
+        "--dir",
+        default=REPO_ROOT,
+        help="directory holding the BENCH_*.json artifacts (default: repo root)",
+    )
+    opts = parser.parse_args()
+    rows, missing = build_report(opts.dir)
+    if rows:
+        print(render(rows))
+    for filename in missing:
+        print(f"(no {filename} — run its perf suite to add those rows)")
+    if not rows:
+        print("no benchmark artifacts found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
